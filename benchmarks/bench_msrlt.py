@@ -1,0 +1,120 @@
+"""E5 — MSRLT micro-benchmarks: the §4.2 complexity model in isolation.
+
+- ``MSRLT_search`` (collection): binary search over block start
+  addresses — O(log n) per lookup; an ablation compares against the
+  naive linear scan a table-less design would need.
+- ``MSRLT_update`` (restoration): dict insert per block — O(1) per
+  block, O(n) total.
+- ``Encode_and_Copy``: the bulk XDR path — O(Σ Dᵢ), independent of n.
+"""
+
+import random
+
+import pytest
+
+from repro.arch import ULTRA5, xdr
+from repro.clang.ctypes import DOUBLE, INT, TypeLayout
+from repro.msr.msrlt import MSRLT
+from repro.vm.memory import Memory
+
+SIZES = (1_000, 10_000, 50_000)
+
+
+def build_table(n: int) -> tuple[MSRLT, list[int]]:
+    msrlt = MSRLT(TypeLayout(ULTRA5))
+    base = ULTRA5.heap_base
+    addrs = [base + 16 * i for i in range(n)]
+    for a in addrs:
+        msrlt.register_heap(a, INT, 2)
+    return msrlt, addrs
+
+
+@pytest.mark.benchmark(group="msrlt-search")
+@pytest.mark.parametrize("n", SIZES)
+def test_search_binary(benchmark, n):
+    """O(log n) per lookup — time per batch grows ~log n, not ~n."""
+    msrlt, addrs = build_table(n)
+    rng = random.Random(7)
+    probes = [rng.choice(addrs) + rng.choice((0, 4)) for _ in range(1000)]
+
+    def lookup_batch():
+        for p in probes:
+            msrlt.lookup_addr(p)
+
+    benchmark(lookup_batch)
+    benchmark.extra_info["n_blocks"] = n
+
+
+@pytest.mark.benchmark(group="msrlt-search-ablation")
+@pytest.mark.parametrize("n", (1_000, 10_000))
+def test_search_linear_scan_ablation(benchmark, n):
+    """Ablation: the linear scan a design without the sorted MSRLT would
+    pay — O(n) per lookup, visibly catastrophic next to the bisect rows."""
+    msrlt, addrs = build_table(n)
+    blocks = msrlt.blocks()
+    rng = random.Random(7)
+    probes = [rng.choice(addrs) for _ in range(100)]
+
+    def lookup_batch():
+        for p in probes:
+            for b in blocks:
+                if b.addr <= p < b.end:
+                    break
+
+    benchmark(lookup_batch)
+    benchmark.extra_info["n_blocks"] = n
+
+
+@pytest.mark.benchmark(group="msrlt-update")
+@pytest.mark.parametrize("n", SIZES)
+def test_update_registration(benchmark, n):
+    """O(1) amortized per registration (bump-order fast path)."""
+    layout = TypeLayout(ULTRA5)
+    base = ULTRA5.heap_base
+
+    def register_all():
+        msrlt = MSRLT(layout)
+        for i in range(n):
+            msrlt.register_heap(base + 16 * i, INT, 2)
+        return msrlt
+
+    benchmark.pedantic(register_all, rounds=3, iterations=1)
+    benchmark.extra_info["n_blocks"] = n
+
+
+@pytest.mark.benchmark(group="encode-copy")
+@pytest.mark.parametrize("nbytes", (80_000, 800_000, 8_000_000))
+def test_encode_and_copy(benchmark, nbytes):
+    """O(Σ Dᵢ): the vectorized XDR encode of one big double block
+    (8 MB is Figure 2(a)'s top size)."""
+    mem = Memory(ULTRA5)
+    n = nbytes // 8
+    addr = mem.heap_alloc(nbytes)
+    import numpy as np
+
+    mem.write_array("double", addr, np.linspace(0, 1, n))
+
+    def encode():
+        return xdr.encode_array("double", mem.read_array("double", addr, n))
+
+    benchmark(encode)
+    benchmark.extra_info["bytes"] = nbytes
+
+
+@pytest.mark.benchmark(group="encode-copy-ablation")
+@pytest.mark.parametrize("nbytes", (80_000,))
+def test_encode_scalar_ablation(benchmark, nbytes):
+    """Ablation: the per-element scalar codec on the same data — the
+    cost a non-vectorized TI saving function would pay."""
+    mem = Memory(ULTRA5)
+    n = nbytes // 8
+    addr = mem.heap_alloc(nbytes)
+
+    def encode():
+        out = bytearray()
+        for i in range(n):
+            out += xdr.encode("double", mem.load("double", addr + 8 * i))
+        return bytes(out)
+
+    benchmark.pedantic(encode, rounds=3, iterations=1)
+    benchmark.extra_info["bytes"] = nbytes

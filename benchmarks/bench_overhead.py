@@ -1,0 +1,97 @@
+"""E6 — §4.3 execution overhead of the migratable format.
+
+"The overhead of process migration depends mostly on two factors: the
+placement of migration points and the number of memory allocations.  The
+overhead could be high if poll-points are placed in a kernel function
+which performs only few operations but being invoked so many times. …
+However, the overhead occurred is reasonable and mostly can be avoided.
+In a practical situation, there is no need to insert poll-points inside
+of a small kernel."
+
+We compile one compute kernel under the four placement strategies and run
+it to completion; and a malloc-heavy loop with and without small-block
+recycling.  The shape to reproduce: ``user`` ≈ ``loops`` (small-kernel
+heuristic skips the cheap callee) < ``loops-all`` < ``every-stmt``.
+"""
+
+import pytest
+
+from repro.arch import ULTRA5
+from repro.vm.process import Process
+from repro.vm.program import compile_program
+
+# a program whose inner kernel is tiny but called very often — the
+# paper's worst case for poll placement
+KERNEL_PROGRAM = """
+double axpy_cell(double a, double x, double y) {
+    return a * x + y;            /* the small kernel */
+}
+int main() {
+    double acc = 0.0;
+    int i;
+    for (i = 0; i < 4000; i++) {
+        acc = axpy_cell(1.0001, acc, 0.5);
+    }
+    printf("%.4f\\n", acc);
+    return 0;
+}
+"""
+
+# the paper's second overhead source: many small allocations (the MSRLT
+# grows with every malloc)
+MALLOC_PROGRAM = """
+struct blob { int v; struct blob *next; };
+int main() {
+    int i;
+    struct blob *keep = NULL;
+    for (i = 0; i < %d; i++) {
+        struct blob *b = (struct blob *) malloc(sizeof(struct blob));
+        b->v = i;
+        b->next = keep;
+        if (i %% 2 == 0) { keep = b; }
+        else { free(b); }           /* churn */
+    }
+    printf("done\\n");
+    return 0;
+}
+"""
+
+
+def run_once(prog):
+    proc = Process(prog, ULTRA5)
+    proc.run_to_completion()
+    return proc
+
+
+@pytest.mark.benchmark(group="overhead-pollpoints")
+@pytest.mark.parametrize("strategy", ("user", "loops", "loops-all", "every-stmt"))
+def test_poll_placement_overhead(benchmark, report, strategy):
+    prog = compile_program(KERNEL_PROGRAM, poll_strategy=strategy)
+    proc = benchmark(lambda: run_once(prog))
+    report(
+        f"Overhead/poll strategy={strategy}: polls={proc.polls} "
+        f"steps={proc.steps} mean={benchmark.stats.stats.mean * 1e3:.2f}ms"
+    )
+    benchmark.extra_info["polls_executed"] = proc.polls
+    benchmark.extra_info["steps"] = proc.steps
+
+
+@pytest.mark.benchmark(group="overhead-polls-in-kernel")
+def test_small_kernel_is_skipped(benchmark, report):
+    """The 'loops' strategy must not put polls inside the small kernel —
+    its poll count equals the outer loop's trip count only."""
+    prog = compile_program(KERNEL_PROGRAM, poll_strategy="loops")
+    proc = run_once(prog)
+    assert proc.polls == 4000  # one per outer iteration, none in axpy_cell
+    benchmark(lambda: None)
+    report(f"Overhead/kernel-skip: loops strategy polls={proc.polls} (outer only)")
+
+
+@pytest.mark.benchmark(group="overhead-malloc")
+@pytest.mark.parametrize("n_allocs", (1000, 4000))
+def test_malloc_tracking_overhead(benchmark, report, n_allocs):
+    """Per-malloc MSRLT registration cost (the §4.3 second factor)."""
+    prog = compile_program(MALLOC_PROGRAM % n_allocs, poll_strategy="user")
+    proc = benchmark.pedantic(lambda: run_once(prog), rounds=3, iterations=1)
+    report(f"Overhead/malloc n={n_allocs}: mallocs tracked, churned via free")
+    benchmark.extra_info["n_allocs"] = n_allocs

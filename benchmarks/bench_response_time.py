@@ -1,0 +1,95 @@
+"""Migration response time vs poll-point density (an ablation §4.3 implies).
+
+Poll-points trade *overhead* (executed checks) against *responsiveness*
+(how long a migration request waits before the process reaches a
+poll-point and honours it).  The paper discusses the overhead side; this
+bench quantifies both sides of the trade so the `loops` default can be
+judged: instructions executed between the request and the poll that
+serves it, per placement strategy.
+
+Measured in VM instructions (deterministic), not seconds.
+"""
+
+import pytest
+
+from repro.arch import ULTRA5
+from repro.vm.process import Process
+from repro.vm.program import compile_program
+
+# long straight-line stretches between loops: the adversarial case for
+# sparse poll placement
+PROGRAM = """
+double stage1(double x) {
+    double a = x * 1.01 + 0.5;
+    double b = a * a - x;
+    double c = b / (a + 1.0);
+    double d = c * c + a * b;
+    double e = d - c + a;
+    double f = e * 0.5 + d * 0.25;
+    double g = f + e + d + c + b + a;
+    double h = g * 1.0001;
+    return h;
+}
+int main() {
+    double acc = 0.0;
+    int i;
+    for (i = 0; i < 300; i++) {
+        acc = stage1(acc);
+        acc = stage1(acc + 1.0);
+        acc = stage1(acc - 0.5);
+    }
+    printf("%.3f\\n", acc);
+    return 0;
+}
+"""
+
+STRATEGIES = ("loops", "loops-all", "every-stmt")
+
+
+def response_samples(strategy: str, n_samples: int = 12) -> list[int]:
+    """Instructions between a request arriving and the serving poll."""
+    prog = compile_program(PROGRAM, poll_strategy=strategy)
+    samples: list[int] = []
+    for k in range(1, n_samples + 1):
+        proc = Process(prog, ULTRA5)
+        proc.start()
+        # run an arbitrary prefix, then deliver the request
+        proc.run(max_steps=97 * k)
+        if proc.exited:
+            break
+        before = proc.steps
+        proc.migration_pending = True
+        result = proc.run()
+        if result.status != "poll":
+            break
+        samples.append(proc.steps - before)
+    return samples
+
+
+@pytest.mark.benchmark(group="response-time")
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_response_time(benchmark, report, strategy):
+    samples = benchmark.pedantic(
+        lambda: response_samples(strategy), rounds=1, iterations=1
+    )
+    assert samples
+    worst = max(samples)
+    mean = sum(samples) / len(samples)
+    benchmark.extra_info["worst_instr"] = worst
+    benchmark.extra_info["mean_instr"] = mean
+    report(
+        f"ResponseTime/{strategy}: mean={mean:.0f} worst={worst} "
+        f"instructions from request to poll"
+    )
+
+
+@pytest.mark.benchmark(group="response-time-shape")
+def test_denser_polls_respond_faster(benchmark, report):
+    """every-stmt must bound the wait more tightly than loops."""
+    worst = {s: max(response_samples(s)) for s in ("loops", "every-stmt")}
+    assert worst["every-stmt"] <= worst["loops"]
+    report(
+        f"ResponseTime/shape: worst-case wait loops={worst['loops']} vs "
+        f"every-stmt={worst['every-stmt']} instructions"
+    )
+    benchmark(lambda: None)

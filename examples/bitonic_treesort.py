@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""The bitonic tree sort hopping across three architectures.
+
+The paper's pointer-heavy workload: thousands of small malloc'd tree
+nodes.  We chain DEC 5000 (LE/32) → Alpha (LE/64) → SPARC 20 (BE/32),
+crossing both word size and byte order, while the tree is still growing —
+then verify the in-order traversal is sorted.
+
+Run:  python examples/bitonic_treesort.py [N]
+"""
+
+import sys
+
+import repro
+
+N = int(sys.argv[1]) if len(sys.argv) > 1 else 2000
+
+
+def main() -> None:
+    program = repro.compile_program(repro.bitonic_source(N), poll_strategy="user")
+
+    solo = repro.Process(program, repro.DEC5000)
+    solo.run_to_completion()
+    print("reference:", solo.stdout.strip())
+
+    cluster = repro.Cluster()
+    dec = cluster.add_host("dec", repro.DEC5000)
+    alpha = cluster.add_host("alpha", repro.ALPHA)
+    sparc = cluster.add_host("sparc", repro.SPARC20)
+    cluster.connect(dec, alpha, repro.ETHERNET_100M)
+    cluster.connect(alpha, sparc, repro.ETHERNET_10M)
+
+    sched = repro.Scheduler(cluster)
+    proc = sched.spawn(program, dec)
+    # hop while the tree is one-third and two-thirds built
+    sched.request_migration(proc, alpha, after_polls=N // 3)
+    sched.request_migration(proc, sparc, after_polls=N // 3)
+    result = sched.run(proc)
+
+    print("3-host run:", result.stdout.strip())
+    assert result.stdout == solo.stdout, "tree corrupted in transit!"
+    print()
+    for hop, st in enumerate(result.migrations, 1):
+        print(f"hop {hop}: {st}")
+        avg = st.data_bytes / max(st.n_blocks, 1)
+        print(f"        {st.n_blocks} blocks, average {avg:.1f} bytes each "
+              "— many small nodes (§4.2)")
+    print()
+    print("pointer widths changed 4 -> 8 -> 4 bytes and every node moved to a")
+    print("brand-new heap address twice; the MSRLT's pointer-header+offset")
+    print("encoding re-linked all of them.")
+
+
+if __name__ == "__main__":
+    main()

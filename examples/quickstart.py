@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Quickstart: migrate a running C process from a little-endian DEC 5000
+to a big-endian SPARC 20, mid-loop, and watch it finish unharmed.
+
+Run:  python examples/quickstart.py
+"""
+
+import repro
+
+SOURCE = r"""
+struct account { double balance; struct account *next; };
+struct account *book;
+
+void deposit(double amount) {
+    struct account *a = (struct account *) malloc(sizeof(struct account));
+    a->balance = amount;
+    a->next = book;
+    book = a;
+}
+
+double audit() {
+    double total = 0.0;
+    struct account *p;
+    for (p = book; p != NULL; p = p->next) total += p->balance;
+    return total;
+}
+
+int main() {
+    int day;
+    for (day = 0; day < 30; day++) {
+        deposit(day * 1.25);
+        /* each loop iteration is a potential migration point */
+    }
+    printf("after 30 days: %.2f across the book\n", audit());
+    return 0;
+}
+"""
+
+
+def main() -> None:
+    # 1. the pre-compiler: poll-points at loop heads, liveness, TI table
+    program = repro.compile_program(SOURCE)
+
+    # 2. a tiny heterogeneous cluster — truly different byte orders
+    cluster = repro.Cluster()
+    dec = cluster.add_host("dec", repro.DEC5000)
+    sparc = cluster.add_host("sparc", repro.SPARC20)
+    cluster.connect(dec, sparc, repro.ETHERNET_10M)
+
+    # 3. run on the DEC; ask the scheduler to migrate after 15 poll-points
+    scheduler = repro.Scheduler(cluster)
+    process = scheduler.spawn(program, dec)
+    scheduler.request_migration(process, sparc, after_polls=15)
+    result = scheduler.run(process)
+
+    print("program output:")
+    print("   ", result.stdout.strip())
+    print()
+    stats = result.migrations[0]
+    print("migration event:")
+    print(f"    {stats}")
+    print(f"    collect {stats.collect_time * 1e3:8.3f} ms")
+    print(f"    tx      {stats.tx_time * 1e3:8.3f} ms   (modeled 10 Mb/s Ethernet)")
+    print(f"    restore {stats.restore_time * 1e3:8.3f} ms")
+    print(f"    payload {stats.payload_bytes} machine-independent bytes, "
+          f"{stats.n_blocks} MSR blocks")
+
+    # 4. sanity: an unmigrated run prints exactly the same thing
+    solo = repro.Process(program, repro.DEC5000)
+    solo.run_to_completion()
+    assert solo.stdout == result.stdout, "migration changed behaviour!"
+    print("\nunmigrated run output is identical — migration was transparent.")
+
+
+if __name__ == "__main__":
+    main()

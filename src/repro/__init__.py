@@ -1,0 +1,135 @@
+"""repro — Data Collection and Restoration for Heterogeneous Process Migration.
+
+A complete reproduction of Chanchio & Sun (IPPS 2001): the MSR memory
+model, MSRLT lookup table, TI table, the ``Save_pointer`` /
+``Restore_pointer`` collection/restoration library, a pre-compiler for a
+migration-safe C subset, and a simulated heterogeneous process-migration
+environment (DEC 5000/120, SPARC 20, Ultra 5, and 64-bit hosts).
+
+Quickstart::
+
+    import repro
+
+    prog = repro.compile_program(open("prog.c").read())
+    cluster = repro.Cluster()
+    dec = cluster.add_host("dec", repro.DEC5000)
+    sparc = cluster.add_host("sparc", repro.SPARC20)
+    cluster.connect(dec, sparc, repro.ETHERNET_10M)
+
+    sched = repro.Scheduler(cluster)
+    proc = sched.spawn(prog, dec)
+    sched.request_migration(proc, sparc)      # fires at the next poll-point
+    result = sched.run(proc)                  # runs, migrates, resumes
+    print(result.stdout, result.migrations[0])
+
+See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+reproduction of every table and figure.
+"""
+
+from repro.arch.machine import (
+    ALPHA,
+    ARCH_PRESETS,
+    DEC5000,
+    Endian,
+    MachineArch,
+    SPARC20,
+    ULTRA5,
+    X86,
+    X86_64,
+)
+from repro.analysis.pollpoints import PollStrategy
+from repro.clang.parser import ParseError, parse
+from repro.clang.unsafe import MigrationSafetyError, UnsafeFeature, check_migration_safety
+from repro.migration.checkpoint import (
+    Checkpoint,
+    checkpoint,
+    checkpoint_to_file,
+    restart,
+    restart_from_file,
+    run_with_checkpoints,
+)
+from repro.migration.engine import MigrationEngine, collect_state, restore_state
+from repro.migration.scheduler import Cluster, Host, Scheduler, SchedulerResult
+from repro.migration.stats import MigrationStats
+from repro.migration.transport import (
+    Channel,
+    ETHERNET_10M,
+    ETHERNET_100M,
+    GIGABIT,
+    Link,
+    LOOPBACK,
+)
+from repro.msr.model import MSRGraph, build_msr_graph
+from repro.msr.msrlt import MSRLT, BlockKind, MemoryBlock
+from repro.transform.annotate import AnnotatedProgram, annotate_program
+from repro.vm.process import Process, ProcessExit
+from repro.vm.program import CompiledProgram, compile_program
+from repro.workloads import (
+    bitonic_source,
+    linpack_source,
+    matmul_source,
+    nbody_source,
+    test_pointer_source,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # architectures
+    "ALPHA",
+    "ARCH_PRESETS",
+    "DEC5000",
+    "Endian",
+    "MachineArch",
+    "SPARC20",
+    "ULTRA5",
+    "X86",
+    "X86_64",
+    # front end / pre-compiler
+    "ParseError",
+    "parse",
+    "PollStrategy",
+    "compile_program",
+    "CompiledProgram",
+    "annotate_program",
+    "AnnotatedProgram",
+    "check_migration_safety",
+    "MigrationSafetyError",
+    "UnsafeFeature",
+    # runtime
+    "Process",
+    "ProcessExit",
+    "MSRLT",
+    "MemoryBlock",
+    "BlockKind",
+    "MSRGraph",
+    "build_msr_graph",
+    # migration environment
+    "MigrationEngine",
+    "collect_state",
+    "restore_state",
+    "Cluster",
+    "Host",
+    "Scheduler",
+    "SchedulerResult",
+    "MigrationStats",
+    "Channel",
+    "Link",
+    "Checkpoint",
+    "checkpoint",
+    "checkpoint_to_file",
+    "restart",
+    "restart_from_file",
+    "run_with_checkpoints",
+    "ETHERNET_10M",
+    "ETHERNET_100M",
+    "GIGABIT",
+    "LOOPBACK",
+    # workloads
+    "bitonic_source",
+    "linpack_source",
+    "matmul_source",
+    "nbody_source",
+    "test_pointer_source",
+    "__version__",
+]

@@ -1,0 +1,25 @@
+"""Static analyses used by the pre-compiler.
+
+- :mod:`repro.analysis.cfg` — basic-block construction over function IR;
+- :mod:`repro.analysis.liveness` — backward live-variable dataflow; the
+  result tells the collection library exactly which locals must be saved
+  at each poll-point and call site (the paper: "the pre-compiler defines
+  live variables whose data values are needed for computation beyond the
+  poll-point");
+- :mod:`repro.analysis.pollpoints` — poll-point placement strategies
+  (the paper §4.3: placement drives runtime overhead).
+"""
+
+from repro.analysis.cfg import BasicBlock, build_blocks, successors
+from repro.analysis.liveness import LivenessResult, compute_liveness
+from repro.analysis.pollpoints import PollStrategy, insert_poll_points
+
+__all__ = [
+    "BasicBlock",
+    "build_blocks",
+    "successors",
+    "LivenessResult",
+    "compute_liveness",
+    "PollStrategy",
+    "insert_poll_points",
+]

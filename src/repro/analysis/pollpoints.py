@@ -1,0 +1,157 @@
+"""Poll-point placement strategies.
+
+The paper inserts poll-points automatically (loop locations, function
+bodies) and also lets the user pick locations explicitly
+(``migrate_here();`` in our front end).  §4.3 observes that placement is
+the dominant overhead factor: "the overhead could be high if poll-points
+are placed in a kernel function which performs only few operations but
+being invoked so many times" and "in a practical situation, there is no
+need to insert poll-points inside of a small kernel".
+
+Strategies (applied to the *normalized* AST, before IR generation):
+
+- ``USER``        — only explicit ``migrate_here();`` hints;
+- ``LOOPS``       — hints + the top of every loop body in functions that
+  are *not* small kernels (the paper's recommended placement);
+- ``LOOPS_ALL``   — hints + every loop body top, including small kernels
+  (used by the §4.3 overhead experiment to demonstrate the bad case);
+- ``EVERY_STMT``  — a poll before every statement (worst case, ablation).
+
+A function is heuristically a *small kernel* when its body contains no
+loops and fewer than ``SMALL_KERNEL_STMTS`` statements — the cheap callee
+the paper warns about polls being placed into.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.clang import cast as A
+from repro.vm.normalize import NormFunc
+
+__all__ = ["PollStrategy", "insert_poll_points", "SMALL_KERNEL_STMTS"]
+
+#: threshold below which a loop-free function counts as a small kernel
+SMALL_KERNEL_STMTS = 8
+
+
+class PollStrategy(str, enum.Enum):
+    USER = "user"
+    LOOPS = "loops"
+    LOOPS_ALL = "loops-all"
+    EVERY_STMT = "every-stmt"
+
+
+def _count_stmts(stmts: list[A.Stmt]) -> int:
+    n = 0
+    for s in stmts:
+        n += 1
+        if isinstance(s, A.Block):
+            n += _count_stmts(s.body)
+        elif isinstance(s, A.If):
+            n += _count_stmts([s.then])
+            if s.other is not None:
+                n += _count_stmts([s.other])
+        elif isinstance(s, (A.While, A.DoWhile, A.For)):
+            n += _count_stmts([s.body])
+        elif isinstance(s, A.Switch):
+            for c in s.cases:
+                n += _count_stmts(c.body)
+    return n
+
+
+def _has_loop(stmts: list[A.Stmt]) -> bool:
+    for s in stmts:
+        if isinstance(s, (A.While, A.DoWhile, A.For)):
+            return True
+        if isinstance(s, A.Block) and _has_loop(s.body):
+            return True
+        if isinstance(s, A.If):
+            if _has_loop([s.then]) or (s.other is not None and _has_loop([s.other])):
+                return True
+        if isinstance(s, A.Switch) and any(_has_loop(c.body) for c in s.cases):
+            return True
+    return False
+
+
+def is_small_kernel(func: NormFunc) -> bool:
+    """The paper's 'small kernel' heuristic (§4.3)."""
+    return not _has_loop(func.body) and _count_stmts(func.body) < SMALL_KERNEL_STMTS
+
+
+def insert_poll_points(func: NormFunc, strategy: PollStrategy) -> int:
+    """Insert :class:`~repro.clang.cast.PollHint` nodes per *strategy*.
+
+    Mutates ``func.body`` in place; returns the number of automatic
+    hints inserted (explicit user hints are always kept).
+    """
+    if strategy == PollStrategy.USER:
+        return 0
+
+    if strategy == PollStrategy.EVERY_STMT:
+        return _poll_every_stmt(func.body)
+
+    if strategy == PollStrategy.LOOPS and is_small_kernel(func):
+        return 0
+
+    return _poll_loops(func.body)
+
+
+def _prepend_poll(body_stmt: A.Stmt) -> A.Stmt:
+    hint = A.PollHint(line=body_stmt.line)
+    if isinstance(body_stmt, A.Block):
+        body_stmt.body.insert(0, hint)
+        return body_stmt
+    return A.Block(body=[hint, body_stmt], line=body_stmt.line)
+
+
+def _poll_loops(stmts: list[A.Stmt]) -> int:
+    count = 0
+    for s in stmts:
+        if isinstance(s, (A.While, A.DoWhile, A.For)):
+            s.body = _prepend_poll(s.body)
+            count += 1
+            count += _poll_loops([s.body])
+        elif isinstance(s, A.Block):
+            count += _poll_loops(s.body)
+        elif isinstance(s, A.If):
+            count += _poll_loops([s.then])
+            if s.other is not None:
+                count += _poll_loops([s.other])
+        elif isinstance(s, A.Switch):
+            for c in s.cases:
+                count += _poll_loops(c.body)
+    return count
+
+
+def _poll_every_stmt(stmts: list[A.Stmt]) -> int:
+    count = 0
+    i = 0
+    while i < len(stmts):
+        s = stmts[i]
+        if not isinstance(s, A.PollHint):
+            stmts.insert(i, A.PollHint(line=s.line))
+            count += 1
+            i += 1
+        if isinstance(s, A.Block):
+            count += _poll_every_stmt(s.body)
+        elif isinstance(s, A.If):
+            s.then = _ensure_block(s.then)
+            count += _poll_every_stmt(s.then.body)
+            if s.other is not None:
+                s.other = _ensure_block(s.other)
+                count += _poll_every_stmt(s.other.body)
+        elif isinstance(s, (A.While, A.DoWhile, A.For)):
+            s.body = _ensure_block(s.body)
+            count += _poll_every_stmt(s.body.body)
+        elif isinstance(s, A.Switch):
+            for c in s.cases:
+                count += _poll_every_stmt(c.body)
+        i += 1
+    return count
+
+
+def _ensure_block(stmt: A.Stmt) -> A.Block:
+    if isinstance(stmt, A.Block):
+        return stmt
+    return A.Block(body=[stmt], line=stmt.line)

@@ -1,0 +1,43 @@
+"""Machine architecture descriptions and machine-independent data encoding.
+
+This subpackage models the *hardware heterogeneity* that the paper's data
+collection and restoration layer must bridge:
+
+- :mod:`repro.arch.machine` — per-host :class:`MachineArch` specifications
+  (endianness, primitive type sizes, alignment rules, address-space layout)
+  with presets for the machines used in the paper's evaluation (DEC 5000/120,
+  SPARC 20, Ultra 5) plus 64-bit archs for wider heterogeneity testing.
+- :mod:`repro.arch.xdr` — the machine-independent ("external data
+  representation") codec used on the wire, in the spirit of Sun XDR/RFC 1014.
+- :mod:`repro.arch.buffers` — byte buffers with accounting used by the
+  collection/restoration library.
+"""
+
+from repro.arch.machine import (
+    ALPHA,
+    ARCH_PRESETS,
+    DEC5000,
+    Endian,
+    MachineArch,
+    SPARC20,
+    ULTRA5,
+    X86,
+    X86_64,
+)
+from repro.arch.buffers import ReadBuffer, WriteBuffer
+from repro.arch import xdr
+
+__all__ = [
+    "ALPHA",
+    "ARCH_PRESETS",
+    "DEC5000",
+    "Endian",
+    "MachineArch",
+    "ReadBuffer",
+    "SPARC20",
+    "ULTRA5",
+    "WriteBuffer",
+    "X86",
+    "X86_64",
+    "xdr",
+]

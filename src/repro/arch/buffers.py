@@ -1,0 +1,158 @@
+"""Byte buffers with accounting for the migration wire format.
+
+The collection library serializes into a :class:`WriteBuffer` and the
+restoration library consumes a :class:`ReadBuffer`.  Both keep simple
+accounting (bytes, record tags) that the benchmark harness reports —
+Table 1's ``Tx`` column is computed from ``WriteBuffer.nbytes`` and the
+modeled link.
+"""
+
+from __future__ import annotations
+
+import struct
+from collections import Counter
+
+__all__ = ["WriteBuffer", "ReadBuffer"]
+
+_U8 = struct.Struct(">B")
+_U16 = struct.Struct(">H")
+_U32 = struct.Struct(">I")
+_U64 = struct.Struct(">Q")
+_I64 = struct.Struct(">q")
+
+
+class WriteBuffer:
+    """Append-only binary buffer with tag accounting.
+
+    All multi-byte fields are big-endian (matching the XDR layer).
+    Strings are length-prefixed UTF-8.
+    """
+
+    __slots__ = ("_buf", "tag_counts")
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+        #: Counter of record tags, filled by callers via :meth:`count_tag`.
+        self.tag_counts: Counter[str] = Counter()
+
+    # -- writers ----------------------------------------------------------
+
+    def write(self, data: bytes | bytearray | memoryview) -> None:
+        """Append raw bytes."""
+        self._buf += data
+
+    def write_u8(self, value: int) -> None:
+        self._buf += _U8.pack(value)
+
+    def write_u16(self, value: int) -> None:
+        self._buf += _U16.pack(value)
+
+    def write_u32(self, value: int) -> None:
+        self._buf += _U32.pack(value)
+
+    def write_u64(self, value: int) -> None:
+        self._buf += _U64.pack(value)
+
+    def write_i64(self, value: int) -> None:
+        self._buf += _I64.pack(value)
+
+    def write_str(self, text: str) -> None:
+        """Append a UTF-8 string with a u16 length prefix."""
+        raw = text.encode("utf-8")
+        if len(raw) > 0xFFFF:
+            raise ValueError("string too long for wire format")
+        self.write_u16(len(raw))
+        self._buf += raw
+
+    def count_tag(self, tag: str) -> None:
+        """Record one occurrence of a wire record *tag* (for statistics)."""
+        self.tag_counts[tag] += 1
+
+    # -- accessors ---------------------------------------------------------
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes written so far."""
+        return len(self._buf)
+
+    def getvalue(self) -> bytes:
+        """Immutable snapshot of the buffer contents."""
+        return bytes(self._buf)
+
+    def __len__(self) -> int:
+        return len(self._buf)
+
+
+class ReadBuffer:
+    """Sequential reader over bytes produced by :class:`WriteBuffer`."""
+
+    __slots__ = ("_view", "_pos")
+
+    def __init__(self, data: bytes | bytearray | memoryview) -> None:
+        self._view = memoryview(data)
+        self._pos = 0
+
+    # -- readers ----------------------------------------------------------
+
+    def read(self, n: int) -> memoryview:
+        """Consume and return the next *n* raw bytes."""
+        end = self._pos + n
+        if end > len(self._view):
+            raise EOFError(
+                f"wire buffer underrun: need {n} bytes at {self._pos}, "
+                f"have {len(self._view) - self._pos}"
+            )
+        out = self._view[self._pos : end]
+        self._pos = end
+        return out
+
+    def read_u8(self) -> int:
+        return _U8.unpack_from(self._view, self._advance(1))[0]
+
+    def read_u16(self) -> int:
+        return _U16.unpack_from(self._view, self._advance(2))[0]
+
+    def read_u32(self) -> int:
+        return _U32.unpack_from(self._view, self._advance(4))[0]
+
+    def read_u64(self) -> int:
+        return _U64.unpack_from(self._view, self._advance(8))[0]
+
+    def read_i64(self) -> int:
+        return _I64.unpack_from(self._view, self._advance(8))[0]
+
+    def read_str(self) -> str:
+        n = self.read_u16()
+        return bytes(self.read(n)).decode("utf-8")
+
+    def peek_u8(self) -> int:
+        """Return the next u8 without consuming it."""
+        if self._pos >= len(self._view):
+            raise EOFError("wire buffer underrun while peeking")
+        return self._view[self._pos]
+
+    # -- state ------------------------------------------------------------
+
+    def _advance(self, n: int) -> int:
+        pos = self._pos
+        if pos + n > len(self._view):
+            raise EOFError(
+                f"wire buffer underrun: need {n} bytes at {pos}, "
+                f"have {len(self._view) - pos}"
+            )
+        self._pos = pos + n
+        return pos
+
+    @property
+    def position(self) -> int:
+        """Current read offset."""
+        return self._pos
+
+    @property
+    def remaining(self) -> int:
+        """Bytes left to read."""
+        return len(self._view) - self._pos
+
+    def at_end(self) -> bool:
+        """Whether the whole buffer has been consumed."""
+        return self._pos == len(self._view)

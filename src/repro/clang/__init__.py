@@ -1,0 +1,65 @@
+"""Mini-C front end: lexer, parser, type system, and safety checks.
+
+The paper's pre-compiler operates on C source.  This subpackage provides
+the language substrate it needs:
+
+- :mod:`repro.clang.ctypes` — the C type system with per-architecture
+  layout (sizes, alignment, struct padding, flattened element ordinals).
+- :mod:`repro.clang.lexer` / :mod:`repro.clang.parser` — tokenizer and
+  recursive-descent parser for the migration-safe C subset.
+- :mod:`repro.clang.cast` — AST node definitions.
+- :mod:`repro.clang.unsafe` — detection of migration-unsafe C features
+  (Smith & Hutchinson-style checks referenced by the paper).
+"""
+
+from repro.clang.ctypes import (
+    ArrayType,
+    CType,
+    FuncType,
+    PointerType,
+    PrimType,
+    StructType,
+    TypeLayout,
+    VoidType,
+    CHAR,
+    DOUBLE,
+    FLOAT,
+    INT,
+    LONG,
+    SHORT,
+    UCHAR,
+    UINT,
+    ULONG,
+    VOID,
+)
+from repro.clang.lexer import LexError, Token, tokenize
+from repro.clang.parser import ParseError, parse
+from repro.clang.unsafe import UnsafeFeature, check_migration_safety
+
+__all__ = [
+    "ArrayType",
+    "CType",
+    "FuncType",
+    "PointerType",
+    "PrimType",
+    "StructType",
+    "TypeLayout",
+    "VoidType",
+    "CHAR",
+    "DOUBLE",
+    "FLOAT",
+    "INT",
+    "LONG",
+    "SHORT",
+    "UCHAR",
+    "UINT",
+    "ULONG",
+    "VOID",
+    "LexError",
+    "Token",
+    "tokenize",
+    "ParseError",
+    "parse",
+    "UnsafeFeature",
+    "check_migration_safety",
+]

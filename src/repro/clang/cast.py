@@ -1,0 +1,361 @@
+"""AST node definitions for the migration-safe C subset.
+
+Nodes are plain dataclasses.  Every node carries a source ``line`` for
+diagnostics and for the annotator's poll-point labels.  Expression nodes
+gain a ``ctype`` attribute during type checking (in the compiler).
+
+Statement nodes carry a ``stmt_id`` assigned during normalization; the
+liveness analysis and the poll-point tables are keyed on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.clang.ctypes import CType
+
+__all__ = [
+    "Node",
+    "Expr",
+    "Stmt",
+    "IntLit",
+    "FloatLit",
+    "CharLit",
+    "StringLit",
+    "Ident",
+    "Unary",
+    "Binary",
+    "Assign",
+    "Call",
+    "Index",
+    "Member",
+    "Cast",
+    "SizeofType",
+    "SizeofExpr",
+    "Cond",
+    "ExprStmt",
+    "Decl",
+    "DeclStmt",
+    "If",
+    "While",
+    "DoWhile",
+    "For",
+    "Return",
+    "Break",
+    "Continue",
+    "Block",
+    "Switch",
+    "SwitchCase",
+    "Null",
+    "PollHint",
+    "Param",
+    "FuncDef",
+    "GlobalVar",
+    "TranslationUnit",
+]
+
+
+@dataclass
+class Node:
+    """Base of all AST nodes."""
+
+    line: int = field(default=0, kw_only=True)
+
+
+@dataclass
+class Expr(Node):
+    """Base of expressions.  ``ctype`` is filled in by the type checker."""
+
+    ctype: Optional[CType] = field(default=None, kw_only=True, repr=False, compare=False)
+
+
+# -- literals and primaries -------------------------------------------------
+
+
+@dataclass
+class IntLit(Expr):
+    """Integer literal (decimal or hex, with u/l suffixes)."""
+    value: int = 0
+    unsigned: bool = False
+    long: bool = False
+
+
+@dataclass
+class FloatLit(Expr):
+    """Floating literal (``1.5``, ``2e3``; ``single`` marks an ``f`` suffix)."""
+    value: float = 0.0
+    single: bool = False  # 1.0f
+
+
+@dataclass
+class CharLit(Expr):
+    """Character literal; ``value`` is the character code (an int, as in C)."""
+    value: int = 0  # the character code
+
+
+@dataclass
+class StringLit(Expr):
+    """String literal; storage is interned into the global segment."""
+    value: str = ""
+
+
+@dataclass
+class Ident(Expr):
+    """A name use (variable reference; functions appear only in Call)."""
+    name: str = ""
+
+
+@dataclass
+class Null(Expr):
+    """The NULL constant (``(void*)0`` / the ``NULL`` keyword)."""
+
+
+# -- operators ---------------------------------------------------------------
+
+
+@dataclass
+class Unary(Expr):
+    """Unary operator: ``- ! ~ * & ++pre --pre post++ post--``.
+
+    ``op`` is one of ``"-" "!" "~" "*" "&" "++" "--" "p++" "p--"``
+    (the ``p`` prefix marks the postfix forms).
+    """
+
+    op: str = ""
+    operand: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class Binary(Expr):
+    """Binary operator (arithmetic, comparison, logical, bitwise)."""
+
+    op: str = ""
+    left: Expr = None  # type: ignore[assignment]
+    right: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class Assign(Expr):
+    """Assignment ``target op= value`` (``op`` is ``""`` for plain ``=``)."""
+
+    op: str = ""
+    target: Expr = None  # type: ignore[assignment]
+    value: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class Call(Expr):
+    """Direct call ``func(args...)`` (function pointers are unsupported)."""
+    func: str = ""
+    args: list[Expr] = field(default_factory=list)
+
+
+@dataclass
+class Index(Expr):
+    """Array subscript ``base[index]``."""
+
+    base: Expr = None  # type: ignore[assignment]
+    index: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class Member(Expr):
+    """Member access ``base.name`` (``arrow=False``) or ``base->name``."""
+
+    base: Expr = None  # type: ignore[assignment]
+    name: str = ""
+    arrow: bool = False
+
+
+@dataclass
+class Cast(Expr):
+    """Explicit cast ``(type) operand`` (also used for implicit conversions)."""
+    to: CType = None  # type: ignore[assignment]
+    operand: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class SizeofType(Expr):
+    """``sizeof(type)`` — resolved per architecture at specialization."""
+    of: CType = None  # type: ignore[assignment]
+
+
+@dataclass
+class SizeofExpr(Expr):
+    """``sizeof expr`` — the operand is typed but never evaluated."""
+    operand: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class Cond(Expr):
+    """Ternary ``cond ? then : other``."""
+
+    cond: Expr = None  # type: ignore[assignment]
+    then: Expr = None  # type: ignore[assignment]
+    other: Expr = None  # type: ignore[assignment]
+
+
+# -- statements ---------------------------------------------------------------
+
+
+@dataclass
+class Stmt(Node):
+    """Base of statements.  ``stmt_id`` is assigned during normalization."""
+
+    stmt_id: int = field(default=-1, kw_only=True, compare=False)
+
+
+@dataclass
+class ExprStmt(Stmt):
+    """An expression evaluated for its side effects."""
+    expr: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class Decl(Node):
+    """One declarator: ``name`` of ``ctype`` with optional initializer."""
+
+    name: str = ""
+    ctype: CType = None  # type: ignore[assignment]
+    init: Optional[Expr] = None
+    #: brace initializer for arrays, e.g. ``int a[3] = {1,2,3};``
+    init_list: Optional[list[Expr]] = None
+
+
+@dataclass
+class DeclStmt(Stmt):
+    """One or more local declarations (``int a = 1, *b;``)."""
+    decls: list[Decl] = field(default_factory=list)
+
+
+@dataclass
+class If(Stmt):
+    """``if (cond) then [else other]``."""
+    cond: Expr = None  # type: ignore[assignment]
+    then: Stmt = None  # type: ignore[assignment]
+    other: Optional[Stmt] = None
+
+
+@dataclass
+class While(Stmt):
+    """``while (cond) body``."""
+    cond: Expr = None  # type: ignore[assignment]
+    body: Stmt = None  # type: ignore[assignment]
+    #: statements hoisted out of a side-effecting condition (normalizer);
+    #: re-executed before every evaluation of ``cond``
+    cond_pre: list["Stmt"] = field(default_factory=list, compare=False)
+
+
+@dataclass
+class DoWhile(Stmt):
+    """``do body while (cond);``."""
+    body: Stmt = None  # type: ignore[assignment]
+    cond: Expr = None  # type: ignore[assignment]
+    cond_pre: list["Stmt"] = field(default_factory=list, compare=False)
+
+
+@dataclass
+class For(Stmt):
+    """``for (init; cond; step) body``."""
+    init: Optional[Expr] = None
+    cond: Optional[Expr] = None
+    step: Optional[Expr] = None
+    body: Stmt = None  # type: ignore[assignment]
+    #: normalizer-filled statement forms of init/cond-prefix/step
+    init_stmts: list["Stmt"] = field(default_factory=list, compare=False)
+    cond_pre: list["Stmt"] = field(default_factory=list, compare=False)
+    step_stmts: list["Stmt"] = field(default_factory=list, compare=False)
+
+
+@dataclass
+class Return(Stmt):
+    """``return [value];``."""
+    value: Optional[Expr] = None
+
+
+@dataclass
+class Break(Stmt):
+    """``break;`` (innermost loop or switch)."""
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    """``continue;`` (innermost loop; reaches a for loop's step)."""
+    pass
+
+
+@dataclass
+class Block(Stmt):
+    """A brace-enclosed statement list with its own scope."""
+    body: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class SwitchCase(Node):
+    """One ``case value:`` arm (``value is None`` for ``default:``)."""
+
+    value: Optional[int] = None
+    body: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class Switch(Stmt):
+    """``switch (cond) { case ...: ... }`` with C fallthrough."""
+    cond: Expr = None  # type: ignore[assignment]
+    cases: list[SwitchCase] = field(default_factory=list)
+
+
+@dataclass
+class PollHint(Stmt):
+    """Explicit poll-point written by the user as ``migrate_here();``.
+
+    The pre-compiler always honours these regardless of the poll-point
+    selection strategy (the paper: "users can also select their preferred
+    poll-points").
+    """
+
+
+# -- top level ----------------------------------------------------------------
+
+
+@dataclass
+class Param(Node):
+    """One function parameter (arrays already decayed to pointers)."""
+    name: str = ""
+    ctype: CType = None  # type: ignore[assignment]
+
+
+@dataclass
+class FuncDef(Node):
+    """A function definition with its body."""
+    name: str = ""
+    ret: CType = None  # type: ignore[assignment]
+    params: list[Param] = field(default_factory=list)
+    body: Block = None  # type: ignore[assignment]
+
+
+@dataclass
+class GlobalVar(Node):
+    """A file-scope variable with optional constant initializer."""
+    name: str = ""
+    ctype: CType = None  # type: ignore[assignment]
+    init: Optional[Expr] = None
+    init_list: Optional[list[Expr]] = None
+
+
+@dataclass
+class TranslationUnit(Node):
+    """A parsed program: struct tags, globals, and function definitions."""
+
+    structs: dict[str, "CType"] = field(default_factory=dict)
+    globals: list[GlobalVar] = field(default_factory=list)
+    functions: list[FuncDef] = field(default_factory=list)
+
+    def function(self, name: str) -> FuncDef:
+        """Look up a function definition by name."""
+        for f in self.functions:
+            if f.name == name:
+                return f
+        raise KeyError(f"no function {name!r}")

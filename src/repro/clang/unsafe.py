@@ -1,0 +1,191 @@
+"""Detection of migration-unsafe C features.
+
+The paper (citing Smith & Hutchinson's TUI work) requires the input
+program to avoid language features that make process state untransportable
+between architectures.  Some are rejected outright by the parser (``union``,
+``goto``, varargs definitions, function pointers); this module performs the
+AST-level checks for the remainder:
+
+- casting a pointer to an integer type, or an integer to a pointer
+  (addresses are meaningless on the destination host);
+- casting between incompatible pointer types (other than through
+  ``void *`` and ``char *``, which the collection library can track);
+- taking ``sizeof`` into stored data in a way that bakes in the source
+  architecture is inherently unsafe *in general*, but the idiomatic
+  ``malloc(n * sizeof(T))`` is safe because the pre-compiler rewrites it
+  into an element-count allocation — so ``sizeof`` itself is not flagged.
+
+The checker is a best-effort static scan, as in the paper: it flags what it
+can prove syntactically; deeper violations surface as compile-time or
+migration-time errors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.clang import cast as A
+from repro.clang.ctypes import (
+    ArrayType,
+    CType,
+    PointerType,
+    PrimType,
+    StructType,
+    VoidType,
+)
+
+__all__ = ["UnsafeFeature", "check_migration_safety", "MigrationSafetyError"]
+
+
+@dataclass(frozen=True)
+class UnsafeFeature:
+    """One detected migration-unsafe construct."""
+
+    kind: str  # e.g. "ptr-to-int-cast"
+    detail: str
+    line: int
+    function: str
+
+    def __str__(self) -> str:
+        where = f"in {self.function}" if self.function else "at file scope"
+        return f"line {self.line} {where}: {self.kind}: {self.detail}"
+
+
+class MigrationSafetyError(Exception):
+    """Raised by :func:`check_migration_safety` in strict mode."""
+
+    def __init__(self, features: list[UnsafeFeature]) -> None:
+        self.features = features
+        super().__init__(
+            "migration-unsafe features found:\n"
+            + "\n".join(f"  - {f}" for f in features)
+        )
+
+
+def _is_pointerish(ctype: CType) -> bool:
+    return isinstance(ctype, (PointerType, ArrayType))
+
+
+def _is_integer(ctype: CType) -> bool:
+    return isinstance(ctype, PrimType) and ctype.is_integer
+
+
+def _compatible_pointer_cast(to: PointerType, frm: CType) -> bool:
+    """Pointer casts the collection library can survive."""
+    if not _is_pointerish(frm):
+        return False
+    src_target = frm.target if isinstance(frm, PointerType) else frm.elem
+    dst_target = to.target
+    if isinstance(dst_target, VoidType) or isinstance(src_target, VoidType):
+        return True  # through void*
+    if isinstance(dst_target, PrimType) and dst_target.kind in ("char", "uchar"):
+        return True  # char* aliasing is tracked at byte granularity
+    if isinstance(src_target, PrimType) and src_target.kind in ("char", "uchar"):
+        return True
+    # identical structural targets are fine
+    from repro.clang.ctypes import type_key
+
+    return type_key(src_target) == type_key(dst_target)
+
+
+def _syntactic_type(expr: A.Expr) -> CType | None:
+    """Best-effort type of *expr*; uses annotations if the checker ran."""
+    if expr.ctype is not None:
+        return expr.ctype
+    if isinstance(expr, A.Unary) and expr.op == "&":
+        inner = _syntactic_type(expr.operand)
+        return PointerType(inner) if inner is not None else PointerType(VoidType())
+    if isinstance(expr, A.IntLit):
+        return PrimType("int")
+    if isinstance(expr, A.FloatLit):
+        return PrimType("double")
+    if isinstance(expr, A.Null):
+        return PointerType(VoidType())
+    if isinstance(expr, A.Cast):
+        return expr.to
+    return None
+
+
+def _walk_exprs(node: object) -> Iterator[A.Expr]:
+    """Yield every expression node reachable from *node*."""
+    if isinstance(node, A.Expr):
+        yield node
+    if hasattr(node, "__dict__"):
+        values = vars(node).values()
+    else:
+        return
+    for value in values:
+        if isinstance(value, A.Node):
+            yield from _walk_exprs(value)
+        elif isinstance(value, list):
+            for item in value:
+                if isinstance(item, A.Node):
+                    yield from _walk_exprs(item)
+
+
+def check_migration_safety(
+    unit: A.TranslationUnit, strict: bool = False
+) -> list[UnsafeFeature]:
+    """Scan a translation unit for migration-unsafe constructs.
+
+    Returns the list of findings; with ``strict=True`` raises
+    :class:`MigrationSafetyError` if any are found.
+    """
+    findings: list[UnsafeFeature] = []
+
+    def scan(body: object, fname: str) -> None:
+        for expr in _walk_exprs(body):
+            if isinstance(expr, A.Cast):
+                to = expr.to
+                frm = _syntactic_type(expr.operand)
+                if isinstance(to, PointerType):
+                    if frm is not None and _is_integer(frm) and not isinstance(
+                        expr.operand, A.IntLit
+                    ):
+                        findings.append(
+                            UnsafeFeature(
+                                "int-to-ptr-cast",
+                                f"integer value cast to {to}",
+                                expr.line,
+                                fname,
+                            )
+                        )
+                    elif isinstance(expr.operand, A.IntLit) and expr.operand.value != 0:
+                        findings.append(
+                            UnsafeFeature(
+                                "absolute-address",
+                                f"absolute address constant cast to {to}",
+                                expr.line,
+                                fname,
+                            )
+                        )
+                    elif frm is not None and _is_pointerish(frm):
+                        if not _compatible_pointer_cast(to, frm):
+                            findings.append(
+                                UnsafeFeature(
+                                    "incompatible-ptr-cast",
+                                    f"cast from {frm} to {to}",
+                                    expr.line,
+                                    fname,
+                                )
+                            )
+                elif _is_integer(to) and frm is not None and _is_pointerish(frm):
+                    findings.append(
+                        UnsafeFeature(
+                            "ptr-to-int-cast",
+                            f"{frm} cast to {to}",
+                            expr.line,
+                            fname,
+                        )
+                    )
+
+    for gvar in unit.globals:
+        if gvar.init is not None:
+            scan(gvar.init, "")
+    for func in unit.functions:
+        scan(func.body, func.name)
+
+    if strict and findings:
+        raise MigrationSafetyError(findings)
+    return findings

@@ -1,0 +1,268 @@
+"""Command-line interface: the pre-compiler and migration tools as a CLI.
+
+Usage (after ``pip install -e .`` the ``repro`` entry point exists; or use
+``python -m repro``):
+
+.. code-block:: text
+
+    repro run prog.c --arch sparc20
+    repro check prog.c
+    repro annotate prog.c > prog.mig.c
+    repro migrate prog.c --from dec5000 --to sparc20 --after-polls 10
+    repro checkpoint prog.c --arch dec5000 --after-polls 5 -o snap.ckpt
+    repro restart prog.c snap.ckpt --arch alpha
+    repro graph prog.c --after-polls 5
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.arch.machine import ARCH_PRESETS
+from repro.clang.parser import ParseError, parse
+from repro.clang.unsafe import MigrationSafetyError, check_migration_safety
+from repro.migration.checkpoint import checkpoint_to_file, restart_from_file
+from repro.migration.engine import MigrationEngine
+from repro.migration.transport import Channel, ETHERNET_10M, ETHERNET_100M, GIGABIT, LOOPBACK
+from repro.transform.annotate import annotate_program
+from repro.vm.process import Process
+from repro.vm.program import compile_program
+
+__all__ = ["main"]
+
+_LINKS = {
+    "10m": ETHERNET_10M,
+    "100m": ETHERNET_100M,
+    "gigabit": GIGABIT,
+    "loopback": LOOPBACK,
+}
+
+
+def _arch(name: str):
+    try:
+        return ARCH_PRESETS[name]
+    except KeyError:
+        raise SystemExit(
+            f"unknown architecture {name!r}; choose from: {', '.join(ARCH_PRESETS)}"
+        )
+
+
+def _compile(path: str, args) -> object:
+    source = Path(path).read_text()
+    try:
+        return compile_program(
+            source,
+            poll_strategy=getattr(args, "poll_strategy", "loops"),
+            strict_safety=not getattr(args, "no_strict", False),
+        )
+    except (ParseError, MigrationSafetyError) as exc:
+        raise SystemExit(f"{path}: {exc}")
+
+
+def _stop_at(prog, arch, after_polls: int) -> Process:
+    proc = Process(prog, arch)
+    proc.start()
+    proc.migration_pending = True
+    proc.migrate_after_polls = after_polls
+    result = proc.run()
+    if result.status != "poll":
+        raise SystemExit(
+            f"process exited (code {result.exit_code}) before reaching "
+            f"poll #{after_polls}; it executed {proc.polls} poll-points"
+        )
+    return proc
+
+
+def cmd_run(args) -> int:
+    """`repro run`: compile and execute, print the program stdout."""
+    prog = _compile(args.file, args)
+    proc = Process(prog, _arch(args.arch))
+    code = proc.run_to_completion()
+    sys.stdout.write(proc.stdout)
+    if args.stats:
+        print(
+            f"[{proc.steps} instructions, {proc.polls} poll-points, "
+            f"{proc.mallocs} allocations]",
+            file=sys.stderr,
+        )
+    return code
+
+
+def cmd_check(args) -> int:
+    """`repro check`: print migration-safety findings; exit 1 if any."""
+    source = Path(args.file).read_text()
+    try:
+        unit = parse(source)
+    except ParseError as exc:
+        print(f"REJECTED by the parser: {exc}")
+        return 1
+    findings = check_migration_safety(unit)
+    if not findings:
+        print(f"{args.file}: migration-safe (no findings)")
+        return 0
+    for f in findings:
+        print(f"UNSAFE: {f}")
+    return 1
+
+
+def cmd_annotate(args) -> int:
+    """`repro annotate`: emit the migratable-format source."""
+    prog = _compile(args.file, args)
+    annotated = annotate_program(prog)
+    sys.stdout.write(annotated.source)
+    print(
+        f"/* {len(annotated.poll_sites)} poll-points annotated */",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_migrate(args) -> int:
+    """`repro migrate`: run with one migration; compare to a baseline."""
+    prog = _compile(args.file, args)
+    src_arch = _arch(args.src)
+    dst_arch = _arch(args.dst)
+
+    baseline = Process(prog, src_arch)
+    baseline.run_to_completion()
+
+    proc = _stop_at(prog, src_arch, args.after_polls)
+    engine = MigrationEngine()
+    channel = Channel(_LINKS[args.link])
+    dest, stats = engine.migrate(proc, dst_arch, channel=channel)
+    result = dest.run()
+    sys.stdout.write(dest.stdout)
+    print(f"[{stats}]", file=sys.stderr)
+    ok = dest.stdout == baseline.stdout and result.exit_code == baseline.exit_code
+    print(
+        f"[output {'identical to' if ok else 'DIFFERS from'} an unmigrated run]",
+        file=sys.stderr,
+    )
+    return 0 if ok else 1
+
+
+def cmd_checkpoint(args) -> int:
+    """`repro checkpoint`: snapshot a process at a poll-point to a file."""
+    prog = _compile(args.file, args)
+    proc = _stop_at(prog, _arch(args.arch), args.after_polls)
+    ckpt = checkpoint_to_file(proc, args.output)
+    print(
+        f"checkpoint written to {args.output} "
+        f"({len(ckpt.payload)} payload bytes, taken on {ckpt.source_arch})",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_restart(args) -> int:
+    """`repro restart`: resume a checkpoint file on any architecture."""
+    prog = _compile(args.file, args)
+    proc = restart_from_file(prog, args.checkpoint, _arch(args.arch))
+    result = proc.run()
+    sys.stdout.write(proc.stdout)
+    return result.exit_code
+
+
+def cmd_graph(args) -> int:
+    """`repro graph`: print the MSR graph G=(V,E) at a poll-point."""
+    from repro.msr.model import build_msr_graph
+    from repro.msr.msrlt import BlockKind
+
+    prog = _compile(args.file, args)
+    proc = _stop_at(prog, _arch(args.arch), args.after_polls)
+    proc.register_stack_blocks()
+    roots = []
+    for depth in range(len(proc.frames) - 1, -1, -1):
+        fir = prog.functions[proc.frames[depth].func_idx]
+        for var_idx in range(len(fir.norm.variables)):
+            roots.append(proc.msrlt.lookup_logical((BlockKind.STACK, depth, var_idx)))
+    for idx, info in enumerate(prog.globals):
+        if not info.is_string and not info.is_hidden:
+            roots.append(proc.msrlt.lookup_logical((BlockKind.GLOBAL, idx, 0)))
+    graph = build_msr_graph(proc, roots)
+    census = graph.segment_census()
+    print(
+        f"MSR graph at poll #{args.after_polls}: |V|={len(graph.vertices)} "
+        f"|E|={len(graph.edges)} nulls={graph.n_null_pointers}"
+    )
+    print(
+        f"segments: {census['global']} global, {census['stack']} stack, "
+        f"{census['heap']} heap; Σ D_i = {graph.total_bytes()} bytes"
+    )
+    if args.verbose:
+        names = {
+            l: (b.name or f"heap#{l[1]}") for l, b in graph.vertices.items()
+        }
+        for logical, block in graph.vertices.items():
+            seg = BlockKind.NAMES[logical[0]]
+            print(f"  {names[logical]:16s} [{seg}] {block.elem_type} x{block.count}")
+        for e in graph.edges:
+            print(f"  {names[e.src]} -> {names[e.dst]} (+{e.dst_off}B)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="heterogeneous process migration tools (Chanchio & Sun, IPPS 2001)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p, arch_default="dec5000"):
+        p.add_argument("file", help="C source file (migration-safe subset)")
+        p.add_argument("--poll-strategy", default="loops",
+                       choices=["user", "loops", "loops-all", "every-stmt"])
+        p.add_argument("--no-strict", action="store_true",
+                       help="compile despite migration-unsafe findings")
+        return p
+
+    p = common(sub.add_parser("run", help="compile and run a program"))
+    p.add_argument("--arch", default="dec5000", choices=list(ARCH_PRESETS))
+    p.add_argument("--stats", action="store_true")
+    p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser("check", help="report migration-unsafe features")
+    p.add_argument("file")
+    p.set_defaults(fn=cmd_check)
+
+    p = common(sub.add_parser("annotate", help="emit the migratable-format source"))
+    p.set_defaults(fn=cmd_annotate)
+
+    p = common(sub.add_parser("migrate", help="run with one mid-execution migration"))
+    p.add_argument("--from", dest="src", default="dec5000", choices=list(ARCH_PRESETS))
+    p.add_argument("--to", dest="dst", default="sparc20", choices=list(ARCH_PRESETS))
+    p.add_argument("--after-polls", type=int, default=1)
+    p.add_argument("--link", default="10m", choices=list(_LINKS))
+    p.set_defaults(fn=cmd_migrate)
+
+    p = common(sub.add_parser("checkpoint", help="snapshot a process to a file"))
+    p.add_argument("--arch", default="dec5000", choices=list(ARCH_PRESETS))
+    p.add_argument("--after-polls", type=int, default=1)
+    p.add_argument("-o", "--output", required=True)
+    p.set_defaults(fn=cmd_checkpoint)
+
+    p = common(sub.add_parser("restart", help="resume a process from a checkpoint"))
+    p.add_argument("checkpoint")
+    p.add_argument("--arch", default="sparc20", choices=list(ARCH_PRESETS))
+    p.set_defaults(fn=cmd_restart)
+
+    p = common(sub.add_parser("graph", help="print the MSR graph at a poll-point"))
+    p.add_argument("--arch", default="dec5000", choices=list(ARCH_PRESETS))
+    p.add_argument("--after-polls", type=int, default=1)
+    p.add_argument("-v", "--verbose", action="store_true")
+    p.set_defaults(fn=cmd_graph)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point (the `repro` console script)."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,201 @@
+"""The migration mechanism: collect → transfer → restore → resume.
+
+Mirrors the paper §2's event sequence: the destination process is invoked
+and waits; the migrating process collects its execution state (the call
+chain with resume labels) and memory state (live data through the MSR
+machinery), sends them, and terminates; the new process restores both and
+"resumes execution from the point where process migration occurred".
+
+Collection order follows the §3.2 example: live data of the innermost
+function first (``foo`` before ``main``), then the globals.  The frame
+*table* is written outermost-first so the restorer can rebuild activation
+records bottom-up before any data arrives.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from repro.arch.buffers import ReadBuffer, WriteBuffer
+from repro.migration.stats import MigrationStats
+from repro.migration.transport import Channel, LOOPBACK, Link
+from repro.msr.collect import Collector
+from repro.msr.msrlt import BlockKind
+from repro.msr.restore import Restorer
+from repro.msr.wire import WireHeader, read_header, write_header
+from repro.vm.process import Process
+
+__all__ = ["MigrationEngine", "collect_state", "restore_state", "MigrationError"]
+
+
+class MigrationError(Exception):
+    """A migration could not be performed."""
+
+
+def collect_state(process: Process) -> tuple[bytes, "CollectInfo"]:
+    """Collect the execution + memory state of a process stopped at a
+    poll-point.  Returns the machine-independent payload."""
+    if not process.frames:
+        raise MigrationError("process has no frames (not running?)")
+
+    # register every live local as an MSR block (lazily, at migration time)
+    process.register_stack_blocks()
+
+    program = process.program
+    buf = WriteBuffer()
+    frames = process.frames
+    header = WireHeader(
+        source_arch=process.arch.name,
+        frames=[(f.func_idx, f.pc) for f in frames],
+    )
+    write_header(buf, header)
+
+    collector = Collector(process, buf)
+
+    # frame live data: innermost first (paper §3.2: foo's, then main's)
+    for depth in range(len(frames) - 1, -1, -1):
+        frame = frames[depth]
+        live = program.live_at(frame.func_idx, frame.pc)
+        buf.write_u16(len(live))
+        for var_idx in live:
+            block = process.msrlt.lookup_logical((BlockKind.STACK, depth, var_idx))
+            buf.write_u16(var_idx)
+            collector.save_variable(block)
+
+    # globals: unconditionally part of the memory state
+    globals_ = program.globals
+    buf.write_u32(len(globals_))
+    for idx in range(len(globals_)):
+        block = process.msrlt.lookup_logical((BlockKind.GLOBAL, idx, 0))
+        buf.write_u32(idx)
+        collector.save_variable(block)
+
+    stats = collector.finish()
+    # the source process is about to terminate; its collection-time stack
+    # registrations are dropped for hygiene (it may also be resumed locally
+    # when a migration is cancelled)
+    process.msrlt.drop_stack_blocks()
+    return buf.getvalue(), CollectInfo(stats=stats, header=header)
+
+
+class CollectInfo:
+    """Collection by-products (stats + the header that was written)."""
+
+    def __init__(self, stats, header: WireHeader) -> None:
+        self.stats = stats
+        self.header = header
+
+
+def restore_state(program, payload: bytes, dest: Process) -> "RestoreInfo":
+    """Rebuild execution + memory state inside a fresh destination process."""
+    if dest.frames:
+        raise MigrationError("destination process already has frames")
+    rbuf = ReadBuffer(payload)
+    header = read_header(rbuf)
+
+    dest.load()
+    # rebuild activation records outermost-first, then register their
+    # blocks so stack logical ids resolve during data restoration
+    for func_idx, resume_pc in header.frames:
+        dest.create_restored_frame(func_idx, resume_pc)
+    dest.register_stack_blocks()
+
+    restorer = Restorer(dest, rbuf)
+    n_frames = len(header.frames)
+    for depth in range(n_frames - 1, -1, -1):
+        n_live = rbuf.read_u16()
+        for _ in range(n_live):
+            var_idx = rbuf.read_u16()
+            block = dest.msrlt.lookup_logical((BlockKind.STACK, depth, var_idx))
+            restorer.restore_variable(block)
+
+    n_globals = rbuf.read_u32()
+    for _ in range(n_globals):
+        idx = rbuf.read_u32()
+        block = dest.msrlt.lookup_logical((BlockKind.GLOBAL, idx, 0))
+        restorer.restore_variable(block)
+
+    if not rbuf.at_end():
+        raise MigrationError(f"{rbuf.remaining} trailing bytes in migration payload")
+
+    dest.msrlt.drop_stack_blocks()
+    return RestoreInfo(stats=restorer.stats, header=header)
+
+
+class RestoreInfo:
+    """Restoration by-products."""
+
+    def __init__(self, stats, header: WireHeader) -> None:
+        self.stats = stats
+        self.header = header
+
+
+class MigrationEngine:
+    """Performs migrations between hosts over a channel."""
+
+    def __init__(self, link: Link = LOOPBACK) -> None:
+        self.link = link
+
+    def migrate(
+        self,
+        process: Process,
+        dest_arch,
+        dest_name: Optional[str] = None,
+        channel: Optional[Channel] = None,
+        waiting: Optional[Process] = None,
+    ) -> tuple[Process, MigrationStats]:
+        """Migrate *process* (stopped at a poll-point) to *dest_arch*.
+
+        Returns the destination process, ready to resume, plus the
+        Collect/Tx/Restore statistics.  The source process is terminated.
+
+        *waiting* may be a pre-invoked destination process (the paper §2:
+        "the process on the destination machine is invoked to wait for
+        execution and memory states of the migrating process"); it must
+        be loaded but not started, and on the requested architecture.
+        """
+        channel = channel or Channel(self.link)
+        if waiting is not None:
+            if waiting.frames or waiting.exited:
+                raise MigrationError("waiting destination is already running")
+            if waiting.arch.name != dest_arch.name:
+                raise MigrationError(
+                    f"waiting process is on {waiting.arch.name}, "
+                    f"not {dest_arch.name}"
+                )
+            if waiting.program is not process.program:
+                raise MigrationError(
+                    "waiting process was invoked from a different program "
+                    "(the migratable source must be pre-distributed)"
+                )
+        stats = MigrationStats(
+            source_arch=process.arch.name,
+            dest_arch=dest_arch.name,
+            n_frames=len(process.frames),
+        )
+
+        t0 = time.perf_counter()
+        payload, cinfo = collect_state(process)
+        stats.collect_time = time.perf_counter() - t0
+        stats.collect = cinfo.stats
+        stats.payload_bytes = len(payload)
+        stats.data_bytes = cinfo.stats.data_bytes
+        stats.n_blocks = cinfo.stats.n_blocks
+
+        stats.tx_time = channel.send(payload)
+        received = channel.recv()
+
+        dest = waiting if waiting is not None else Process(
+            process.program, dest_arch, name=dest_name or f"{process.name}'"
+        )
+        t0 = time.perf_counter()
+        rinfo = restore_state(process.program, received, dest)
+        stats.restore_time = time.perf_counter() - t0
+        stats.restore = rinfo.stats
+
+        # the migrating process terminates after successful transmission
+        process.frames.clear()
+        process.exited = True
+        process.migration_pending = False
+        return dest, stats

@@ -1,0 +1,64 @@
+"""Per-migration accounting: the numbers the paper's evaluation reports.
+
+"We define process migration time as the total of data collection
+(Collect), transmission (Tx), and restoration (Restore) time." (§4.2)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.msr.collect import CollectStats
+from repro.msr.restore import RestoreStats
+
+__all__ = ["MigrationStats"]
+
+
+@dataclass
+class MigrationStats:
+    """One migration event's measurements."""
+
+    #: wall-clock data collection time (seconds) — Table 1 "Collect"
+    collect_time: float = 0.0
+    #: modeled wire transfer time (seconds) — Table 1 "Tx"
+    tx_time: float = 0.0
+    #: wall-clock restoration time (seconds) — Table 1 "Restore"
+    restore_time: float = 0.0
+    #: total payload bytes on the wire
+    payload_bytes: int = 0
+    #: Σ Dᵢ — source-arch bytes of all migrated blocks (§4.2)
+    data_bytes: int = 0
+    #: number of MSR nodes migrated (n in §4.2)
+    n_blocks: int = 0
+    source_arch: str = ""
+    dest_arch: str = ""
+    n_frames: int = 0
+    collect: Optional[CollectStats] = None
+    restore: Optional[RestoreStats] = None
+
+    @property
+    def migration_time(self) -> float:
+        """Collect + Tx + Restore — the paper's process migration time."""
+        return self.collect_time + self.tx_time + self.restore_time
+
+    def row(self) -> dict:
+        """A Table 1-shaped row."""
+        return {
+            "Collect": self.collect_time,
+            "Tx": self.tx_time,
+            "Restore": self.restore_time,
+            "Total": self.migration_time,
+            "Bytes": self.payload_bytes,
+            "Blocks": self.n_blocks,
+        }
+
+    def __str__(self) -> str:
+        return (
+            f"migration {self.source_arch} -> {self.dest_arch}: "
+            f"collect {self.collect_time * 1e3:.2f} ms, "
+            f"tx {self.tx_time * 1e3:.2f} ms, "
+            f"restore {self.restore_time * 1e3:.2f} ms "
+            f"({self.payload_bytes} wire bytes, {self.n_blocks} blocks, "
+            f"{self.n_frames} frames)"
+        )

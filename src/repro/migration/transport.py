@@ -1,0 +1,192 @@
+"""Network transport with a latency + bandwidth cost model.
+
+The paper's heterogeneity experiments ran over a 10 Mbit/s Ethernet and
+the Table 1 / Figure 2 timings over a 100 Mbit/s Ethernet between two
+Ultra 5 workstations.  We substitute an in-memory byte channel whose
+*modeled* transfer time is
+
+    tx = latency + payload_bits / bandwidth
+
+which is all a reliable bulk transfer contributes to migration time (the
+paper's Tx column).  Collection and restoration remain measured wall
+clock — only the wire is modeled (see DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+__all__ = [
+    "Link",
+    "Channel",
+    "FileChannel",
+    "SocketChannel",
+    "ETHERNET_10M",
+    "ETHERNET_100M",
+    "GIGABIT",
+    "LOOPBACK",
+]
+
+
+@dataclass(frozen=True)
+class Link:
+    """A network link between two hosts."""
+
+    name: str
+    bandwidth_bps: float  # bits per second
+    latency_s: float = 0.001
+
+    def transfer_time(self, nbytes: int) -> float:
+        """Modeled one-way transfer time for *nbytes* of payload."""
+        return self.latency_s + (nbytes * 8.0) / self.bandwidth_bps
+
+
+#: the paper's heterogeneous testbed interconnect (§4.1)
+ETHERNET_10M = Link("ethernet-10M", 10e6, latency_s=0.002)
+#: the paper's homogeneous testbed interconnect (§4.2, Table 1)
+ETHERNET_100M = Link("ethernet-100M", 100e6, latency_s=0.001)
+GIGABIT = Link("gigabit", 1e9, latency_s=0.0005)
+LOOPBACK = Link("loopback", 1e12, latency_s=0.0)
+
+
+class Channel:
+    """A reliable, ordered byte channel over one :class:`Link`.
+
+    ``send`` enqueues the payload and returns the modeled transfer time;
+    ``recv`` dequeues in FIFO order.  ``bytes_sent`` accumulates for
+    reporting.
+    """
+
+    def __init__(self, link: Link) -> None:
+        self.link = link
+        self._queue: deque[bytes] = deque()
+        self.bytes_sent = 0
+        self.messages_sent = 0
+
+    def send(self, payload: bytes) -> float:
+        """Transmit *payload*; returns the modeled wire time in seconds."""
+        self._queue.append(payload)
+        self.bytes_sent += len(payload)
+        self.messages_sent += 1
+        return self.link.transfer_time(len(payload))
+
+    def recv(self) -> bytes:
+        """Receive the next payload (raises if none pending)."""
+        if not self._queue:
+            raise RuntimeError("channel empty: nothing was sent")
+        return self._queue.popleft()
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)
+
+
+class FileChannel:
+    """Transfer via a shared file system (the paper's second layer-1
+    option: "using either TCP protocol, shared file systems, or remote
+    file transfer").  Each ``send`` writes one length-prefixed record to
+    the spool file; ``recv`` consumes records in order."""
+
+    def __init__(self, path, link: Link = ETHERNET_10M) -> None:
+        import pathlib
+
+        self.path = pathlib.Path(path)
+        self.link = link
+        self._read_offset = 0
+        self.bytes_sent = 0
+        self.messages_sent = 0
+        self.path.write_bytes(b"")
+
+    def send(self, payload: bytes) -> float:
+        import struct as _struct
+
+        with self.path.open("ab") as fh:
+            fh.write(_struct.pack(">I", len(payload)))
+            fh.write(payload)
+        self.bytes_sent += len(payload)
+        self.messages_sent += 1
+        return self.link.transfer_time(len(payload))
+
+    def recv(self) -> bytes:
+        import struct as _struct
+
+        data = self.path.read_bytes()
+        if self._read_offset + 4 > len(data):
+            raise RuntimeError("file channel empty: nothing was sent")
+        (n,) = _struct.unpack_from(">I", data, self._read_offset)
+        start = self._read_offset + 4
+        if start + n > len(data):
+            raise RuntimeError("file channel truncated")
+        self._read_offset = start + n
+        return data[start : start + n]
+
+    @property
+    def pending(self) -> int:
+        import struct as _struct
+
+        data = self.path.read_bytes()
+        off, count = self._read_offset, 0
+        while off + 4 <= len(data):
+            (n,) = _struct.unpack_from(">I", data, off)
+            off += 4 + n
+            count += 1
+        return count
+
+
+class SocketChannel:
+    """Transfer over a real local socket pair (the paper's TCP option).
+
+    The bytes genuinely cross a kernel socket; the *reported* time still
+    comes from the link model so that measurements stay comparable with
+    the in-memory channel (a loopback socket says nothing about a
+    10 Mb/s Ethernet).
+
+    Both endpoints live in one thread, so ``send`` only queues the
+    payload; ``recv`` pumps it through the socket in chunks small enough
+    never to fill the kernel buffer (an 8 MB matrix must not deadlock a
+    single-threaded test).
+    """
+
+    _CHUNK = 32768
+
+    def __init__(self, link: Link = ETHERNET_10M) -> None:
+        import socket
+
+        self.link = link
+        self._tx, self._rx = socket.socketpair()
+        self._outgoing: deque[bytes] = deque()
+        self.bytes_sent = 0
+        self.messages_sent = 0
+
+    def send(self, payload: bytes) -> float:
+        self._outgoing.append(bytes(payload))
+        self.bytes_sent += len(payload)
+        self.messages_sent += 1
+        return self.link.transfer_time(len(payload))
+
+    def recv(self) -> bytes:
+        if not self._outgoing:
+            raise RuntimeError("socket channel empty: nothing was sent")
+        payload = self._outgoing.popleft()
+        out = bytearray()
+        view = memoryview(payload)
+        for start in range(0, len(view), self._CHUNK):
+            chunk = view[start : start + self._CHUNK]
+            self._tx.sendall(chunk)
+            got = 0
+            while got < len(chunk):
+                piece = self._rx.recv(len(chunk) - got)
+                if not piece:
+                    raise RuntimeError("socket channel closed mid-message")
+                out += piece
+                got += len(piece)
+        return bytes(out)
+
+    @property
+    def pending(self) -> int:
+        return len(self._outgoing)
+
+    def close(self) -> None:
+        self._tx.close()
+        self._rx.close()

@@ -1,0 +1,143 @@
+"""Data collection: ``Save_pointer`` and ``Save_variable``.
+
+Paper §3.1: "Save_pointer initiates a depth-first traversal through
+connected components of the MSR graph.  It examines memory blocks that
+are referred to by pointers and then invokes type-specific saving
+functions to save their contents.  During the traversal, visited memory
+blocks are marked so that they are not saved again."
+
+The collector walks live pointers depth-first; the first visit of a
+block emits a ``BLOCK`` record (header, machine-independent id, type,
+then contents converted cell-by-cell or via the bulk XDR path), every
+later reference emits only a ``REF``.  Pointers inside block contents
+recurse, which reproduces exactly the traversal order the paper's §3.2
+example walks through (v11 → e8 → v6 → e6 → v10, backtrack …).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arch import xdr
+from repro.arch.buffers import WriteBuffer
+from repro.msr.msrlt import MemoryBlock, MSRLTError
+from repro.msr.ti import TypeInfo
+from repro.msr.wire import FLAG_FLAT, TAG_BLOCK, TAG_NULL, TAG_REF, write_logical
+
+__all__ = ["CollectStats", "Collector", "Save_pointer", "Save_variable"]
+
+
+@dataclass
+class CollectStats:
+    """Accounting for one collection run (feeds Table 1 / Figure 2)."""
+
+    n_blocks: int = 0
+    n_refs: int = 0
+    n_nulls: int = 0
+    n_flat_blocks: int = 0
+    data_bytes: int = 0  # Σ Dᵢ over saved blocks (source-arch bytes)
+    wire_bytes: int = 0
+
+
+class Collector:
+    """One data-collection pass over a process's live state."""
+
+    def __init__(self, process, buf: WriteBuffer) -> None:
+        self.process = process
+        self.memory = process.memory
+        self.msrlt = process.msrlt
+        self.ti = process.ti
+        self.buf = buf
+        self._visited: set[tuple] = set()
+        self.stats = CollectStats()
+
+    # -- public entry points (paper interface names) --------------------------------
+
+    def save_variable(self, block: MemoryBlock) -> None:
+        """``Save_variable(&var)`` — collect the variable's own block."""
+        self._save_target(block, byte_off=0)
+
+    def save_pointer(self, value: int) -> None:
+        """``Save_pointer(p)`` — collect the target of pointer value *p*."""
+        if value == 0:
+            self.buf.write_u8(TAG_NULL)
+            self.buf.count_tag("NULL")
+            self.stats.n_nulls += 1
+            return
+        try:
+            block, off = self.msrlt.lookup_addr(value)
+        except MSRLTError:
+            raise MSRLTError(
+                f"pointer {value:#x} does not refer to any live memory block; "
+                "the program stored a dangling or fabricated address, which is "
+                "migration-unsafe"
+            ) from None
+        self._save_target(block, off)
+
+    # -- traversal ---------------------------------------------------------------------
+
+    def _save_target(self, block: MemoryBlock, byte_off: int) -> None:
+        info = self.ti.info_for(block.elem_type)
+        ordinal = info.byte_to_ordinal(byte_off, block.count)
+        if block.logical in self._visited:
+            self.buf.write_u8(TAG_REF)
+            self.buf.count_tag("REF")
+            write_logical(self.buf, block.logical)
+            self.buf.write_u32(ordinal)
+            self.stats.n_refs += 1
+            return
+
+        # mark BEFORE saving contents: cycles degrade to REFs
+        self._visited.add(block.logical)
+        self.buf.write_u8(TAG_BLOCK)
+        self.buf.count_tag("BLOCK")
+        write_logical(self.buf, block.logical)
+        self.buf.write_u32(info.type_id)
+        self.buf.write_u32(block.count)
+        self.buf.write_u32(ordinal)
+        self.stats.n_blocks += 1
+        self.stats.data_bytes += block.size
+        self._save_contents(block, info)
+
+    def _save_contents(self, block: MemoryBlock, info: TypeInfo) -> None:
+        if info.flat_kind is not None:
+            # bulk path: one vectorized encode for the whole block
+            self.buf.write_u8(FLAG_FLAT)
+            n = info.cells_in(block.count)
+            self.buf.write(self.ti.save_flat(self.memory, block.addr, info.flat_kind, n))
+            self.stats.n_flat_blocks += 1
+            return
+
+        self.buf.write_u8(0)
+        memory = self.memory
+        buf = self.buf
+        addr = block.addr
+        stride = info.unit_size
+        cells = info.cells
+        for unit in range(info.units_in(block.count)):
+            base = addr + unit * stride
+            for cell in cells:
+                if cell.kind == "ptr":
+                    self.save_pointer(memory.load("ptr", base + cell.offset))
+                else:
+                    buf.write(xdr.encode(cell.kind, memory.load(cell.kind, base + cell.offset)))
+
+    # -- bookkeeping --------------------------------------------------------------------
+
+    def finish(self) -> CollectStats:
+        """Finalize statistics (call once after all saves)."""
+        self.stats.wire_bytes = self.buf.nbytes
+        return self.stats
+
+
+# -- paper-style free-function interface --------------------------------------------
+
+
+def Save_variable(collector: Collector, block: MemoryBlock) -> None:
+    """Paper-style alias for :meth:`Collector.save_variable`."""
+    collector.save_variable(block)
+
+
+def Save_pointer(collector: Collector, value: int) -> None:
+    """Paper-style alias for :meth:`Collector.save_pointer`."""
+    collector.save_pointer(value)

@@ -1,0 +1,234 @@
+"""The MSR Lookup Table (MSRLT).
+
+The paper §3.1: "At runtime, the MSRLT data structure is created in
+process memory space to keep track of memory blocks.  It also provides
+machine-independent identification to the memory blocks and supports
+memory block search during data collection and restoration operations.
+The MSRLT works as a mapping table which supports address translation
+between the machine-specific and machine-independent memory address."
+
+A *memory block* is one MSR vertex: a global variable, a local variable
+of some activation record, or one heap allocation.  Its machine-
+independent :class:`LogicalId` is
+
+- ``(GLOBAL, index, 0)`` — the global's declaration index,
+- ``(STACK, frame_depth, var_index)`` — position in the call chain and
+  the variable's slot in the function's flat variable list,
+- ``(HEAP, serial, 0)`` — the allocation serial number on the *source*
+  host (the restorer maps source serials to fresh destination blocks).
+
+All three are identical on every architecture for the same program at
+the same execution point, which is what makes them transportable.
+
+Address→block search uses a sorted-address array per segment with binary
+search — O(log n) per pointer lookup, giving the paper's O(n·log n)
+total search complexity for collection (§4.2).  Heap registrations are
+typically in increasing address order (bump allocation), so the insort
+is amortized O(1); logical-id→block lookup is a dict, giving the O(n)
+total MSRLT *update* complexity of restoration.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right, insort
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.clang.ctypes import CType, TypeLayout
+
+__all__ = ["BlockKind", "LogicalId", "MemoryBlock", "MSRLT", "MSRLTError"]
+
+
+class MSRLTError(Exception):
+    """Lookup failure — e.g. a pointer into unregistered memory."""
+
+
+class BlockKind:
+    """Logical-id kind codes (stable wire values)."""
+
+    GLOBAL = 0
+    STACK = 1
+    HEAP = 2
+
+    NAMES = {0: "global", 1: "stack", 2: "heap"}
+
+
+#: (kind, a, b) — see module docstring
+LogicalId = tuple
+
+
+@dataclass
+class MemoryBlock:
+    """One MSR vertex: a typed, contiguous run of simulated memory."""
+
+    addr: int
+    elem_type: CType
+    count: int
+    size: int  # bytes on this architecture
+    logical: LogicalId
+    #: source-level name, for diagnostics and the MSR graph model
+    name: str = ""
+
+    @property
+    def end(self) -> int:
+        return self.addr + self.size
+
+    def contains(self, addr: int) -> bool:
+        # one-past-the-end addresses belong to this block (C pointer rules)
+        return self.addr <= addr <= self.end
+
+    def __str__(self) -> str:
+        kind = BlockKind.NAMES[self.logical[0]]
+        label = self.name or f"{kind}{self.logical[1:]}"
+        return f"<block {label} @{self.addr:#x} {self.elem_type} x{self.count}>"
+
+
+class MSRLT:
+    """Registry of memory blocks for one process on one architecture."""
+
+    def __init__(self, layout: TypeLayout) -> None:
+        self.layout = layout
+        self._by_logical: dict[LogicalId, MemoryBlock] = {}
+        # sorted parallel arrays for address search
+        self._starts: list[int] = []
+        self._blocks: list[MemoryBlock] = []
+        self._heap_serial = 0
+        #: counters reported by the complexity benchmarks (E5)
+        self.n_searches = 0
+        self.n_registrations = 0
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    # -- registration -------------------------------------------------------------
+
+    def _insert(self, block: MemoryBlock) -> MemoryBlock:
+        if block.logical in self._by_logical:
+            raise MSRLTError(f"duplicate registration of {block.logical}")
+        self._by_logical[block.logical] = block
+        if self._starts and block.addr > self._starts[-1]:
+            self._starts.append(block.addr)  # common fast path (bump allocator)
+            self._blocks.append(block)
+        else:
+            i = bisect_right(self._starts, block.addr)
+            self._starts.insert(i, block.addr)
+            self._blocks.insert(i, block)
+        self.n_registrations += 1
+        return block
+
+    def register_global(
+        self, index: int, addr: int, ctype: CType, name: str = ""
+    ) -> MemoryBlock:
+        """Register one global variable (done at process load)."""
+        size = self.layout.sizeof(ctype)
+        return self._insert(
+            MemoryBlock(
+                addr=addr,
+                elem_type=ctype,
+                count=1,
+                size=size,
+                logical=(BlockKind.GLOBAL, index, 0),
+                name=name,
+            )
+        )
+
+    def register_stack(
+        self, frame_depth: int, var_index: int, addr: int, ctype: CType, name: str = ""
+    ) -> MemoryBlock:
+        """Register one local variable of the activation record at
+        *frame_depth* (0 = outermost frame)."""
+        size = self.layout.sizeof(ctype)
+        return self._insert(
+            MemoryBlock(
+                addr=addr,
+                elem_type=ctype,
+                count=1,
+                size=size,
+                logical=(BlockKind.STACK, frame_depth, var_index),
+                name=name,
+            )
+        )
+
+    def register_heap(
+        self, addr: int, elem_type: CType, count: int, serial: Optional[int] = None
+    ) -> MemoryBlock:
+        """Register one heap allocation (done inside ``malloc``).
+
+        *serial* is normally assigned locally; the restorer passes the
+        source host's serial through so that logical ids keep matching if
+        the restored process migrates again later.
+        """
+        if serial is None:
+            serial = self._heap_serial
+            self._heap_serial += 1
+        else:
+            self._heap_serial = max(self._heap_serial, serial + 1)
+        size = self.layout.sizeof(elem_type) * count
+        return self._insert(
+            MemoryBlock(
+                addr=addr,
+                elem_type=elem_type,
+                count=count,
+                size=size,
+                logical=(BlockKind.HEAP, serial, 0),
+            )
+        )
+
+    def unregister(self, addr: int) -> None:
+        """Remove the block starting exactly at *addr* (``free``)."""
+        i = bisect_right(self._starts, addr) - 1
+        if i < 0 or self._starts[i] != addr:
+            raise MSRLTError(f"no block registered at {addr:#x}")
+        block = self._blocks.pop(i)
+        self._starts.pop(i)
+        del self._by_logical[block.logical]
+
+    def drop_stack_blocks(self) -> None:
+        """Remove all stack-kind blocks (collection-time registrations)."""
+        keep = [b for b in self._blocks if b.logical[0] != BlockKind.STACK]
+        self._blocks = keep
+        self._starts = [b.addr for b in keep]
+        self._by_logical = {b.logical: b for b in keep}
+
+    # -- lookup -----------------------------------------------------------------------
+
+    def lookup_addr(self, addr: int) -> tuple[MemoryBlock, int]:
+        """Map a machine address to ``(block, byte offset within block)``.
+
+        This is the MSRLT *search* of the paper's collection complexity:
+        a binary search over registered block start addresses.
+        """
+        self.n_searches += 1
+        i = bisect_right(self._starts, addr) - 1
+        if i >= 0:
+            block = self._blocks[i]
+            if block.contains(addr):
+                return block, addr - block.addr
+            # one-past-end of the previous block when the next block starts
+            # immediately after: prefer the block that starts at addr
+            if i + 1 < len(self._starts) and self._starts[i + 1] == addr:
+                return self._blocks[i + 1], 0
+        raise MSRLTError(f"address {addr:#x} is not inside any registered block")
+
+    def lookup_logical(self, logical: LogicalId) -> MemoryBlock:
+        """Map a machine-independent id back to its block (restoration)."""
+        block = self._by_logical.get(tuple(logical))
+        if block is None:
+            raise MSRLTError(f"no block with logical id {logical}")
+        return block
+
+    def has_logical(self, logical: LogicalId) -> bool:
+        """Whether a block with this logical id is registered."""
+        return tuple(logical) in self._by_logical
+
+    def blocks(self) -> list[MemoryBlock]:
+        """All registered blocks in address order (copy)."""
+        return list(self._blocks)
+
+    def heap_blocks(self) -> list[MemoryBlock]:
+        """All heap-kind blocks, in address order."""
+        return [b for b in self._blocks if b.logical[0] == BlockKind.HEAP]
+
+    def total_bytes(self) -> int:
+        """Σ Dᵢ — the total size of all registered blocks (§4.2)."""
+        return sum(b.size for b in self._blocks)

@@ -1,0 +1,174 @@
+"""Data restoration: ``Restore_pointer`` and ``Restore_variable``.
+
+Paper §3.1: "At the destination machine, the function Restore_pointer is
+called recursively to rebuild memory blocks in memory space from the
+output of Save_pointer. … The functions consult the MSRLT data structures
+for appropriate memory locations and restore the memory block contents
+there."
+
+The restorer reads records sequentially (which *is* the source's DFS
+order), maintains the source-logical-id → destination-block mapping, and
+returns destination machine addresses for every pointer — the address
+translation the MSRLT exists for.  Global and stack blocks map onto the
+blocks the destination process already registered (same program, same
+logical ids); heap blocks are allocated on demand — this asymmetry is why
+restoration is O(n) in the number of blocks where collection's search is
+O(n log n) (§4.2, visible in Figure 2(b)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch import xdr
+from repro.arch.buffers import ReadBuffer
+from repro.msr.msrlt import BlockKind, MemoryBlock
+from repro.msr.ti import TypeInfo
+from repro.msr.wire import FLAG_FLAT, TAG_BLOCK, TAG_NULL, TAG_REF, read_logical
+
+__all__ = ["RestoreStats", "Restorer", "Restore_pointer", "Restore_variable"]
+
+
+class RestoreError(Exception):
+    """Malformed or inconsistent migration payload."""
+
+
+@dataclass
+class RestoreStats:
+    """Accounting for one restoration run."""
+
+    n_blocks: int = 0
+    n_refs: int = 0
+    n_nulls: int = 0
+    n_heap_allocs: int = 0
+    data_bytes: int = 0  # destination-arch bytes written
+
+
+class Restorer:
+    """One data-restoration pass into a destination process."""
+
+    def __init__(self, process, buf: ReadBuffer) -> None:
+        self.process = process
+        self.memory = process.memory
+        self.msrlt = process.msrlt
+        self.ti = process.ti
+        self.buf = buf
+        #: source logical id -> destination block (the MSRLT update)
+        self._mapping: dict[tuple, MemoryBlock] = {}
+        self.stats = RestoreStats()
+
+    # -- public entry points (paper interface names) ------------------------------------
+
+    def restore_variable(self, block: MemoryBlock) -> None:
+        """``Restore_variable(&var)`` — fill the variable's own block."""
+        addr = self.restore_pointer(expected=block)
+        del addr
+
+    def restore_pointer(self, expected: MemoryBlock | None = None) -> int:
+        """``Restore_pointer()`` — read one record, rebuild its target if
+        needed, and return the *destination* address it denotes."""
+        tag = self.buf.read_u8()
+        if tag == TAG_NULL:
+            self.stats.n_nulls += 1
+            return 0
+
+        if tag == TAG_REF:
+            logical = read_logical(self.buf)
+            ordinal = self.buf.read_u32()
+            block = self._mapping.get(logical)
+            if block is None:
+                raise RestoreError(f"REF to unseen block {logical}")
+            self.stats.n_refs += 1
+            info = self.ti.info_for(block.elem_type)
+            return block.addr + info.ordinal_to_byte(ordinal, block.count)
+
+        if tag != TAG_BLOCK:
+            raise RestoreError(f"bad record tag {tag}")
+
+        logical = read_logical(self.buf)
+        type_id = self.buf.read_u32()
+        count = self.buf.read_u32()
+        ordinal = self.buf.read_u32()
+        info = self.ti.info(type_id)
+
+        block = self._resolve_block(logical, info, count)
+        if expected is not None and block.logical != expected.logical:
+            raise RestoreError(
+                f"record for {logical} arrived where {expected.logical} was expected"
+            )
+        # register the mapping BEFORE contents: cycles arrive as REFs
+        self._mapping[logical] = block
+        self.stats.n_blocks += 1
+        self.stats.data_bytes += block.size
+        self._restore_contents(block, info)
+        return block.addr + info.ordinal_to_byte(ordinal, block.count)
+
+    # -- block resolution ------------------------------------------------------------------
+
+    def _resolve_block(self, logical: tuple, info: TypeInfo, count: int) -> MemoryBlock:
+        kind = logical[0]
+        if kind in (BlockKind.GLOBAL, BlockKind.STACK):
+            # structural identity: the destination process registered the
+            # same block under the same machine-independent id
+            block = self.msrlt.lookup_logical(logical)
+            # reject size disagreements (corrupt or mismatched payloads
+            # must never overwrite memory adjacent to the block)
+            if info.size * count != block.size:
+                raise RestoreError(
+                    f"record for {logical} claims {info.size * count} bytes "
+                    f"but the destination block is {block.size} bytes"
+                )
+            return block
+        if kind == BlockKind.HEAP:
+            self.stats.n_heap_allocs += 1
+            return self.process.restore_heap_block(info.ctype, count, serial=logical[1])
+        raise RestoreError(f"unknown block kind {kind}")
+
+    # -- contents -----------------------------------------------------------------------------
+
+    def _restore_contents(self, block: MemoryBlock, info: TypeInfo) -> None:
+        flags = self.buf.read_u8()
+        n_cells = info.cells_in(block.count)
+
+        if flags & FLAG_FLAT:
+            # the wire is a dense run of one primitive kind; find that kind
+            # from the type (flatness is structural, but be defensive about
+            # exotic architectures where the destination layout is padded)
+            kind = info.cells[0].kind
+            raw = self.buf.read(n_cells * xdr.wire_sizeof(kind))
+            if info.flat_kind is not None:
+                self.ti.restore_flat(self.memory, block.addr, kind, n_cells, raw)
+            else:  # pragma: no cover - no supported arch pair hits this
+                values = xdr.decode_array(kind, raw, n_cells)
+                for i in range(info.units_in(block.count)):
+                    base = block.addr + i * info.unit_size
+                    for j, cell in enumerate(info.cells):
+                        self.memory.store(
+                            cell.kind, base + cell.offset, values[i * info.cell_count + j].item()
+                        )
+            return
+
+        memory = self.memory
+        buf = self.buf
+        for unit in range(info.units_in(block.count)):
+            base = block.addr + unit * info.unit_size
+            for cell in info.cells:
+                if cell.kind == "ptr":
+                    memory.store("ptr", base + cell.offset, self.restore_pointer())
+                else:
+                    width = xdr.wire_sizeof(cell.kind)
+                    value = xdr.decode(cell.kind, buf.read(width))
+                    memory.store(cell.kind, base + cell.offset, value)
+
+
+# -- paper-style free-function interface ---------------------------------------------
+
+
+def Restore_variable(restorer: Restorer, block: MemoryBlock) -> None:
+    """Paper-style alias for :meth:`Restorer.restore_variable`."""
+    restorer.restore_variable(block)
+
+
+def Restore_pointer(restorer: Restorer) -> int:
+    """Paper-style alias for :meth:`Restorer.restore_pointer`."""
+    return restorer.restore_pointer()

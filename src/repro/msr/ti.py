@@ -1,0 +1,188 @@
+"""The Type Information (TI) table.
+
+Paper §3.1: "The TI contains type information of every memory block in a
+process including type-specific functions to transform data of each type
+between machine-specific and machine-independent formats.  We call these
+functions the memory block saving and restoring functions."
+
+A :class:`TypeInfo` is the per-(type, architecture) record.  Array types
+are decomposed into ``repeat × unit`` (the innermost non-array element),
+so the record stays O(sizeof(unit)) even for an 8 MB matrix: a block of
+``double[1000*1000]`` has ``unit=double, repeat=1000000, cells=(1,)``.
+
+The performance-critical classification is the *flat primitive kind*:
+when a type is a homogeneous dense run of one primitive (``double[n]``,
+``int``, ``struct {int a; int b;}``) its blocks take the **bulk path** —
+a single vectorized NumPy read/byteswap instead of a per-cell Python
+loop.  This keeps collecting an 8 MB linpack matrix at memory-bandwidth
+speed (Figure 2(a)'s linear regime); pointer-bearing blocks go through
+the general cell-by-cell saving function.
+
+One TI table is shared by every process of a program on one architecture
+(it is a pure cache over the type graph).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.arch import xdr
+from repro.clang.ctypes import (
+    ArrayType,
+    Cell,
+    CType,
+    PointerType,
+    PrimType,
+    StructType,
+    TypeLayout,
+    type_key,
+)
+
+__all__ = ["TypeInfo", "TITable", "flat_prim_kind", "unit_of"]
+
+
+def unit_of(ctype: CType) -> tuple[CType, int]:
+    """Decompose *ctype* into ``(unit, repeat)`` — the innermost non-array
+    element type and how many of them the type contains."""
+    repeat = 1
+    while isinstance(ctype, ArrayType):
+        repeat *= ctype.length
+        ctype = ctype.elem
+    return ctype, repeat
+
+
+def flat_prim_kind(ctype: CType, layout: TypeLayout) -> Optional[str]:
+    """The single primitive kind *ctype* is a dense array of, if any.
+
+    Returns e.g. ``"double"`` for ``double`` or ``double[100]``, or
+    ``None`` when the type contains pointers, mixed kinds, or padding
+    (then the general cell path must be used).  Computed structurally on
+    the *unit* type, so it is O(unit fields) even for huge arrays.
+    """
+    unit, _repeat = unit_of(ctype)
+    if isinstance(unit, PrimType):
+        return unit.kind
+    if not isinstance(unit, StructType):
+        return None  # pointers and anything exotic
+    cells = layout.cells(unit)
+    if not cells:
+        return None
+    kind = cells[0].kind
+    if kind == "ptr" or any(c.kind != kind for c in cells):
+        return None
+    prim_size = layout.arch.sizeof(kind)
+    if layout.sizeof(unit) != len(cells) * prim_size:
+        return None  # tail padding
+    return kind if all(c.offset == i * prim_size for i, c in enumerate(cells)) else None
+
+
+@dataclass
+class TypeInfo:
+    """Per-(type, architecture) saving/restoring metadata.
+
+    ``cells`` describe one *unit*; a block of this type with count *c*
+    holds ``c * repeat`` units laid out back to back.
+    """
+
+    ctype: CType
+    type_id: int
+    size: int  # sizeof(ctype) on this architecture
+    unit: CType
+    unit_size: int
+    repeat: int  # units per single ctype value
+    cells: tuple[Cell, ...]  # cells of ONE unit
+    cell_count: int  # len(cells)
+    #: homogeneous dense primitive kind (bulk path) or None (cell path)
+    flat_kind: Optional[str]
+    #: True when the unit contains at least one pointer cell
+    has_pointers: bool
+
+    def units_in(self, count: int) -> int:
+        """Number of units in a block of *count* elements of this type."""
+        return count * self.repeat
+
+    def cells_in(self, count: int) -> int:
+        """Number of primitive leaves in a block of *count* elements."""
+        return count * self.repeat * self.cell_count
+
+    def ordinal_to_byte(self, ordinal: int, count: int) -> int:
+        """Byte offset of cell *ordinal* within a block of *count* elements."""
+        total = self.cells_in(count)
+        if ordinal == total:  # one past the end
+            return self.units_in(count) * self.unit_size
+        unit_idx, within = divmod(ordinal, self.cell_count)
+        return unit_idx * self.unit_size + self.cells[within].offset
+
+    def byte_to_ordinal(self, offset: int, count: int) -> int:
+        """Cell ordinal of byte *offset* within a block of *count* elements."""
+        if offset == self.units_in(count) * self.unit_size:
+            return self.cells_in(count)
+        unit_idx, within = divmod(offset, self.unit_size)
+        lo, hi = 0, len(self.cells)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self.cells[mid].offset < within:
+                lo = mid + 1
+            else:
+                hi = mid
+        if lo < len(self.cells) and self.cells[lo].offset == within:
+            return unit_idx * self.cell_count + lo
+        raise ValueError(
+            f"byte offset {offset} in {self.ctype} does not address a cell "
+            "(pointer into padding cannot be migrated)"
+        )
+
+
+class TITable:
+    """All :class:`TypeInfo` records for one (program, architecture).
+
+    Shared by every process of the program on that architecture — the
+    table is a pure cache over the (immutable) type graph.
+    """
+
+    def __init__(self, program, layout: TypeLayout) -> None:
+        self.program = program
+        self.layout = layout
+        self._infos: dict[int, TypeInfo] = {}
+
+    def info(self, type_id: int) -> TypeInfo:
+        """The (cached) TypeInfo record for wire type id *type_id*."""
+        ti = self._infos.get(type_id)
+        if ti is None:
+            ctype = self.program.type_by_id(type_id)
+            unit, repeat = unit_of(ctype)
+            cells = self.layout.cells(unit)
+            ti = TypeInfo(
+                ctype=ctype,
+                type_id=type_id,
+                size=self.layout.sizeof(ctype),
+                unit=unit,
+                unit_size=self.layout.sizeof(unit),
+                repeat=repeat,
+                cells=cells,
+                cell_count=len(cells),
+                flat_kind=flat_prim_kind(ctype, self.layout),
+                has_pointers=any(c.kind == "ptr" for c in cells),
+            )
+            self._infos[type_id] = ti
+        return ti
+
+    def info_for(self, ctype: CType) -> TypeInfo:
+        """The TypeInfo record for *ctype* (must be registered)."""
+        return self.info(self.program.type_id(ctype))
+
+    # -- the memory block saving/restoring functions ---------------------------------
+
+    def save_flat(self, memory, block_addr: int, kind: str, n: int) -> bytes:
+        """Bulk path: encode *n* primitives of *kind* at *block_addr* into
+        the machine-independent format in one vectorized operation."""
+        values = memory.read_array(kind, block_addr, n)
+        return xdr.encode_array(kind, values)
+
+    def restore_flat(self, memory, block_addr: int, kind: str, n: int, data) -> None:
+        """Bulk path inverse: decode and write *n* primitives."""
+        values = xdr.decode_array(kind, data, n)
+        memory.write_array(kind, block_addr, values)

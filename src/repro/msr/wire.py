@@ -1,0 +1,111 @@
+"""The machine-independent migration payload format.
+
+Layout (all integers big-endian, strings u16-length-prefixed UTF-8):
+
+.. code-block:: text
+
+    header:
+        u32  magic          'MIGR'
+        u8   version
+        str  source arch name
+        u16  n_frames
+        n_frames x (u32 func_index, u32 resume_pc)   # outermost first
+    frame data (innermost frame first, matching the paper's example):
+        per frame: u16 n_live, n_live x (u16 var_index, record)
+    globals:
+        u32 n_globals, n_globals x (u32 global_index, record)
+
+A *record* describes one pointer target or variable (§3.2's "pointer
+header and offset" format):
+
+.. code-block:: text
+
+    record := NULL
+            | REF   logical ordinal
+            | BLOCK logical type_id count ordinal contents
+    logical := u8 kind, u32 a, u32 b        # the pointer header
+    ordinal := u32                          # element offset in the block
+    contents := u8 FLAG_FLAT, raw xdr bytes           # dense primitive runs
+              | u8 0, per-cell (xdr scalar | record)  # general blocks
+
+A ``BLOCK`` appears for the first (depth-first) visit of each memory
+block; every later reference is a ``REF``.  Cycles are safe because the
+restorer registers the block mapping *before* reading its contents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.buffers import ReadBuffer, WriteBuffer
+
+__all__ = [
+    "MAGIC",
+    "VERSION",
+    "TAG_NULL",
+    "TAG_REF",
+    "TAG_BLOCK",
+    "FLAG_FLAT",
+    "WireHeader",
+    "write_header",
+    "read_header",
+    "write_logical",
+    "read_logical",
+]
+
+MAGIC = 0x4D494752  # 'MIGR'
+VERSION = 1
+
+TAG_NULL = 0
+TAG_REF = 1
+TAG_BLOCK = 2
+
+FLAG_FLAT = 1
+
+
+@dataclass
+class WireHeader:
+    """Execution-state header of a migration payload."""
+
+    source_arch: str
+    #: (function index, resume pc) outermost frame first
+    frames: list[tuple[int, int]]
+    version: int = VERSION
+
+
+def write_header(buf: WriteBuffer, header: WireHeader) -> None:
+    """Serialize the payload header (magic, arch, frame table)."""
+    buf.write_u32(MAGIC)
+    buf.write_u8(header.version)
+    buf.write_str(header.source_arch)
+    buf.write_u16(len(header.frames))
+    for func_idx, resume_pc in header.frames:
+        buf.write_u32(func_idx)
+        buf.write_u32(resume_pc)
+
+
+def read_header(buf: ReadBuffer) -> WireHeader:
+    """Parse and validate the payload header."""
+    magic = buf.read_u32()
+    if magic != MAGIC:
+        raise ValueError(f"bad migration payload magic {magic:#x}")
+    version = buf.read_u8()
+    if version != VERSION:
+        raise ValueError(f"unsupported payload version {version}")
+    source_arch = buf.read_str()
+    n = buf.read_u16()
+    frames = [(buf.read_u32(), buf.read_u32()) for _ in range(n)]
+    return WireHeader(source_arch=source_arch, frames=frames, version=version)
+
+
+def write_logical(buf: WriteBuffer, logical: tuple) -> None:
+    """Serialize a machine-independent block id (the pointer header)."""
+    kind, a, b = logical
+    buf.write_u8(kind)
+    buf.write_u32(a)
+    buf.write_u32(b)
+
+
+def read_logical(buf: ReadBuffer) -> tuple:
+    """Parse a machine-independent block id."""
+    return (buf.read_u8(), buf.read_u32(), buf.read_u32())

@@ -1,0 +1,26 @@
+"""The pre-compiler's source-to-source output.
+
+The paper's pre-compiler emits annotated C: label statements and
+migration macros at every poll-point, plus restoration jump tables at
+function entry.  Our VM executes the equivalent IR directly (POLL
+instructions + liveness tables), but the annotated *source* is the
+artifact a real C toolchain would compile on every host, so this package
+produces it faithfully:
+
+- :mod:`repro.transform.emit` — a C pretty-printer for (normalized) ASTs;
+- :mod:`repro.transform.annotate` — inserts ``__mig_pp_<id>:`` labels,
+  ``MIG_POLL(id, ...)`` macros listing each poll-point's live variables
+  with their ``Save_variable``/``Save_pointer`` calls, and the
+  ``switch (__mig_resume_label())`` restoration dispatch.
+"""
+
+from repro.transform.emit import CWriter, emit_program, emit_function
+from repro.transform.annotate import AnnotatedProgram, annotate_program
+
+__all__ = [
+    "CWriter",
+    "emit_program",
+    "emit_function",
+    "AnnotatedProgram",
+    "annotate_program",
+]

@@ -1,0 +1,179 @@
+"""The pre-compiler's annotated-source output.
+
+Produces, for a compiled program, the transformed C source the paper's
+pre-compiler would hand to a native toolchain:
+
+- every poll-point becomes a label plus a ``MIG_POLL`` macro invocation
+  listing that point's *live variables* with the interface call that
+  collects each (``Save_pointer`` for pointers, ``Save_variable``
+  otherwise) — exactly the four interface routines of §2;
+- every annotated function gets a restoration dispatch at entry: when the
+  process starts in restore mode, ``switch (__mig_resume_label())``
+  restores the live variables and jumps to the recorded label;
+- a header comment documents the runtime library contract.
+
+Our VM executes the equivalent IR (POLL instructions + liveness tables);
+this text is the *artifact* form of the same transformation, and tests
+verify its label/macro structure matches the compiled tables exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.clang import cast as A
+from repro.clang.ctypes import PointerType, StructType
+from repro.transform.emit import CWriter, declarator, emit_struct
+from repro.vm.compiler import FuncIR
+from repro.vm.program import CompiledProgram, compile_program
+
+__all__ = ["AnnotatedProgram", "annotate_program", "PREAMBLE"]
+
+PREAMBLE = """\
+/* ------------------------------------------------------------------ */
+/* Migratable format emitted by the pre-compiler.                      */
+/*                                                                     */
+/* Runtime library contract (MSRM library, linked with the TI table):  */
+/*   MIG_POLL(id, saves)      poll for a migration request; on         */
+/*                            migration, execute the save list and     */
+/*                            transmit the collected state             */
+/*   Save_variable(&v)        collect a non-pointer live variable      */
+/*   Save_pointer(p)          collect the MSR component reachable      */
+/*                            from pointer p (DFS, visited-marking)    */
+/*   Restore_variable(&v)     inverse of Save_variable                 */
+/*   Restore_pointer()        inverse of Save_pointer; returns the     */
+/*                            translated destination address           */
+/*   __mig_restoring          nonzero while resuming a migrated        */
+/*                            process on this host                     */
+/*   __mig_resume_label()     label id of the migration point          */
+/* ------------------------------------------------------------------ */
+"""
+
+
+@dataclass
+class PollSite:
+    """One annotated poll-point."""
+
+    poll_id: int
+    function: str
+    #: (variable name, is_pointer) in save order
+    live: list[tuple[str, bool]] = field(default_factory=list)
+
+
+@dataclass
+class AnnotatedProgram:
+    """The pre-compiler's output bundle."""
+
+    program: CompiledProgram
+    source: str
+    poll_sites: list[PollSite] = field(default_factory=list)
+
+    def sites_in(self, function: str) -> list[PollSite]:
+        return [s for s in self.poll_sites if s.function == function]
+
+
+def _live_saves(prog: CompiledProgram, fir: FuncIR, poll_id: int) -> list[tuple[str, bool]]:
+    """(name, is_pointer) for each live variable at *poll_id*."""
+    pc = fir.poll_pcs[poll_id]
+    live = prog.live_at(prog._func_index[fir.name], pc + 1)
+    out: list[tuple[str, bool]] = []
+    for var_idx in live:
+        var = fir.norm.variables[var_idx]
+        out.append((var.name, isinstance(var.ctype, PointerType)))
+    return out
+
+
+def _save_call(name: str, is_pointer: bool) -> str:
+    return f"Save_pointer({name})" if is_pointer else f"Save_variable(&{name})"
+
+
+def _restore_call(name: str, is_pointer: bool) -> str:
+    return f"{name} = Restore_pointer();" if is_pointer else f"Restore_variable(&{name});"
+
+
+def annotate_function(prog: CompiledProgram, fir: FuncIR) -> tuple[str, list[PollSite]]:
+    """Emit one function in migratable format."""
+    norm = fir.norm
+    writer = CWriter()
+    sites: list[PollSite] = []
+
+    params = ", ".join(
+        declarator(v.ctype, v.name) for v in norm.variables if v.is_param
+    ) or "void"
+    writer.open(f"{declarator(norm.ret, '')} {fir.name}({params})")
+
+    # flat variable declarations (the normalizer hoisted every local)
+    for var in norm.variables:
+        if not var.is_param:
+            writer.line(declarator(var.ctype, var.name) + ";")
+
+    # restoration dispatch (paper: resume at the recorded migration point)
+    if fir.poll_stmts:
+        writer.open("if (__mig_restoring)")
+        writer.open("switch (__mig_resume_label())")
+        for stmt_id, poll_id in sorted(fir.poll_stmts.items(), key=lambda kv: kv[1]):
+            live = _live_saves(prog, fir, poll_id)
+            writer.line(f"case {poll_id}:")
+            writer._level += 1
+            for name, is_ptr in live:
+                writer.line(_restore_call(name, is_ptr))
+            writer.line(f"goto __mig_pp_{poll_id};")
+            writer._level -= 1
+        writer.close()
+        writer.close()
+
+    def hook(stmt: A.Stmt, w: CWriter) -> bool:
+        if not isinstance(stmt, A.PollHint):
+            return False
+        poll_id = fir.poll_stmts.get(stmt.stmt_id)
+        if poll_id is None:
+            return False
+        live = _live_saves(prog, fir, poll_id)
+        sites.append(PollSite(poll_id=poll_id, function=fir.name, live=list(live)))
+        saves = ", ".join(_save_call(n, p) for n, p in live) or "/* no live locals */"
+        w.raw(f"__mig_pp_{poll_id}:")
+        w.line(f"MIG_POLL({poll_id}, ({saves}));")
+        return True
+
+    for stmt in norm.body:
+        writer.stmt(stmt, hook)
+    writer.close()
+    return writer.getvalue(), sites
+
+
+def annotate_program(source_or_program) -> AnnotatedProgram:
+    """Run the pre-compiler and return the migratable-format source.
+
+    Accepts raw C source (compiled with default options) or an existing
+    :class:`CompiledProgram`.
+    """
+    if isinstance(source_or_program, CompiledProgram):
+        prog = source_or_program
+    else:
+        prog = compile_program(source_or_program)
+
+    writer = CWriter()
+    writer.raw(PREAMBLE)
+
+    emitted: set[str] = set()
+    for tag, stype in prog.unit.structs.items():
+        if isinstance(stype, StructType) and stype.is_complete and tag not in emitted:
+            emit_struct(writer, stype)
+            emitted.add(tag)
+            writer.line()
+
+    for info in prog.globals:
+        if info.is_string or info.is_hidden:
+            continue
+        writer.line(declarator(info.ctype, info.name) + ";")
+    writer.line()
+
+    sites: list[PollSite] = []
+    parts = [writer.getvalue()]
+    for fir in prog.functions:
+        text, fsites = annotate_function(prog, fir)
+        parts.append(text)
+        parts.append("\n")
+        sites.extend(fsites)
+
+    return AnnotatedProgram(program=prog, source="".join(parts), poll_sites=sites)

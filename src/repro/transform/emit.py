@@ -1,0 +1,323 @@
+"""C source pretty-printer.
+
+Emits parseable C from our AST — used by the annotator (whose output is
+the pre-compiler deliverable) and by round-trip tests (``parse(emit(x))``
+is structurally equal to ``x`` for the supported subset).
+
+Handles both raw parsed ASTs and normalized ones (normalized loops carry
+``cond_pre``/``init_stmts``/``step_stmts`` statement lists, which are
+printed back into expression positions when trivial or as explicit
+statements otherwise).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.clang import cast as A
+from repro.clang.ctypes import (
+    ArrayType,
+    CType,
+    FuncType,
+    PointerType,
+    PrimType,
+    StructType,
+    VoidType,
+)
+
+__all__ = ["CWriter", "emit_program", "emit_function", "declarator", "emit_expr"]
+
+
+def declarator(ctype: CType, name: str) -> str:
+    """Render ``ctype name`` as a C declarator (e.g. ``int *a[5]``)."""
+    dims = ""
+    while isinstance(ctype, ArrayType):
+        dims += f"[{ctype.length}]"
+        ctype = ctype.elem
+    stars = ""
+    while isinstance(ctype, PointerType):
+        stars += "*"
+        ctype = ctype.target
+    base = str(ctype)
+    sep = " " if name or stars else ""
+    return f"{base}{sep}{stars}{name}{dims}"
+
+
+# precedence levels (higher binds tighter), mirroring the parser
+_PREC = {
+    ",": 0, "=": 1, "?:": 2, "||": 3, "&&": 4, "|": 5, "^": 6, "&": 7,
+    "==": 8, "!=": 8, "<": 9, "<=": 9, ">": 9, ">=": 9,
+    "<<": 10, ">>": 10, "+": 11, "-": 12, "*": 13, "/": 13, "%": 13,
+    "unary": 14, "postfix": 15, "primary": 16,
+}
+_PREC["-"] = 11
+_PREC["*"] = 13
+
+
+def _prec_of(expr: A.Expr) -> int:
+    if isinstance(expr, (A.IntLit, A.FloatLit, A.CharLit, A.StringLit, A.Ident, A.Null)):
+        return _PREC["primary"]
+    if isinstance(expr, (A.Call, A.Index, A.Member)):
+        return _PREC["postfix"]
+    if isinstance(expr, (A.Unary, A.Cast, A.SizeofType, A.SizeofExpr)):
+        return _PREC["unary"]
+    if isinstance(expr, A.Binary):
+        return _PREC.get(expr.op, 11)
+    if isinstance(expr, A.Cond):
+        return _PREC["?:"]
+    if isinstance(expr, A.Assign):
+        return _PREC["="]
+    return 0
+
+
+def emit_expr(expr: A.Expr, parent_prec: int = 0) -> str:
+    """Render an expression, parenthesizing as needed."""
+    text = _emit_expr_inner(expr)
+    if _prec_of(expr) < parent_prec:
+        return f"({text})"
+    return text
+
+
+def _escape_c(text: str) -> str:
+    out = []
+    table = {"\n": "\\n", "\t": "\\t", "\r": "\\r", '"': '\\"', "\\": "\\\\", "\0": "\\0"}
+    for ch in text:
+        out.append(table.get(ch, ch))
+    return "".join(out)
+
+
+def _emit_expr_inner(expr: A.Expr) -> str:
+    if isinstance(expr, A.IntLit):
+        suffix = ("u" if expr.unsigned else "") + ("l" if expr.long else "")
+        return f"{expr.value}{suffix}"
+    if isinstance(expr, A.FloatLit):
+        text = repr(float(expr.value))
+        if "e" not in text and "." not in text and "inf" not in text and "nan" not in text:
+            text += ".0"
+        return text + ("f" if expr.single else "")
+    if isinstance(expr, A.CharLit):
+        ch = chr(expr.value)
+        table = {"\n": "\\n", "\t": "\\t", "'": "\\'", "\\": "\\\\", "\0": "\\0"}
+        if ch in table:
+            return f"'{table[ch]}'"
+        if 32 <= expr.value < 127:
+            return f"'{ch}'"
+        return f"'\\x{expr.value:02x}'"
+    if isinstance(expr, A.StringLit):
+        return f'"{_escape_c(expr.value)}"'
+    if isinstance(expr, A.Null):
+        return "NULL"
+    if isinstance(expr, A.Ident):
+        return expr.name
+    if isinstance(expr, A.Unary):
+        prec = _PREC["unary"]
+        if expr.op in ("p++", "p--"):
+            return emit_expr(expr.operand, _PREC["postfix"]) + expr.op[1:]
+        return expr.op + emit_expr(expr.operand, prec)
+    if isinstance(expr, A.Binary):
+        prec = _prec_of(expr)
+        left = emit_expr(expr.left, prec)
+        right = emit_expr(expr.right, prec + 1)
+        return f"{left} {expr.op} {right}"
+    if isinstance(expr, A.Assign):
+        target = emit_expr(expr.target, _PREC["unary"])
+        value = emit_expr(expr.value, _PREC["="])
+        return f"{target} {expr.op}= {value}"
+    if isinstance(expr, A.Call):
+        args = ", ".join(emit_expr(a, _PREC["="]) for a in expr.args)
+        return f"{expr.func}({args})"
+    if isinstance(expr, A.Index):
+        return f"{emit_expr(expr.base, _PREC['postfix'])}[{emit_expr(expr.index)}]"
+    if isinstance(expr, A.Member):
+        op = "->" if expr.arrow else "."
+        return f"{emit_expr(expr.base, _PREC['postfix'])}{op}{expr.name}"
+    if isinstance(expr, A.Cast):
+        return f"({declarator(expr.to, '')}) {emit_expr(expr.operand, _PREC['unary'])}"
+    if isinstance(expr, A.SizeofType):
+        return f"sizeof({declarator(expr.of, '')})"
+    if isinstance(expr, A.SizeofExpr):
+        return f"sizeof {emit_expr(expr.operand, _PREC['unary'])}"
+    if isinstance(expr, A.Cond):
+        return (
+            f"{emit_expr(expr.cond, _PREC['||'])} ? {emit_expr(expr.then)}"
+            f" : {emit_expr(expr.other, _PREC['?:'])}"
+        )
+    raise TypeError(f"cannot emit {type(expr).__name__}")
+
+
+class CWriter:
+    """Indentation-aware C text builder."""
+
+    def __init__(self, indent: str = "    ") -> None:
+        self._lines: list[str] = []
+        self._indent = indent
+        self._level = 0
+
+    def line(self, text: str = "") -> None:
+        if text:
+            self._lines.append(self._indent * self._level + text)
+        else:
+            self._lines.append("")
+
+    def raw(self, text: str) -> None:
+        self._lines.append(text)
+
+    def open(self, text: str) -> None:
+        self.line(text + " {")
+        self._level += 1
+
+    def close(self, suffix: str = "") -> None:
+        self._level -= 1
+        self.line("}" + suffix)
+
+    def getvalue(self) -> str:
+        return "\n".join(self._lines) + "\n"
+
+    # -- statements -------------------------------------------------------------
+
+    def body(self, stmt: A.Stmt, hook=None) -> None:
+        """Emit a statement that already sits inside printed braces —
+        blocks are flattened so re-parsing does not grow nesting."""
+        if isinstance(stmt, A.Block):
+            for s in stmt.body:
+                self.stmt(s, hook)
+        else:
+            self.stmt(stmt, hook)
+
+    def stmt(self, stmt: A.Stmt, hook=None) -> None:
+        """Emit one statement; *hook(stmt, writer) -> bool* may intercept
+        (the annotator uses it for PollHint nodes)."""
+        if hook is not None and hook(stmt, self):
+            return
+
+        if isinstance(stmt, A.Block):
+            self.open("")
+            for s in stmt.body:
+                self.stmt(s, hook)
+            self.close()
+        elif isinstance(stmt, A.ExprStmt):
+            self.line(emit_expr(stmt.expr) + ";")
+        elif isinstance(stmt, A.DeclStmt):
+            for d in stmt.decls:
+                init = ""
+                if d.init is not None:
+                    init = " = " + emit_expr(d.init, _PREC["="])
+                elif d.init_list is not None:
+                    init = " = {" + ", ".join(emit_expr(e) for e in d.init_list) + "}"
+                self.line(declarator(d.ctype, d.name) + init + ";")
+        elif isinstance(stmt, A.If):
+            self.open(f"if ({emit_expr(stmt.cond)})")
+            self.body(stmt.then, hook)
+            if stmt.other is not None:
+                self.close(" else {")
+                self._level += 1
+                self.body(stmt.other, hook)
+                self.close()
+            else:
+                self.close()
+        elif isinstance(stmt, A.While):
+            if stmt.cond_pre:
+                # re-evaluated side effects: emit as an explicit loop shape
+                self.open("while (1)")
+                for s in stmt.cond_pre:
+                    self.stmt(s, hook)
+                self.line(f"if (!({emit_expr(stmt.cond)})) break;")
+                self.body(stmt.body, hook)
+                self.close()
+            else:
+                self.open(f"while ({emit_expr(stmt.cond)})")
+                self.body(stmt.body, hook)
+                self.close()
+        elif isinstance(stmt, A.DoWhile):
+            self.open("do")
+            self.body(stmt.body, hook)
+            for s in stmt.cond_pre:
+                self.stmt(s, hook)
+            self.close(f" while ({emit_expr(stmt.cond)});")
+        elif isinstance(stmt, A.For):
+            init = emit_expr(stmt.init) if stmt.init is not None else ""
+            cond = emit_expr(stmt.cond) if stmt.cond is not None else ""
+            step = emit_expr(stmt.step) if stmt.step is not None else ""
+            if stmt.init_stmts or stmt.cond_pre or stmt.step_stmts:
+                # normalized form: statement lists around an explicit loop
+                for s in stmt.init_stmts:
+                    self.stmt(s, hook)
+                self.open("for (;;)")
+                for s in stmt.cond_pre:
+                    self.stmt(s, hook)
+                if stmt.cond is not None:
+                    self.line(f"if (!({emit_expr(stmt.cond)})) break;")
+                self.body(stmt.body, hook)
+                for s in stmt.step_stmts:
+                    self.stmt(s, hook)
+                self.close()
+            else:
+                self.open(f"for ({init}; {cond}; {step})")
+                self.body(stmt.body, hook)
+                self.close()
+        elif isinstance(stmt, A.Return):
+            if stmt.value is not None:
+                self.line(f"return {emit_expr(stmt.value)};")
+            else:
+                self.line("return;")
+        elif isinstance(stmt, A.Break):
+            self.line("break;")
+        elif isinstance(stmt, A.Continue):
+            self.line("continue;")
+        elif isinstance(stmt, A.Switch):
+            self.open(f"switch ({emit_expr(stmt.cond)})")
+            for case in stmt.cases:
+                if case.value is None:
+                    self.line("default:")
+                else:
+                    self.line(f"case {case.value}:")
+                self._level += 1
+                for s in case.body:
+                    self.stmt(s, hook)
+                self._level -= 1
+            self.close()
+        elif isinstance(stmt, A.PollHint):
+            self.line("migrate_here();")
+        else:
+            raise TypeError(f"cannot emit statement {type(stmt).__name__}")
+
+
+def emit_struct(writer: CWriter, stype: StructType) -> None:
+    writer.open(f"struct {stype.tag}")
+    for fname, ftype in stype.fields:
+        writer.line(declarator(ftype, fname) + ";")
+    writer.close(";")
+
+
+def emit_function(func: A.FuncDef) -> str:
+    """Render one (parsed) function definition back to C."""
+    writer = CWriter()
+    params = ", ".join(declarator(p.ctype, p.name) for p in func.params) or "void"
+    writer.open(f"{declarator(func.ret, '')} {func.name}({params})")
+    for s in func.body.body:
+        writer.stmt(s)
+    writer.close()
+    return writer.getvalue()
+
+
+def emit_program(unit: A.TranslationUnit) -> str:
+    """Render a whole translation unit back to C source."""
+    writer = CWriter()
+    emitted: set[str] = set()
+    for tag, stype in unit.structs.items():
+        if isinstance(stype, StructType) and stype.is_complete and tag not in emitted:
+            emit_struct(writer, stype)
+            emitted.add(tag)
+            writer.line()
+    for gvar in unit.globals:
+        init = ""
+        if gvar.init is not None:
+            init = " = " + emit_expr(gvar.init)
+        elif gvar.init_list is not None:
+            init = " = {" + ", ".join(emit_expr(e) for e in gvar.init_list) + "}"
+        writer.line(declarator(gvar.ctype, gvar.name) + init + ";")
+    writer.line()
+    for func in unit.functions:
+        writer.raw(emit_function(func))
+        writer.line()
+    return writer.getvalue()

@@ -1,0 +1,54 @@
+"""Simulated process substrate.
+
+The paper migrates native C processes; we cannot use native address spaces
+from Python, so this subpackage provides the closest synthetic equivalent
+(see DESIGN.md §2): a deterministic mini-C compiler targeting a stack VM
+whose data lives in a **byte-addressable simulated memory** laid out per
+:class:`~repro.arch.machine.MachineArch` — genuine endianness, type sizes,
+struct padding, and segment addresses per host.  The migration layer
+interacts with a process only through this memory, its type tables, and
+its call stack, exactly as the paper's library interacts with a real
+process.
+
+Modules:
+
+- :mod:`repro.vm.memory` — segmented memory with a heap allocator
+- :mod:`repro.vm.ir` — the instruction set
+- :mod:`repro.vm.normalize` — AST normalization (call hoisting, scoping)
+- :mod:`repro.vm.compiler` — typed AST → IR
+- :mod:`repro.vm.program` — compiled program + per-arch specialization
+- :mod:`repro.vm.builtins` — the libc subset
+- :mod:`repro.vm.interpreter` — the executor with poll hooks
+- :mod:`repro.vm.process` — a runnable/migratable process
+
+Convenience re-exports are resolved lazily to keep the analysis package
+(which the compiler depends on) importable without cycles.
+"""
+
+from repro.vm.memory import Memory, MemoryFault
+
+__all__ = [
+    "Memory",
+    "MemoryFault",
+    "CompiledProgram",
+    "compile_program",
+    "Process",
+    "ProcessExit",
+]
+
+_LAZY = {
+    "CompiledProgram": ("repro.vm.program", "CompiledProgram"),
+    "compile_program": ("repro.vm.program", "compile_program"),
+    "Process": ("repro.vm.process", "Process"),
+    "ProcessExit": ("repro.vm.process", "ProcessExit"),
+}
+
+
+def __getattr__(name: str):
+    target = _LAZY.get(name)
+    if target is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(target[0])
+    return getattr(module, target[1])

@@ -1,0 +1,306 @@
+"""The builtin C library available to workload programs.
+
+A deliberately small libc subset: memory management (``malloc`` is
+*typed* — the pre-compiler recognizes the idiomatic ``(T*)malloc(...)``
+cast and passes the element type, which the MSRLT uses to register the
+new heap block), stdio (``printf`` with the common conversions), strings,
+math, and a deterministic PRNG.
+
+The PRNG state lives in a **hidden global variable** (``__rand_state``)
+inside the simulated process, not in Python: it therefore migrates with
+the rest of the memory state, and a migrated process continues the same
+random sequence on the destination host — one of the subtle correctness
+properties the paper's bitonic experiment depends on.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.clang.ctypes import (
+    CHAR,
+    CType,
+    DOUBLE,
+    INT,
+    PointerType,
+    UINT,
+    ULONG,
+    VOID,
+)
+from repro.vm.typecheck import BuiltinSig
+
+__all__ = [
+    "Builtin",
+    "BUILTINS",
+    "BUILTIN_SIGS",
+    "BUILTIN_INDEX",
+    "RAND_STATE_GLOBAL",
+    "read_c_string",
+]
+
+#: name of the hidden global carrying the PRNG state
+RAND_STATE_GLOBAL = "__rand_state"
+
+VOIDP = PointerType(VOID)
+CHARP = PointerType(CHAR)
+
+
+@dataclass(frozen=True)
+class Builtin:
+    """One builtin: signature + python implementation.
+
+    Handlers receive ``(process, args, extra)`` where *extra* is the
+    compile-time annotation (the element type id for typed allocation).
+    """
+
+    sig: BuiltinSig
+    handler: Callable
+
+
+def _b(name: str, ret: CType, params: tuple[CType, ...], variadic: bool = False):
+    def wrap(fn: Callable) -> Callable:
+        _REGISTRY.append(Builtin(BuiltinSig(name, ret, params, variadic), fn))
+        return fn
+
+    return wrap
+
+
+_REGISTRY: list[Builtin] = []
+
+
+# -- memory management ---------------------------------------------------------
+
+
+@_b("malloc", VOIDP, (ULONG,))
+def _malloc(proc, args, extra):
+    nbytes = int(args[0])
+    return proc.typed_malloc(nbytes, extra)
+
+
+@_b("calloc", VOIDP, (ULONG, ULONG))
+def _calloc(proc, args, extra):
+    nbytes = int(args[0]) * int(args[1])
+    addr = proc.typed_malloc(nbytes, extra)
+    if addr:
+        proc.memory.zero(addr, max(nbytes, 1))
+    return addr
+
+
+@_b("free", VOID, (VOIDP,))
+def _free(proc, args, extra):
+    proc.typed_free(int(args[0]))
+    return None
+
+
+@_b("memset", VOIDP, (VOIDP, INT, ULONG))
+def _memset(proc, args, extra):
+    addr, byte, n = int(args[0]), int(args[1]) & 0xFF, int(args[2])
+    proc.memory.write_bytes(addr, bytes([byte]) * n)
+    return addr
+
+
+@_b("memcpy", VOIDP, (VOIDP, VOIDP, ULONG))
+def _memcpy(proc, args, extra):
+    dst, src, n = int(args[0]), int(args[1]), int(args[2])
+    proc.memory.write_bytes(dst, proc.memory.read_bytes(src, n))
+    return dst
+
+
+# -- strings ----------------------------------------------------------------------
+
+
+def read_c_string(memory, addr: int, limit: int = 1 << 20) -> str:
+    """Read a NUL-terminated C string from simulated *memory*."""
+    out = bytearray()
+    while len(out) < limit:
+        byte = memory.load("uchar", addr + len(out))
+        if byte == 0:
+            break
+        out.append(byte)
+    return out.decode("utf-8", errors="replace")
+
+
+@_b("strlen", ULONG, (CHARP,))
+def _strlen(proc, args, extra):
+    return len(read_c_string(proc.memory, int(args[0])).encode("utf-8"))
+
+
+@_b("strcpy", CHARP, (CHARP, CHARP))
+def _strcpy(proc, args, extra):
+    dst, src = int(args[0]), int(args[1])
+    data = read_c_string(proc.memory, src).encode("utf-8") + b"\0"
+    proc.memory.write_bytes(dst, data)
+    return dst
+
+
+@_b("strcmp", INT, (CHARP, CHARP))
+def _strcmp(proc, args, extra):
+    a = read_c_string(proc.memory, int(args[0]))
+    b = read_c_string(proc.memory, int(args[1]))
+    return (a > b) - (a < b)
+
+
+# -- stdio ------------------------------------------------------------------------
+
+_FMT_RE = re.compile(r"%([-+ 0#]*)(\d*)(?:\.(\d+))?(hh|h|ll|l)?([diufFeEgGxXcsp%])")
+
+
+def _format_printf(proc, fmt: str, args: list) -> str:
+    out: list[str] = []
+    pos = 0
+    argi = 0
+    for m in _FMT_RE.finditer(fmt):
+        out.append(fmt[pos : m.start()])
+        pos = m.end()
+        flags, width, prec, _len, conv = m.groups()
+        if conv == "%":
+            out.append("%")
+            continue
+        arg = args[argi]
+        argi += 1
+        spec = "%" + (flags or "") + (width or "") + (("." + prec) if prec else "")
+        if conv in "di":
+            out.append((spec + "d") % int(arg))
+        elif conv == "u":
+            out.append((spec + "d") % (int(arg) & 0xFFFFFFFFFFFFFFFF if int(arg) < 0 else int(arg)))
+        elif conv in "fF":
+            out.append((spec + "f") % float(arg))
+        elif conv in "eEgG":
+            out.append((spec + conv) % float(arg))
+        elif conv in "xX":
+            out.append((spec + conv) % (int(arg) & 0xFFFFFFFFFFFFFFFF))
+        elif conv == "c":
+            out.append(chr(int(arg) & 0xFF))
+        elif conv == "s":
+            out.append((spec + "s") % read_c_string(proc.memory, int(arg)))
+        elif conv == "p":
+            out.append(hex(int(arg)))
+    out.append(fmt[pos:])
+    return "".join(out)
+
+
+@_b("printf", INT, (CHARP,), variadic=True)
+def _printf(proc, args, extra):
+    fmt = read_c_string(proc.memory, int(args[0]))
+    text = _format_printf(proc, fmt, list(args[1:]))
+    proc.write_stdout(text)
+    return len(text)
+
+
+@_b("puts", INT, (CHARP,))
+def _puts(proc, args, extra):
+    text = read_c_string(proc.memory, int(args[0]))
+    proc.write_stdout(text + "\n")
+    return len(text) + 1
+
+
+@_b("putchar", INT, (INT,))
+def _putchar(proc, args, extra):
+    proc.write_stdout(chr(int(args[0]) & 0xFF))
+    return int(args[0])
+
+
+# -- process control ------------------------------------------------------------------
+
+
+@_b("exit", VOID, (INT,))
+def _exit(proc, args, extra):
+    from repro.vm.process import ProcessExit
+
+    raise ProcessExit(int(args[0]))
+
+
+@_b("abort", VOID, ())
+def _abort(proc, args, extra):
+    from repro.vm.process import ProcessExit
+
+    raise ProcessExit(134)  # 128 + SIGABRT
+
+
+# -- PRNG (state in simulated memory — it migrates!) -----------------------------------
+
+
+@_b("srand", VOID, (UINT,))
+def _srand(proc, args, extra):
+    proc.set_rand_state(int(args[0]) & 0xFFFFFFFF)
+    return None
+
+
+@_b("rand", INT, ())
+def _rand(proc, args, extra):
+    state = proc.get_rand_state()
+    state = (1103515245 * state + 12345) & 0x7FFFFFFF
+    proc.set_rand_state(state)
+    return state
+
+
+# -- math -------------------------------------------------------------------------------
+
+
+@_b("abs", INT, (INT,))
+def _abs(proc, args, extra):
+    v = int(args[0])
+    return -v if v < 0 else v
+
+
+@_b("fabs", DOUBLE, (DOUBLE,))
+def _fabs(proc, args, extra):
+    return abs(float(args[0]))
+
+
+@_b("sqrt", DOUBLE, (DOUBLE,))
+def _sqrt(proc, args, extra):
+    return math.sqrt(float(args[0]))
+
+
+@_b("pow", DOUBLE, (DOUBLE, DOUBLE))
+def _pow(proc, args, extra):
+    return math.pow(float(args[0]), float(args[1]))
+
+
+@_b("exp", DOUBLE, (DOUBLE,))
+def _exp(proc, args, extra):
+    return math.exp(float(args[0]))
+
+
+@_b("log", DOUBLE, (DOUBLE,))
+def _log(proc, args, extra):
+    return math.log(float(args[0]))
+
+
+@_b("sin", DOUBLE, (DOUBLE,))
+def _sin(proc, args, extra):
+    return math.sin(float(args[0]))
+
+
+@_b("cos", DOUBLE, (DOUBLE,))
+def _cos(proc, args, extra):
+    return math.cos(float(args[0]))
+
+
+@_b("floor", DOUBLE, (DOUBLE,))
+def _floor(proc, args, extra):
+    return math.floor(float(args[0]))
+
+
+@_b("ceil", DOUBLE, (DOUBLE,))
+def _ceil(proc, args, extra):
+    return math.ceil(float(args[0]))
+
+
+@_b("fmod", DOUBLE, (DOUBLE, DOUBLE))
+def _fmod(proc, args, extra):
+    return math.fmod(float(args[0]), float(args[1]))
+
+
+# -- registry views ------------------------------------------------------------------------
+
+#: builtins in registration order (indices are the CALLB operands)
+BUILTINS: tuple[Builtin, ...] = tuple(_REGISTRY)
+#: name -> signature (fed to the type checker)
+BUILTIN_SIGS: dict[str, BuiltinSig] = {b.sig.name: b.sig for b in BUILTINS}
+#: name -> index
+BUILTIN_INDEX: dict[str, int] = {b.sig.name: i for i, b in enumerate(BUILTINS)}

@@ -1,0 +1,120 @@
+"""The stack-machine instruction set.
+
+Each function compiles to a flat list of instructions ``(op, a, b)``.
+Instructions come in two flavours:
+
+- **neutral** — produced once per program by the compiler; operands may be
+  symbolic (variable indices, C types, primitive kinds);
+- **specialized** — produced per architecture by
+  :meth:`repro.vm.program.CompiledProgram.for_arch`; all operands are
+  concrete (byte offsets, absolute addresses, wrap masks).
+
+Crucially, specialization never changes the *number or order* of
+instructions, so a program counter is meaningful on every host — that is
+the property that lets execution state (a stack of ``(function, pc)``
+pairs) migrate between architectures, mirroring the paper's requirement
+that the same annotated source is compiled on every machine.
+
+Resumability invariants enforced by the compiler (see
+:mod:`repro.vm.normalize`):
+
+- at every ``POLL`` the evaluation stack is empty;
+- at every ``CALL`` the caller's evaluation stack is empty once the
+  arguments have been popped.
+
+Together these mean a frame's complete state is ``(function, pc)`` plus
+the contents of its activation record in simulated memory — which the MSR
+layer collects and restores like any other memory.
+"""
+
+from __future__ import annotations
+
+from typing import Final
+
+__all__ = ["Op", "OP_NAMES", "Instr", "format_instr"]
+
+
+class Op:
+    """Opcode constants (plain ints for dispatch speed)."""
+
+    NOP = 0
+    # constants / addresses
+    PUSH = 1          # a = python constant (int/float); push it
+    PUSH_SIZEOF = 2   # neutral only: a = CType; specializes to PUSH
+    LEA_L = 3         # neutral a = local var index; spec a = frame offset
+    LEA_G = 4         # neutral a = global var index; spec a = absolute addr
+    # fused direct variable access (gives the liveness analysis its use/def)
+    LDL = 5           # neutral a = (var idx, kind); spec a = (offset, kind)
+    STL = 6           # neutral a = (var idx, kind); spec a = (offset, kind)
+    LDG = 7           # neutral a = (global idx, kind); spec a = (addr, kind)
+    STG = 8           # neutral a = (global idx, kind); spec a = (addr, kind)
+    # memory through pointers
+    LOAD = 9          # a = kind; pop addr, push value
+    STORE = 10        # a = kind; pop addr, pop value, write value
+    # arithmetic: a = None for float, else (mask, signbit) wrap spec
+    ADD = 11
+    SUB = 12
+    MUL = 13
+    DIV = 14          # C truncating division for ints
+    MOD = 15          # int only
+    NEG = 16
+    BAND = 17
+    BOR = 18
+    BXOR = 19
+    BNOT = 20
+    SHL = 21
+    SHR = 22
+    # comparisons (operands already carry correct signedness): push 0/1
+    EQ = 23
+    NE = 24
+    LT = 25
+    LE = 26
+    GT = 27
+    GE = 28
+    LNOT = 29
+    # conversions: neutral a = (from_kind, to_kind);
+    # spec a = ("f",) | ("i", mask, signbit) | ("b",) for bool-ish
+    CVT = 30
+    # pointer arithmetic: neutral a = elem CType; spec a = elem size
+    PTRADD = 31       # pop int i, pop ptr p, push p + i*size
+    PTRSUB = 32       # pop int i, pop ptr p, push p - i*size
+    PTRDIFF = 33      # pop ptr q, pop ptr p, push (p - q) // size
+    # control flow
+    JMP = 34          # a = target pc
+    JZ = 35
+    JNZ = 36
+    CALL = 37         # a = function index, b = nargs
+    CALLB = 38        # a = builtin index, b = (nargs, extra) — extra is the
+                      # type id for typed malloc, else None
+    RET = 39          # a = 1 if a value is returned
+    POLL = 40         # a = poll-point id (unique per program)
+    HALT = 41
+    # stack manipulation
+    POP = 42
+    DUP = 43
+    # struct member addressing: neutral a = (StructType, field name);
+    # spec a = byte offset — pops an address, pushes address + offset
+    OFFSET = 44
+    # struct assignment by value: neutral a = StructType; spec a = size —
+    # pops destination address, pops source address, copies size bytes
+    COPYBLK = 45
+
+
+OP_NAMES: Final[dict[int, str]] = {
+    value: name for name, value in vars(Op).items() if not name.startswith("_")
+}
+
+#: An instruction is a plain tuple for dispatch speed.
+Instr = tuple
+
+
+def format_instr(instr: Instr) -> str:
+    """Human-readable rendering of one instruction (debugging aid)."""
+    op, a, b = instr
+    name = OP_NAMES.get(op, f"op{op}")
+    parts = [name]
+    if a is not None:
+        parts.append(repr(a))
+    if b is not None:
+        parts.append(repr(b))
+    return " ".join(parts)

@@ -1,0 +1,320 @@
+"""Segmented byte-addressable simulated memory.
+
+One :class:`Memory` instance is the address space of one simulated process.
+It has the three segments the paper's Figure 1 shows — global, heap, and
+stack — at the base addresses given by the host's
+:class:`~repro.arch.machine.MachineArch`.  All multi-byte values are stored
+with the host's byte order and sizes, so the bytes in this memory are
+genuinely architecture-specific: migrating them to a host with different
+endianness without conversion would corrupt every value, which is exactly
+the problem the paper's XDR/TI machinery solves.
+
+Segments are *windowed*: only the touched address range is materialized
+(a stack that lives at the top of a 128 MiB segment costs kilobytes, not
+the whole segment).  A simple first-fit-by-size-class allocator backs
+``malloc``/``free``.  Bulk array access is exposed through NumPy views
+(vectorized hot path for large matrices, per the HPC guides).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Final
+
+import numpy as np
+
+from repro.arch.machine import MachineArch
+
+__all__ = ["Memory", "MemoryFault", "Segment"]
+
+
+class MemoryFault(Exception):
+    """Invalid simulated memory access (the equivalent of SIGSEGV)."""
+
+
+_STRUCT_CODE: Final[dict[str, str]] = {
+    "char": "b",  # signedness of plain char fixed up per arch in __init__
+    "uchar": "B",
+    "short": "h",
+    "ushort": "H",
+    "int": "i",
+    "uint": "I",
+    "llong": "q",
+    "ullong": "Q",
+    "float": "f",
+    "double": "d",
+}
+
+_NP_CODE: Final[dict[str, str]] = {
+    "char": "i1",
+    "uchar": "u1",
+    "short": "i2",
+    "ushort": "u2",
+    "int": "i4",
+    "uint": "u4",
+    "llong": "i8",
+    "ullong": "u8",
+    "float": "f4",
+    "double": "f8",
+}
+
+#: heap allocation granularity / alignment
+_HEAP_ALIGN = 8
+#: window growth slack (amortizes repeated extension)
+_SLACK = 65536
+
+
+class Segment:
+    """One address range, backed by a window over the touched sub-range.
+
+    ``window_start`` is the absolute address of ``buf[0]``.  The window
+    grows in either direction on demand (stacks grow down, heaps up).
+    """
+
+    __slots__ = ("name", "base", "limit", "window_start", "buf")
+
+    def __init__(self, name: str, base: int, size: int) -> None:
+        self.name = name
+        self.base = base
+        self.limit = base + size
+        self.window_start = base
+        self.buf = bytearray()
+
+    def contains(self, addr: int) -> bool:
+        return self.base <= addr < self.limit
+
+    def ensure(self, addr: int, n: int) -> int:
+        """Materialize ``[addr, addr+n)``; return the buffer offset of *addr*."""
+        end = addr + n
+        if addr < self.base or end > self.limit:
+            raise MemoryFault(
+                f"access [{addr:#x}, {end:#x}) outside segment {self.name} "
+                f"[{self.base:#x}, {self.limit:#x})"
+            )
+        ws = self.window_start
+        we = ws + len(self.buf)
+        if not self.buf:
+            start = max(self.base, addr - _SLACK if self.name == "stack" else addr)
+            stop = min(self.limit, end + _SLACK)
+            self.window_start = start
+            self.buf = bytearray(stop - start)
+        else:
+            if addr < ws:
+                start = max(self.base, addr - _SLACK)
+                self.buf[:0] = bytes(ws - start)
+                self.window_start = start
+            if end > we:
+                stop = min(self.limit, max(end, we + len(self.buf)) + _SLACK)
+                self.buf += bytes(stop - we)
+        return addr - self.window_start
+
+    def offset(self, addr: int, n: int) -> int:
+        """Buffer offset of *addr* when ``[addr, addr+n)`` is materialized,
+        else materialize it first."""
+        off = addr - self.window_start
+        if off >= 0 and off + n <= len(self.buf):
+            return off
+        return self.ensure(addr, n)
+
+
+class Memory:
+    """The simulated address space of one process on one architecture."""
+
+    def __init__(self, arch: MachineArch) -> None:
+        self.arch = arch
+        segs = arch.segments()
+        gbase, gsize = segs["global"]
+        hbase, hsize = segs["heap"]
+        sbase, ssize = segs["stack"]
+        self.global_seg = Segment("global", gbase, gsize)
+        self.heap_seg = Segment("heap", hbase, hsize)
+        self.stack_seg = Segment("stack", sbase, ssize)
+        self._segments = (self.stack_seg, self.heap_seg, self.global_seg)
+
+        # stack pointer starts at the top of the stack segment, grows down
+        self.sp = self.stack_seg.limit
+        # heap bump pointer and size-class free lists
+        self._heap_brk = hbase
+        self._free: dict[int, list[int]] = {}
+        #: live heap allocations: addr -> padded size
+        self.heap_allocs: dict[int, int] = {}
+        # global segment bump pointer (used by ad-hoc tests; the loader
+        # normally computes global addresses statically)
+        self._global_brk = gbase
+
+        order = "<" if arch.byteorder == "little" else ">"
+        codes = dict(_STRUCT_CODE)
+        codes["char"] = "b" if arch.char_signed else "B"
+        codes["long"] = "q" if arch.long_size == 8 else "i"
+        codes["ulong"] = "Q" if arch.long_size == 8 else "I"
+        codes["ptr"] = "Q" if arch.ptr_size == 8 else "I"
+        self._packers: dict[str, struct.Struct] = {
+            kind: struct.Struct(order + code) for kind, code in codes.items()
+        }
+        np_codes = dict(_NP_CODE)
+        np_codes["char"] = "i1" if arch.char_signed else "u1"
+        np_codes["long"] = "i8" if arch.long_size == 8 else "i4"
+        np_codes["ulong"] = "u8" if arch.long_size == 8 else "u4"
+        np_codes["ptr"] = "u8" if arch.ptr_size == 8 else "u4"
+        self._np_dtypes: dict[str, np.dtype] = {
+            kind: np.dtype(order + code) for kind, code in np_codes.items()
+        }
+
+    # -- address translation -------------------------------------------------
+
+    def segment_of(self, addr: int) -> Segment:
+        """The segment containing *addr* (raises :class:`MemoryFault`)."""
+        for seg in self._segments:
+            if seg.base <= addr < seg.limit:
+                return seg
+        if addr == 0:
+            raise MemoryFault("NULL pointer dereference")
+        raise MemoryFault(f"address {addr:#x} is outside every segment")
+
+    def segment_name(self, addr: int) -> str:
+        """Name of the segment containing *addr*."""
+        return self.segment_of(addr).name
+
+    # -- scalar access ----------------------------------------------------------
+
+    def load(self, kind: str, addr: int) -> int | float:
+        """Read one primitive of *kind* at *addr* (host byte order/width)."""
+        packer = self._packers[kind]
+        seg = self.segment_of(addr)
+        off = seg.offset(addr, packer.size)
+        return packer.unpack_from(seg.buf, off)[0]
+
+    def store(self, kind: str, addr: int, value: int | float) -> None:
+        """Write one primitive of *kind* at *addr* (wraps integers to width)."""
+        packer = self._packers[kind]
+        seg = self.segment_of(addr)
+        off = seg.offset(addr, packer.size)
+        if kind not in ("float", "double"):
+            bits = packer.size * 8
+            iv = int(value) & ((1 << bits) - 1)
+            if packer.format[-1:].islower() and iv >= 1 << (bits - 1):
+                iv -= 1 << bits
+            packer.pack_into(seg.buf, off, iv)
+        else:
+            packer.pack_into(seg.buf, off, value)
+
+    def sizeof(self, kind: str) -> int:
+        """Host size of primitive *kind* (convenience forwarding)."""
+        return self._packers[kind].size
+
+    # -- bulk access -------------------------------------------------------------
+
+    def read_bytes(self, addr: int, n: int) -> bytes:
+        """Copy *n* raw bytes starting at *addr*."""
+        seg = self.segment_of(addr)
+        off = seg.offset(addr, n)
+        return bytes(seg.buf[off : off + n])
+
+    def write_bytes(self, addr: int, data: bytes | bytearray | memoryview) -> None:
+        """Write raw bytes at *addr*."""
+        seg = self.segment_of(addr)
+        off = seg.offset(addr, len(data))
+        seg.buf[off : off + len(data)] = data
+
+    def view(self, addr: int, n: int) -> memoryview:
+        """Zero-copy view of *n* bytes at *addr* (valid until the segment
+        window grows)."""
+        seg = self.segment_of(addr)
+        off = seg.offset(addr, n)
+        return memoryview(seg.buf)[off : off + n]
+
+    def read_array(self, kind: str, addr: int, count: int) -> np.ndarray:
+        """Vectorized read of *count* primitives of *kind* starting at *addr*."""
+        dtype = self._np_dtypes[kind]
+        raw = self.view(addr, count * dtype.itemsize)
+        return np.frombuffer(raw, dtype=dtype).copy()
+
+    def write_array(self, kind: str, addr: int, values: np.ndarray) -> None:
+        """Vectorized write of primitives of *kind* starting at *addr*."""
+        dtype = self._np_dtypes[kind]
+        arr = np.asarray(values)
+        if arr.dtype != dtype:
+            arr = arr.astype(dtype, casting="unsafe")
+        self.write_bytes(addr, arr.tobytes())
+
+    def np_dtype(self, kind: str) -> np.dtype:
+        """Host-byte-order NumPy dtype for primitive *kind*."""
+        return self._np_dtypes[kind]
+
+    def zero(self, addr: int, n: int) -> None:
+        """Zero *n* bytes at *addr*."""
+        self.write_bytes(addr, bytes(n))
+
+    # -- global segment loader --------------------------------------------------
+
+    def global_alloc(self, size: int, align: int = 1) -> int:
+        """Reserve *size* bytes in the global segment (ad-hoc use)."""
+        addr = _align_up(self._global_brk, align)
+        self.global_seg.ensure(addr, size)
+        self._global_brk = addr + size
+        return addr
+
+    # -- stack -------------------------------------------------------------------
+
+    def stack_alloc(self, size: int, align: int = 8) -> int:
+        """Push an activation record of *size* bytes; returns its base."""
+        new_sp = (self.sp - size) & ~(align - 1)
+        if new_sp < self.stack_seg.base:
+            raise MemoryFault("simulated stack overflow")
+        self.sp = new_sp
+        self.stack_seg.ensure(new_sp, size)
+        return new_sp
+
+    def stack_restore(self, sp: int) -> None:
+        """Pop back to a previously saved stack pointer."""
+        if not (self.stack_seg.base <= sp <= self.stack_seg.limit):
+            raise MemoryFault(f"bad stack pointer {sp:#x}")
+        self.sp = sp
+
+    # -- heap --------------------------------------------------------------------
+
+    def heap_alloc(self, size: int) -> int:
+        """``malloc``: returns an 8-aligned address; size 0 behaves as 1."""
+        size = _align_up(max(size, 1), _HEAP_ALIGN)
+        bucket = self._free.get(size)
+        if bucket:
+            addr = bucket.pop()
+        else:
+            addr = self._heap_brk
+            end = addr + size
+            if end > self.heap_seg.limit:
+                raise MemoryFault("simulated heap exhausted")
+            self.heap_seg.ensure(addr, size)
+            self._heap_brk = end
+        self.heap_allocs[addr] = size
+        return addr
+
+    def heap_free(self, addr: int) -> None:
+        """``free``: recycle an allocation (NULL is a no-op, as in C)."""
+        if addr == 0:
+            return
+        size = self.heap_allocs.pop(addr, None)
+        if size is None:
+            raise MemoryFault(f"free of non-allocated address {addr:#x}")
+        self._free.setdefault(size, []).append(addr)
+
+    def heap_size_of(self, addr: int) -> int:
+        """Padded size of the live heap allocation at *addr*."""
+        try:
+            return self.heap_allocs[addr]
+        except KeyError:
+            raise MemoryFault(f"{addr:#x} is not a live heap allocation") from None
+
+    # -- statistics ----------------------------------------------------------------
+
+    def footprint(self) -> dict[str, int]:
+        """Materialized window bytes per segment (for reporting)."""
+        return {
+            "global": len(self.global_seg.buf),
+            "heap": len(self.heap_seg.buf),
+            "stack": len(self.stack_seg.buf),
+        }
+
+
+def _align_up(value: int, align: int) -> int:
+    return (value + align - 1) & ~(align - 1)

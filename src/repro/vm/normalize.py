@@ -1,0 +1,655 @@
+"""AST normalization: the shape that makes frames migratable.
+
+The paper's transformation (ref [6] of the paper) requires that process
+migration can happen only at *statement boundaries* and that every frame
+of a nested call chain can be re-created and resumed on the destination.
+In our stack-VM setting that translates into two invariants (checked by
+the interpreter):
+
+- at every ``POLL`` instruction the evaluation stack is empty;
+- at every ``CALL`` instruction the caller's evaluation stack is empty
+  once the arguments are popped.
+
+This pass rewrites each type-checked function so the IR generator can
+guarantee both:
+
+1. **Scope flattening** — every local is hoisted to function scope with a
+   unique name (shadowing resolved by renaming); declarations become
+   plain assignments.
+2. **Side-effect linearization** — assignments, increments, and calls are
+   pulled out of larger expressions into preceding statements (with
+   compiler temporaries), so every remaining expression is pure except
+   for three statement-level shapes: ``call(...);``, ``lvalue = call(...);``
+   and ``return call(...);`` (tail call).
+3. **Short-circuit preservation** — ``&&``/``||``/``?:`` whose operands
+   have side effects are expanded into explicit ``if`` statements, so
+   hoisting never changes evaluation semantics.
+4. **Loop decomposition** — ``for``/``while`` conditions with hoisted
+   side effects carry them in ``cond_pre`` so they re-run each iteration;
+   ``for`` init/step become statement lists (``continue`` still reaches
+   the step).
+
+After normalization every statement receives a ``stmt_id``; the annotator
+and the execution-state tables are keyed on these.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.clang import cast as A
+from repro.clang.ctypes import (
+    ArrayType,
+    CType,
+    INT,
+    PointerType,
+    PrimType,
+    StructType,
+    VoidType,
+)
+
+__all__ = ["VarInfo", "NormFunc", "NormalizeError", "normalize_function"]
+
+
+class NormalizeError(Exception):
+    """A construct that cannot be normalized (should be rare — the type
+    checker rejects most problems first)."""
+
+
+@dataclass
+class VarInfo:
+    """One function-scope variable slot (parameter, local, or temp)."""
+
+    name: str
+    ctype: CType
+    is_param: bool = False
+    is_temp: bool = False
+    #: original source name before uniquing (for diagnostics/annotation)
+    source_name: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.source_name:
+            self.source_name = self.name
+
+
+@dataclass
+class NormFunc:
+    """A normalized function: flat variables + linearized body."""
+
+    name: str
+    ret: CType
+    params: list[VarInfo]
+    variables: list[VarInfo]  # params first, then locals/temps in order
+    body: list[A.Stmt]
+    var_index: dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.var_index:
+            self.var_index = {v.name: i for i, v in enumerate(self.variables)}
+
+
+class _Normalizer:
+    def __init__(self, func: A.FuncDef) -> None:
+        self.func = func
+        self.variables: list[VarInfo] = []
+        self.var_names: set[str] = set()
+        self.temp_counter = 0
+        # rename environment stack: source name -> unique name
+        self.env_stack: list[dict[str, str]] = [{}]
+
+    # -- variable management ---------------------------------------------------
+
+    def _unique(self, name: str) -> str:
+        if name not in self.var_names:
+            return name
+        i = 2
+        while f"{name}__{i}" in self.var_names:
+            i += 1
+        return f"{name}__{i}"
+
+    def add_var(self, name: str, ctype: CType, is_param: bool = False) -> str:
+        uname = self._unique(name)
+        self.var_names.add(uname)
+        self.variables.append(
+            VarInfo(name=uname, ctype=ctype, is_param=is_param, source_name=name)
+        )
+        self.env_stack[-1][name] = uname
+        return uname
+
+    def new_temp(self, ctype: CType) -> str:
+        self.temp_counter += 1
+        name = f"__t{self.temp_counter}"
+        self.var_names.add(name)
+        self.variables.append(VarInfo(name=name, ctype=ctype, is_temp=True))
+        return name
+
+    def resolve(self, name: str) -> Optional[str]:
+        for env in reversed(self.env_stack):
+            if name in env:
+                return env[name]
+        return None
+
+    # -- entry -------------------------------------------------------------------
+
+    def run(self) -> NormFunc:
+        for p in self.func.params:
+            self.add_var(p.name, p.ctype, is_param=True)
+        body = self._stmt_list(self.func.body.body)
+        nf = NormFunc(
+            name=self.func.name,
+            ret=self.func.ret,
+            params=[v for v in self.variables if v.is_param],
+            variables=self.variables,
+            body=body,
+        )
+        _assign_stmt_ids(nf.body)
+        return nf
+
+    # -- statements -----------------------------------------------------------------
+
+    def _stmt_list(self, stmts: list[A.Stmt]) -> list[A.Stmt]:
+        out: list[A.Stmt] = []
+        for stmt in stmts:
+            out.extend(self._stmt(stmt))
+        return out
+
+    def _scoped(self, stmt: A.Stmt) -> list[A.Stmt]:
+        """Normalize a sub-statement in its own scope."""
+        self.env_stack.append({})
+        try:
+            return self._stmt(stmt)
+        finally:
+            self.env_stack.pop()
+
+    def _scoped_block(self, stmt: A.Stmt) -> A.Stmt:
+        stmts = self._scoped(stmt)
+        if len(stmts) == 1:
+            return stmts[0]
+        return A.Block(body=stmts, line=stmt.line)
+
+    def _stmt(self, stmt: A.Stmt) -> list[A.Stmt]:
+        if isinstance(stmt, A.Block):
+            self.env_stack.append({})
+            try:
+                return [A.Block(body=self._stmt_list(stmt.body), line=stmt.line)]
+            finally:
+                self.env_stack.pop()
+
+        if isinstance(stmt, A.DeclStmt):
+            out: list[A.Stmt] = []
+            for decl in stmt.decls:
+                uname = self.add_var(decl.name, decl.ctype)
+                if decl.init is not None:
+                    pre, value = self._rv(decl.init)
+                    out.extend(pre)
+                    out.append(self._mk_assign(_ident(uname, decl.ctype), value, decl.line))
+                if decl.init_list is not None:
+                    elem = decl.ctype.elem  # type: ignore[union-attr]
+                    for i, item in enumerate(decl.init_list):
+                        pre, value = self._rv(item)
+                        out.extend(pre)
+                        target = A.Index(
+                            base=_ident(uname, decl.ctype),
+                            index=A.IntLit(value=i, line=decl.line),
+                            line=decl.line,
+                        )
+                        target.index.ctype = INT
+                        target.ctype = elem
+                        out.append(self._mk_assign(target, value, decl.line))
+            return out
+
+        if isinstance(stmt, A.ExprStmt):
+            return self._expr_stmt(stmt.expr)
+
+        if isinstance(stmt, A.If):
+            pre, cond = self._rv(stmt.cond)
+            then = self._scoped_block(stmt.then)
+            other = self._scoped_block(stmt.other) if stmt.other is not None else None
+            return [*pre, A.If(cond=cond, then=then, other=other, line=stmt.line)]
+
+        if isinstance(stmt, A.While):
+            pre, cond = self._rv(stmt.cond)
+            body = self._scoped_block(stmt.body)
+            return [A.While(cond=cond, body=body, cond_pre=pre, line=stmt.line)]
+
+        if isinstance(stmt, A.DoWhile):
+            body = self._scoped_block(stmt.body)
+            pre, cond = self._rv(stmt.cond)
+            return [A.DoWhile(body=body, cond=cond, cond_pre=pre, line=stmt.line)]
+
+        if isinstance(stmt, A.For):
+            init_stmts = self._expr_stmt(stmt.init) if stmt.init is not None else []
+            if stmt.cond is not None:
+                cond_pre, cond = self._rv(stmt.cond)
+            else:
+                cond_pre, cond = [], None
+            step_stmts = self._expr_stmt(stmt.step) if stmt.step is not None else []
+            body = self._scoped_block(stmt.body)
+            return [
+                A.For(
+                    init=None,
+                    cond=cond,
+                    step=None,
+                    body=body,
+                    init_stmts=init_stmts,
+                    cond_pre=cond_pre,
+                    step_stmts=step_stmts,
+                    line=stmt.line,
+                )
+            ]
+
+        if isinstance(stmt, A.Return):
+            if stmt.value is None:
+                return [A.Return(value=None, line=stmt.line)]
+            # tail call: `return f(...)` with pure args stays direct
+            if isinstance(stmt.value, A.Call):
+                pre, call = self._call_with_pure_args(stmt.value)
+                return [*pre, A.Return(value=call, line=stmt.line)]
+            pre, value = self._rv(stmt.value)
+            return [*pre, A.Return(value=value, line=stmt.line)]
+
+        if isinstance(stmt, A.Switch):
+            pre, cond = self._rv(stmt.cond)
+            cases = [
+                A.SwitchCase(
+                    value=c.value, body=self._stmt_list(c.body), line=c.line
+                )
+                for c in stmt.cases
+            ]
+            return [*pre, A.Switch(cond=cond, cases=cases, line=stmt.line)]
+
+        if isinstance(stmt, (A.Break, A.Continue, A.PollHint)):
+            return [stmt]
+
+        raise NormalizeError(f"cannot normalize {type(stmt).__name__}")
+
+    def _expr_stmt(self, expr: A.Expr) -> list[A.Stmt]:
+        """Normalize an expression in statement (value-discarded) position."""
+        if isinstance(expr, A.Assign):
+            return self._assign_stmt(expr)
+        if isinstance(expr, A.Call):
+            pre, call = self._call_with_pure_args(expr)
+            return [*pre, A.ExprStmt(expr=call, line=expr.line)]
+        if isinstance(expr, A.Unary) and expr.op in ("++", "--", "p++", "p--"):
+            pre, _ = self._incdec(expr, need_value=False)
+            return pre
+        if isinstance(expr, A.Binary) and expr.op == ",":
+            return self._expr_stmt(expr.left) + self._expr_stmt(expr.right)
+        # value discarded: keep side effects only
+        pre, value = self._rv(expr)
+        del value
+        return pre
+
+    def _assign_stmt(self, expr: A.Assign) -> list[A.Stmt]:
+        pre_t, target = self._lvalue(expr.target)
+
+        if expr.op:  # compound: t op= v  ->  t = t op v (target now pure)
+            pre_v, value = self._rv(expr.value)
+            read = _copy_expr(target)
+            binop = A.Binary(op=expr.op, left=read, right=value, line=expr.line)
+            binop.ctype = _compound_result_type(target.ctype, value.ctype, expr.op)
+            rhs = _implicit_cast(binop, target.ctype)
+            return [*pre_t, *pre_v, self._mk_assign(target, rhs, expr.line)]
+
+        # chained assignment `a = b = c` was typed as Assign in value position
+        if isinstance(expr.value, A.Assign):
+            pre_v = self._assign_stmt(expr.value)
+            inner_target = pre_v[-1].expr.target  # type: ignore[attr-defined]
+            value = _implicit_cast(_copy_expr(inner_target), target.ctype)
+            return [*pre_t, *pre_v, self._mk_assign(target, value, expr.line)]
+
+        if isinstance(expr.value, A.Call):
+            pre_v, call = self._call_with_pure_args(expr.value)
+            call.ctype = expr.value.ctype
+            return [*pre_t, *pre_v, self._mk_assign(target, call, expr.line)]
+
+        # typed-malloc pattern: keep `(T*)call(...)` intact so the compiler
+        # can annotate the allocation with its element type (TI table)
+        if isinstance(expr.value, A.Cast) and isinstance(expr.value.operand, A.Call):
+            pre_v, call = self._call_with_pure_args(expr.value.operand)
+            cast = A.Cast(to=expr.value.to, operand=call, line=expr.value.line)
+            cast.ctype = expr.value.ctype
+            return [*pre_t, *pre_v, self._mk_assign(target, cast, expr.line)]
+
+        pre_v, value = self._rv(expr.value)
+        return [*pre_t, *pre_v, self._mk_assign(target, value, expr.line)]
+
+    def _mk_assign(self, target: A.Expr, value: A.Expr, line: int) -> A.ExprStmt:
+        assign = A.Assign(op="", target=target, value=value, line=line)
+        assign.ctype = target.ctype
+        return A.ExprStmt(expr=assign, line=line)
+
+    # -- expressions --------------------------------------------------------------
+
+    def _rv(self, expr: A.Expr) -> tuple[list[A.Stmt], A.Expr]:
+        """Linearize *expr* for use as a pure value.
+
+        Returns ``(stmts, pure_expr)``: running *stmts* then evaluating
+        *pure_expr* is equivalent to evaluating the original expression.
+        """
+        if isinstance(expr, (A.IntLit, A.FloatLit, A.CharLit, A.StringLit, A.Null)):
+            return [], expr
+
+        if isinstance(expr, A.Ident):
+            uname = self.resolve(expr.name)
+            if uname is not None and uname != expr.name:
+                renamed = A.Ident(name=uname, line=expr.line)
+                renamed.ctype = expr.ctype
+                return [], renamed
+            return [], expr
+
+        if isinstance(expr, A.Assign):
+            stmts = self._assign_stmt(expr)
+            target = stmts[-1].expr.target  # type: ignore[attr-defined]
+            return stmts, _copy_expr(target)
+
+        if isinstance(expr, A.Call):
+            pre, call = self._call_with_pure_args(expr)
+            if isinstance(call.ctype, VoidType):
+                raise NormalizeError(
+                    f"void value of {call.func}() used in an expression"
+                )
+            tname = self.new_temp(call.ctype)
+            tmp = _ident(tname, call.ctype)
+            pre.append(self._mk_assign(_ident(tname, call.ctype), call, expr.line))
+            return pre, tmp
+
+        if isinstance(expr, A.Unary):
+            if expr.op in ("++", "--", "p++", "p--"):
+                return self._incdec(expr, need_value=True)
+            if expr.op == "&":
+                pre, operand = self._lvalue(expr.operand)
+                out = A.Unary(op="&", operand=operand, line=expr.line)
+                out.ctype = expr.ctype
+                return pre, out
+            pre, operand = self._rv(expr.operand)
+            out = A.Unary(op=expr.op, operand=operand, line=expr.line)
+            out.ctype = expr.ctype
+            return pre, out
+
+        if isinstance(expr, A.Binary):
+            if expr.op in ("&&", "||"):
+                return self._logical(expr)
+            if expr.op == ",":
+                pre = self._expr_stmt(expr.left)
+                pre2, right = self._rv(expr.right)
+                return [*pre, *pre2], right
+            pre_l, left = self._rv(expr.left)
+            pre_r, right = self._rv(expr.right)
+            out = A.Binary(op=expr.op, left=left, right=right, line=expr.line)
+            out.ctype = expr.ctype
+            return [*pre_l, *pre_r], out
+
+        if isinstance(expr, A.Cond):
+            return self._ternary(expr)
+
+        if isinstance(expr, A.Index):
+            pre_b, base = self._rv(expr.base)
+            pre_i, index = self._rv(expr.index)
+            out = A.Index(base=base, index=index, line=expr.line)
+            out.ctype = expr.ctype
+            return [*pre_b, *pre_i], out
+
+        if isinstance(expr, A.Member):
+            if expr.arrow:
+                pre, base = self._rv(expr.base)
+            else:
+                pre, base = self._lvalue(expr.base)
+            out = A.Member(base=base, name=expr.name, arrow=expr.arrow, line=expr.line)
+            out.ctype = expr.ctype
+            return pre, out
+
+        if isinstance(expr, A.Cast):
+            if isinstance(expr.operand, A.Call):
+                # hoist the whole `(T*)call(...)` so the typed-malloc
+                # pattern survives into the generated assign statement
+                pre, call = self._call_with_pure_args(expr.operand)
+                cast = A.Cast(to=expr.to, operand=call, line=expr.line)
+                cast.ctype = expr.ctype
+                tname = self.new_temp(expr.ctype)
+                tmp = _ident(tname, expr.ctype)
+                pre.append(self._mk_assign(_ident(tname, expr.ctype), cast, expr.line))
+                return pre, tmp
+            pre, operand = self._rv(expr.operand)
+            out = A.Cast(to=expr.to, operand=operand, line=expr.line)
+            out.ctype = expr.ctype
+            return pre, out
+
+        if isinstance(expr, (A.SizeofType, A.SizeofExpr)):
+            return [], expr
+
+        raise NormalizeError(f"cannot linearize {type(expr).__name__}")
+
+    def _lvalue(self, expr: A.Expr) -> tuple[list[A.Stmt], A.Expr]:
+        """Linearize an lvalue expression (result remains an lvalue)."""
+        if isinstance(expr, A.Ident):
+            return self._rv(expr)
+        if isinstance(expr, A.Unary) and expr.op == "*":
+            pre, operand = self._rv(expr.operand)
+            out = A.Unary(op="*", operand=operand, line=expr.line)
+            out.ctype = expr.ctype
+            return pre, out
+        if isinstance(expr, A.Index):
+            pre_b, base = self._rv(expr.base)
+            pre_i, index = self._rv(expr.index)
+            out = A.Index(base=base, index=index, line=expr.line)
+            out.ctype = expr.ctype
+            return [*pre_b, *pre_i], out
+        if isinstance(expr, A.Member):
+            if expr.arrow:
+                pre, base = self._rv(expr.base)
+            else:
+                pre, base = self._lvalue(expr.base)
+            out = A.Member(base=base, name=expr.name, arrow=expr.arrow, line=expr.line)
+            out.ctype = expr.ctype
+            return pre, out
+        raise NormalizeError(f"not an lvalue: {type(expr).__name__}")
+
+    def _call_with_pure_args(self, call: A.Call) -> tuple[list[A.Stmt], A.Call]:
+        pre: list[A.Stmt] = []
+        args: list[A.Expr] = []
+        for arg in call.args:
+            p, a = self._rv(arg)
+            pre.extend(p)
+            args.append(a)
+        out = A.Call(func=call.func, args=args, line=call.line)
+        out.ctype = call.ctype
+        return pre, out
+
+    def _incdec(self, expr: A.Unary, need_value: bool) -> tuple[list[A.Stmt], A.Expr]:
+        pre, target = self._lvalue(expr.operand)
+        one = A.IntLit(value=1, line=expr.line)
+        one.ctype = INT
+        op = "+" if expr.op in ("++", "p++") else "-"
+        read = _copy_expr(target)
+        update = A.Binary(op=op, left=read, right=one, line=expr.line)
+        update.ctype = target.ctype
+        rhs = _implicit_cast(update, target.ctype)
+
+        if expr.op in ("++", "--") or not need_value:
+            stmts = [*pre, self._mk_assign(target, rhs, expr.line)]
+            return stmts, _copy_expr(target)
+
+        # postfix with value: save old value first
+        tname = self.new_temp(target.ctype)
+        tmp = _ident(tname, target.ctype)
+        stmts = [
+            *pre,
+            self._mk_assign(_ident(tname, target.ctype), _copy_expr(target), expr.line),
+            self._mk_assign(target, rhs, expr.line),
+        ]
+        return stmts, tmp
+
+    def _logical(self, expr: A.Binary) -> tuple[list[A.Stmt], A.Expr]:
+        pre_l, left = self._rv(expr.left)
+        pre_r, right = self._rv(expr.right)
+        if not pre_r:
+            out = A.Binary(op=expr.op, left=left, right=right, line=expr.line)
+            out.ctype = expr.ctype
+            return pre_l, out
+        # right side has side effects: expand into an if to keep short-circuit
+        tname = self.new_temp(INT)
+        tmp = _ident(tname, INT)
+        set_right = [*pre_r, self._mk_assign(_ident(tname, INT), _truth(right), expr.line)]
+        if expr.op == "&&":
+            const = A.IntLit(value=0, line=expr.line)
+            const.ctype = INT
+            branch = A.If(
+                cond=left,
+                then=A.Block(body=set_right, line=expr.line),
+                other=self._mk_assign(_ident(tname, INT), const, expr.line),
+                line=expr.line,
+            )
+        else:
+            const = A.IntLit(value=1, line=expr.line)
+            const.ctype = INT
+            branch = A.If(
+                cond=left,
+                then=self._mk_assign(_ident(tname, INT), const, expr.line),
+                other=A.Block(body=set_right, line=expr.line),
+                line=expr.line,
+            )
+        return [*pre_l, branch], tmp
+
+    def _ternary(self, expr: A.Cond) -> tuple[list[A.Stmt], A.Expr]:
+        pre_c, cond = self._rv(expr.cond)
+        pre_t, then = self._rv(expr.then)
+        pre_o, other = self._rv(expr.other)
+        if not pre_t and not pre_o:
+            out = A.Cond(cond=cond, then=then, other=other, line=expr.line)
+            out.ctype = expr.ctype
+            return pre_c, out
+        tname = self.new_temp(expr.ctype)
+        tmp = _ident(tname, expr.ctype)
+        branch = A.If(
+            cond=cond,
+            then=A.Block(
+                body=[*pre_t, self._mk_assign(_ident(tname, expr.ctype), then, expr.line)],
+                line=expr.line,
+            ),
+            other=A.Block(
+                body=[*pre_o, self._mk_assign(_ident(tname, expr.ctype), other, expr.line)],
+                line=expr.line,
+            ),
+            line=expr.line,
+        )
+        return [*pre_c, branch], tmp
+
+
+# -- helpers -----------------------------------------------------------------
+
+
+def _ident(name: str, ctype: CType) -> A.Ident:
+    out = A.Ident(name=name)
+    out.ctype = ctype
+    return out
+
+
+def _truth(expr: A.Expr) -> A.Expr:
+    """``expr != 0`` as an int-valued expression (idempotent for ints)."""
+    if expr.ctype == INT:
+        return expr
+    zero = A.IntLit(value=0, line=expr.line)
+    zero.ctype = expr.ctype if isinstance(expr.ctype, PrimType) else INT
+    out = A.Binary(op="!=", left=expr, right=zero, line=expr.line)
+    out.ctype = INT
+    return out
+
+
+def _implicit_cast(expr: A.Expr, to: CType) -> A.Expr:
+    if isinstance(to, PointerType) or expr.ctype is None:
+        return expr
+    if isinstance(expr.ctype, PrimType) and isinstance(to, PrimType):
+        if expr.ctype.kind != to.kind:
+            out = A.Cast(to=to, operand=expr, line=expr.line)
+            out.ctype = to
+            return out
+    return expr
+
+
+def _compound_result_type(lt: CType, rt: Optional[CType], op: str) -> CType:
+    from repro.vm.typecheck import arith_result
+
+    if isinstance(lt, PointerType):
+        return lt
+    if isinstance(lt, PrimType) and isinstance(rt, PrimType):
+        return PrimType(arith_result(lt.kind, rt.kind))
+    return lt
+
+
+def _copy_expr(expr: A.Expr) -> A.Expr:
+    """Deep copy of a *pure* expression tree (safe to re-evaluate)."""
+    if isinstance(expr, A.Ident):
+        out: A.Expr = A.Ident(name=expr.name, line=expr.line)
+    elif isinstance(expr, A.IntLit):
+        out = A.IntLit(value=expr.value, unsigned=expr.unsigned, long=expr.long, line=expr.line)
+    elif isinstance(expr, A.FloatLit):
+        out = A.FloatLit(value=expr.value, single=expr.single, line=expr.line)
+    elif isinstance(expr, A.CharLit):
+        out = A.CharLit(value=expr.value, line=expr.line)
+    elif isinstance(expr, A.Null):
+        out = A.Null(line=expr.line)
+    elif isinstance(expr, A.Unary):
+        out = A.Unary(op=expr.op, operand=_copy_expr(expr.operand), line=expr.line)
+    elif isinstance(expr, A.Binary):
+        out = A.Binary(
+            op=expr.op, left=_copy_expr(expr.left), right=_copy_expr(expr.right), line=expr.line
+        )
+    elif isinstance(expr, A.Index):
+        out = A.Index(base=_copy_expr(expr.base), index=_copy_expr(expr.index), line=expr.line)
+    elif isinstance(expr, A.Member):
+        out = A.Member(base=_copy_expr(expr.base), name=expr.name, arrow=expr.arrow, line=expr.line)
+    elif isinstance(expr, A.Cast):
+        out = A.Cast(to=expr.to, operand=_copy_expr(expr.operand), line=expr.line)
+    elif isinstance(expr, (A.SizeofType, A.SizeofExpr)):
+        return expr
+    else:
+        raise NormalizeError(f"cannot copy impure expression {type(expr).__name__}")
+    out.ctype = expr.ctype
+    return out
+
+
+def _assign_stmt_ids(body: list[A.Stmt]) -> None:
+    """Assign sequential ``stmt_id``s across the whole function body."""
+    counter = 0
+
+    def visit(stmt: A.Stmt) -> None:
+        nonlocal counter
+        stmt.stmt_id = counter
+        counter += 1
+        if isinstance(stmt, A.Block):
+            for s in stmt.body:
+                visit(s)
+        elif isinstance(stmt, A.If):
+            visit(stmt.then)
+            if stmt.other is not None:
+                visit(stmt.other)
+        elif isinstance(stmt, A.While):
+            for s in stmt.cond_pre:
+                visit(s)
+            visit(stmt.body)
+        elif isinstance(stmt, A.DoWhile):
+            visit(stmt.body)
+            for s in stmt.cond_pre:
+                visit(s)
+        elif isinstance(stmt, A.For):
+            for s in stmt.init_stmts:
+                visit(s)
+            for s in stmt.cond_pre:
+                visit(s)
+            visit(stmt.body)
+            for s in stmt.step_stmts:
+                visit(s)
+        elif isinstance(stmt, A.Switch):
+            for case in stmt.cases:
+                for s in case.body:
+                    visit(s)
+
+    for stmt in body:
+        visit(stmt)
+
+
+def normalize_function(func: A.FuncDef) -> NormFunc:
+    """Normalize one type-checked function definition."""
+    return _Normalizer(func).run()

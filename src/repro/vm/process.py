@@ -1,0 +1,236 @@
+"""A runnable, migratable simulated process.
+
+A :class:`Process` binds a :class:`~repro.vm.program.CompiledProgram` to
+one host architecture: simulated memory laid out per that architecture,
+the MSRLT tracking its memory blocks, the TI table, and the interpreter
+state (the frame stack).  This is the unit the migration engine collects
+from and restores into.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.clang.ctypes import ArrayType, CType, UCHAR
+from repro.msr.msrlt import MSRLT, MemoryBlock
+from repro.msr.ti import TITable
+from repro.vm.builtins import RAND_STATE_GLOBAL
+from repro.vm.compiler import kind_of
+from repro.vm.interpreter import Frame, Interpreter, RunResult, VMError
+from repro.vm.memory import Memory
+
+__all__ = ["Process", "ProcessExit"]
+
+
+class ProcessExit(Exception):
+    """Raised by ``exit()``/``abort()`` inside the VM."""
+
+    def __init__(self, code: int) -> None:
+        super().__init__(f"process exited with code {code}")
+        self.code = code
+
+
+class Process:
+    """One simulated process on one host architecture."""
+
+    def __init__(self, program, arch, name: str = "proc") -> None:
+        self.program = program
+        self.arch = arch
+        self.name = name
+        self.image = program.for_arch(arch)
+        self.layout = self.image.layout
+        self.memory = Memory(arch)
+        self.msrlt = MSRLT(self.layout)
+        # the TI table is immutable per (program, arch): share it
+        self.ti = program.ti_table(arch)
+        self.frames: list[Frame] = []
+        self._interp = Interpreter(self)
+        self._stdout: list[str] = []
+        self._loaded = False
+        self.exited = False
+        self.exit_code: Optional[int] = None
+        # migration plumbing
+        self.migration_pending = False
+        self.migrate_at_poll: Optional[int] = None  # restrict to one poll id
+        self.migrate_after_polls: Optional[int] = None  # fire on k-th match
+        # counters (overhead experiment §4.3)
+        self.steps = 0
+        self.polls = 0
+        self.mallocs = 0
+
+    # -- loading -----------------------------------------------------------------
+
+    def load(self) -> None:
+        """Lay out and initialize globals; register their MSR blocks."""
+        if self._loaded:
+            return
+        memory = self.memory
+        layout = self.layout
+        for idx, info in enumerate(self.program.globals):
+            addr = self.image.global_addrs[idx]
+            size = self.image.global_sizes[idx]
+            memory.zero(addr, size)
+            if info.init is not None:
+                memory.store(kind_of(info.ctype), addr, info.init)
+            elif info.init_list is not None:
+                elem = info.ctype.elem  # type: ignore[union-attr]
+                stride = layout.sizeof(elem)
+                kind = kind_of(elem)
+                for i, value in enumerate(info.init_list):
+                    memory.store(kind, addr + i * stride, value)
+            elif info.init_bytes is not None:
+                memory.write_bytes(addr, info.init_bytes)
+            self.msrlt.register_global(idx, addr, info.ctype, name=info.name)
+        self._loaded = True
+
+    def start(self) -> None:
+        """Load and push the initial ``main`` frame."""
+        self.load()
+        if self.frames:
+            raise VMError("process already started")
+        self.push_frame(self.program.main_index, [])
+
+    # -- execution -----------------------------------------------------------------
+
+    def run(self, max_steps: Optional[int] = None) -> RunResult:
+        """Run until exit, a triggered poll-point, or the step budget."""
+        if self.exited:
+            return RunResult(status="exit", exit_code=self.exit_code or 0)
+        if not self.frames:
+            self.start()
+        try:
+            result = self._interp.run(max_steps)
+        except ProcessExit as exc:
+            result = RunResult(status="exit", exit_code=exc.code)
+        if result.status == "exit":
+            self.exited = True
+            self.exit_code = result.exit_code
+            self.frames.clear()
+        return result
+
+    def run_to_completion(self) -> int:
+        """Run to exit; raises if the process stops at a poll instead."""
+        result = self.run()
+        if result.status != "exit":
+            raise VMError(f"process stopped with status {result.status!r}")
+        return result.exit_code
+
+    def push_frame(self, func_idx: int, args: list) -> Frame:
+        """Create an activation record and make it the running frame."""
+        image = self.image.funcs[func_idx]
+        saved_sp = self.memory.sp
+        base = self.memory.stack_alloc(image.frame_size)
+        # deterministic frames: uninitialized locals read as zero on every
+        # host, so divergent garbage can never masquerade as working code
+        self.memory.zero(base, image.frame_size)
+        for i, value in enumerate(args):
+            kind = image.var_kinds[i]
+            self.memory.store(kind, base + image.var_offsets[i], value)
+        frame = Frame(func_idx, image, base, saved_sp)
+        self.frames.append(frame)
+        return frame
+
+    def should_migrate_at(self, poll_id: int) -> bool:
+        """Whether a pending migration request fires at this poll point.
+
+        ``migrate_at_poll`` restricts firing to one poll-point id;
+        ``migrate_after_polls = k`` fires on the k-th matching poll
+        (both model the scheduler's request arriving mid-execution).
+        """
+        if self.migrate_at_poll is not None and poll_id != self.migrate_at_poll:
+            return False
+        if self.migrate_after_polls is not None:
+            self.migrate_after_polls -= 1
+            if self.migrate_after_polls > 0:
+                return False
+            self.migrate_after_polls = None
+        return True
+
+    # -- stdio --------------------------------------------------------------------------
+
+    def write_stdout(self, text: str) -> None:
+        """Append to the process's captured stdout (used by builtins)."""
+        self._stdout.append(text)
+
+    @property
+    def stdout(self) -> str:
+        """Everything the process printed so far."""
+        return "".join(self._stdout)
+
+    # -- heap (typed allocation feeding the MSRLT) ------------------------------------------
+
+    def typed_malloc(self, nbytes: int, type_id: Optional[int]) -> int:
+        """``malloc`` with the pre-compiler's element-type annotation."""
+        self.mallocs += 1
+        elem: CType = UCHAR if type_id is None else self.program.type_by_id(type_id)
+        esize = self.layout.sizeof(elem)
+        if nbytes > 0 and nbytes % esize == 0:
+            count = nbytes // esize
+        else:
+            # size not a whole element multiple: fall back to a byte block
+            elem = UCHAR
+            count = max(nbytes, 1)
+        addr = self.memory.heap_alloc(max(nbytes, 1))
+        self.msrlt.register_heap(addr, elem, count)
+        return addr
+
+    def typed_free(self, addr: int) -> None:
+        """``free``: unregister the MSR block and recycle the memory."""
+        if addr == 0:
+            return
+        self.msrlt.unregister(addr)
+        self.memory.heap_free(addr)
+
+    def restore_heap_block(self, elem: CType, count: int, serial: int) -> MemoryBlock:
+        """Allocate + register a heap block during restoration, keeping the
+        source host's serial so logical ids stay stable across re-migration."""
+        size = self.layout.sizeof(elem) * count
+        addr = self.memory.heap_alloc(size)
+        return self.msrlt.register_heap(addr, elem, count, serial=serial)
+
+    # -- stack block registration (collection/restoration support) ----------------------------
+
+    def register_stack_blocks(self) -> int:
+        """Register every live local variable as an MSR block.
+
+        Done lazily at migration time (not per call) so that ordinary
+        execution pays no per-frame MSRLT cost — the design §4.3 argues
+        for.  Returns the number of blocks registered.
+        """
+        n = 0
+        for depth, frame in enumerate(self.frames):
+            fir = self.program.functions[frame.func_idx]
+            offsets = frame.image.var_offsets
+            for var_idx, var in enumerate(fir.norm.variables):
+                if self.msrlt.has_logical((1, depth, var_idx)):  # idempotent
+                    continue
+                self.msrlt.register_stack(
+                    depth, var_idx, frame.base + offsets[var_idx], var.ctype, name=var.name
+                )
+                n += 1
+        return n
+
+    def create_restored_frame(self, func_idx: int, resume_pc: int) -> Frame:
+        """Rebuild one activation record during restoration (outermost
+        first); its locals are filled by the restorer afterwards."""
+        frame = self.push_frame(func_idx, [])
+        frame.pc = resume_pc
+        return frame
+
+    # -- PRNG state (lives in simulated memory; migrates) ---------------------------------------
+
+    def _rand_addr(self) -> int:
+        idx = self.program.global_index(RAND_STATE_GLOBAL)
+        assert idx is not None
+        return self.image.global_addrs[idx]
+
+    def get_rand_state(self) -> int:
+        """Read the PRNG cell from simulated memory."""
+        return self.memory.load("uint", self._rand_addr())
+
+    def set_rand_state(self, value: int) -> None:
+        """Write the PRNG cell in simulated memory."""
+        self.memory.store("uint", self._rand_addr(), value)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Process {self.name} on {self.arch.name}, {len(self.frames)} frames>"

@@ -1,0 +1,28 @@
+"""The paper's evaluation workloads, written in the migration-safe C subset.
+
+- :func:`test_pointer_source` — the synthetic pointer-structure program
+  (§4.1): tree, pointer to int, pointer to an array of 10 ints, pointer
+  to an array of 10 pointers to int, and a DAG with shared nodes;
+- :func:`linpack_source` — the linpack benchmark (solve Ax = b with LU
+  factorization and partial pivoting): few MSR nodes, each very large;
+- :func:`bitonic_source` — the bitonic/tree sort: a binary tree of random
+  integers, sorted on in-order traversal; very many small heap blocks.
+"""
+
+from repro.workloads.programs import (
+    bitonic_source,
+    hashtable_source,
+    linpack_source,
+    test_pointer_source,
+    matmul_source,
+    nbody_source,
+)
+
+__all__ = [
+    "bitonic_source",
+    "hashtable_source",
+    "linpack_source",
+    "test_pointer_source",
+    "matmul_source",
+    "nbody_source",
+]

@@ -1,0 +1,38 @@
+"""Shared fixtures and helpers for the test suite."""
+
+import pytest
+
+from repro.arch import ALPHA, DEC5000, SPARC20, ULTRA5, X86, X86_64
+from repro.vm.process import Process
+from repro.vm.program import compile_program
+
+#: the paper's truly-heterogeneous pair (§4.1)
+PAPER_PAIR = (DEC5000, SPARC20)
+#: all preset architectures
+ALL_ARCHS = (DEC5000, SPARC20, ULTRA5, ALPHA, X86, X86_64)
+
+
+def run_c(source: str, arch=DEC5000, **compile_kwargs):
+    """Compile and run *source* on *arch*; returns (exit_code, stdout)."""
+    prog = compile_program(source, **compile_kwargs)
+    proc = Process(prog, arch)
+    code = proc.run_to_completion()
+    return code, proc.stdout
+
+
+def run_main(body: str, arch=DEC5000, prelude: str = "", **kwargs):
+    """Wrap *body* in main() and run it; returns stdout."""
+    source = f"{prelude}\nint main() {{ {body} return 0; }}\n"
+    _, out = run_c(source, arch, **kwargs)
+    return out
+
+
+def expr_value(expr: str, decls: str = "", fmt: str = "%d", arch=DEC5000) -> str:
+    """Evaluate a C expression and return its printf rendering."""
+    out = run_main(f'{decls} printf("{fmt}", {expr});', arch=arch)
+    return out
+
+
+@pytest.fixture
+def compile_and_run():
+    return run_c

@@ -1,0 +1,131 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+DEMO = """
+struct node { int v; struct node *next; };
+struct node *head;
+int main() {
+    int i;
+    for (i = 0; i < 10; i++) {
+        struct node *n = (struct node *) malloc(sizeof(struct node));
+        n->v = i; n->next = head; head = n;
+    }
+    { int s = 0; struct node *p;
+      for (p = head; p != NULL; p = p->next) s += p->v;
+      printf("sum=%d\\n", s); }
+    return 0;
+}
+"""
+
+UNSAFE = """
+int main() {
+    int x;
+    long leak = (long) &x;
+    return (int) leak;
+}
+"""
+
+
+@pytest.fixture
+def demo_c(tmp_path):
+    path = tmp_path / "demo.c"
+    path.write_text(DEMO)
+    return str(path)
+
+
+@pytest.fixture
+def unsafe_c(tmp_path):
+    path = tmp_path / "unsafe.c"
+    path.write_text(UNSAFE)
+    return str(path)
+
+
+class TestRun:
+    def test_run_prints_output(self, demo_c, capsys):
+        assert main(["run", demo_c]) == 0
+        assert capsys.readouterr().out == "sum=45\n"
+
+    def test_run_on_other_arch(self, demo_c, capsys):
+        assert main(["run", demo_c, "--arch", "alpha"]) == 0
+        assert capsys.readouterr().out == "sum=45\n"
+
+    def test_stats_flag(self, demo_c, capsys):
+        main(["run", demo_c, "--stats"])
+        err = capsys.readouterr().err
+        assert "instructions" in err and "poll-points" in err
+
+    def test_unknown_arch_rejected(self, demo_c):
+        with pytest.raises(SystemExit):
+            main(["run", demo_c, "--arch", "pdp11"])
+
+    def test_parse_error_reported(self, tmp_path):
+        bad = tmp_path / "bad.c"
+        bad.write_text("int main( {")
+        with pytest.raises(SystemExit, match="bad.c"):
+            main(["run", str(bad)])
+
+
+class TestCheck:
+    def test_safe_program(self, demo_c, capsys):
+        assert main(["check", demo_c]) == 0
+        assert "migration-safe" in capsys.readouterr().out
+
+    def test_unsafe_program(self, unsafe_c, capsys):
+        assert main(["check", unsafe_c]) == 1
+        assert "UNSAFE" in capsys.readouterr().out
+
+    def test_strict_compile_rejects_unsafe(self, unsafe_c):
+        with pytest.raises(SystemExit, match="unsafe"):
+            main(["run", unsafe_c])
+
+    def test_no_strict_allows(self, unsafe_c, capsys):
+        main(["run", unsafe_c, "--no-strict"])
+
+
+class TestAnnotate:
+    def test_emits_macros(self, demo_c, capsys):
+        assert main(["annotate", demo_c]) == 0
+        captured = capsys.readouterr()
+        assert "MIG_POLL(" in captured.out
+        assert "poll-points annotated" in captured.err
+
+
+class TestMigrate:
+    def test_migrate_matches_baseline(self, demo_c, capsys):
+        rc = main(
+            ["migrate", demo_c, "--from", "dec5000", "--to", "sparc20",
+             "--after-polls", "7"]
+        )
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert captured.out == "sum=45\n"
+        assert "identical" in captured.err
+
+    def test_migrate_past_exit_fails_cleanly(self, demo_c):
+        with pytest.raises(SystemExit, match="exited"):
+            main(["migrate", demo_c, "--after-polls", "99999"])
+
+
+class TestCheckpointRestartCLI:
+    def test_checkpoint_then_restart(self, demo_c, tmp_path, capsys):
+        snap = str(tmp_path / "s.ckpt")
+        assert main(["checkpoint", demo_c, "--after-polls", "5", "-o", snap]) == 0
+        capsys.readouterr()
+        rc = main(["restart", demo_c, snap, "--arch", "x86_64"])
+        assert rc == 0
+        assert capsys.readouterr().out == "sum=45\n"
+
+
+class TestGraph:
+    def test_graph_summary(self, demo_c, capsys):
+        assert main(["graph", demo_c, "--after-polls", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "MSR graph" in out and "|V|=" in out
+
+    def test_graph_verbose(self, demo_c, capsys):
+        main(["graph", demo_c, "--after-polls", "8", "-v"])
+        out = capsys.readouterr().out
+        assert "->" in out  # edges listed

@@ -1,0 +1,435 @@
+"""MSR collection/restoration roundtrip tests.
+
+These drive ``Save_pointer``/``Restore_pointer`` through real programs
+stopped at migration points, asserting the structural properties §3
+claims: no duplication under sharing, cycle safety, interior-pointer
+fidelity, byte-order conversion, and the REF/BLOCK record discipline.
+"""
+
+import pytest
+
+from repro.arch import ALPHA, DEC5000, SPARC20, X86
+from repro.migration.engine import collect_state, restore_state
+from repro.msr.msrlt import BlockKind
+from repro.vm.process import Process
+from repro.vm.program import compile_program
+
+
+def stop_at_poll(source: str, arch=DEC5000, after_polls: int = 1, **kwargs) -> Process:
+    """Run *source* on *arch* until the requested poll fires.
+
+    Compiles with only the explicit ``migrate_here()`` poll-points so the
+    tests' poll counting is not perturbed by automatic loop polls.
+    """
+    kwargs.setdefault("poll_strategy", "user")
+    prog = compile_program(source, **kwargs)
+    proc = Process(prog, arch)
+    proc.start()
+    proc.migration_pending = True
+    proc.migrate_after_polls = after_polls
+    result = proc.run()
+    assert result.status == "poll", result
+    return proc
+
+
+def roundtrip(proc: Process, dest_arch=SPARC20):
+    """Collect from *proc*, restore into a fresh process on *dest_arch*."""
+    payload, cinfo = collect_state(proc)
+    dest = Process(proc.program, dest_arch)
+    rinfo = restore_state(proc.program, payload, dest)
+    return dest, payload, cinfo, rinfo
+
+
+SHARED_GRAPH = """
+struct cell { int v; struct cell *a; struct cell *b; };
+struct cell *root;
+struct cell *other;
+int main() {
+    struct cell *shared;
+    shared = (struct cell *) malloc(sizeof(struct cell));
+    shared->v = 99; shared->a = NULL; shared->b = NULL;
+    root = (struct cell *) malloc(sizeof(struct cell));
+    root->v = 1; root->a = shared; root->b = shared;
+    other = shared;
+    migrate_here();
+    printf("%d %d %d %d", root->v, root->a->v, root->b->v, other->v);
+    return 0;
+}
+"""
+
+
+class TestSharingAndCycles:
+    def test_shared_node_saved_once(self):
+        proc = stop_at_poll(SHARED_GRAPH)
+        payload, cinfo = collect_state(proc)
+        # shared cell appears exactly once as a BLOCK; later sightings are REFs
+        heap_blocks = cinfo.stats.n_blocks
+        dest = Process(proc.program, SPARC20)
+        rinfo = restore_state(proc.program, payload, dest)
+        assert rinfo.stats.n_heap_allocs == 2  # root + shared, NOT 3
+        assert rinfo.stats.n_refs >= 2  # b-edge and `other` resolve as REFs
+
+    def test_shared_identity_preserved(self):
+        proc = stop_at_poll(SHARED_GRAPH)
+        dest, *_ = roundtrip(proc)
+        result = dest.run()
+        assert result.status == "exit"
+        assert dest.stdout == "1 99 99 99"
+        # identity: root->a and root->b are the SAME address on the dest
+        prog = proc.program
+        root_addr = dest.memory.load(
+            "ptr", dest.image.global_addrs[prog.global_index("root")]
+        )
+        # fields: v at 0, a at offset(int), b after
+        lay = dest.layout
+        stype = prog.unit.structs["cell"]
+        a = dest.memory.load("ptr", root_addr + lay.field_offset(stype, "a"))
+        b = dest.memory.load("ptr", root_addr + lay.field_offset(stype, "b"))
+        assert a == b != 0
+
+    def test_cycle_roundtrip(self):
+        src = """
+        struct ring { int v; struct ring *next; };
+        struct ring *entry;
+        int main() {
+            struct ring *a; struct ring *b; struct ring *c;
+            a = (struct ring *) malloc(sizeof(struct ring));
+            b = (struct ring *) malloc(sizeof(struct ring));
+            c = (struct ring *) malloc(sizeof(struct ring));
+            a->v = 1; b->v = 2; c->v = 3;
+            a->next = b; b->next = c; c->next = a;  /* cycle */
+            entry = a;
+            migrate_here();
+            printf("%d%d%d%d", entry->v, entry->next->v,
+                   entry->next->next->v, entry->next->next->next->v);
+            return 0;
+        }
+        """
+        proc = stop_at_poll(src)
+        dest, payload, cinfo, rinfo = roundtrip(proc)
+        assert rinfo.stats.n_heap_allocs == 3
+        dest.run()
+        assert dest.stdout == "1231"
+
+    def test_self_pointer(self):
+        src = """
+        struct selfp { struct selfp *me; int v; };
+        struct selfp *s;
+        int main() {
+            s = (struct selfp *) malloc(sizeof(struct selfp));
+            s->me = s; s->v = 5;
+            migrate_here();
+            printf("%d %d", s->v, s->me->me->me->v);
+            return 0;
+        }
+        """
+        proc = stop_at_poll(src)
+        dest, *_ = roundtrip(proc)
+        dest.run()
+        assert dest.stdout == "5 5"
+
+
+class TestPointerShapes:
+    def test_interior_pointer_into_array(self):
+        src = """
+        double data[16];
+        double *mid;
+        int main() {
+            int i;
+            for (i = 0; i < 16; i++) data[i] = i * 0.5;
+            mid = &data[10];
+            migrate_here();
+            printf("%.1f %.1f", *mid, mid[-3]);
+            return 0;
+        }
+        """
+        proc = stop_at_poll(src)
+        dest, *_ = roundtrip(proc)
+        dest.run()
+        assert dest.stdout == "5.0 3.5"
+
+    def test_one_past_end_pointer(self):
+        src = """
+        int arr[4];
+        int *end;
+        int main() {
+            int i;
+            for (i = 0; i < 4; i++) arr[i] = i + 1;
+            end = arr + 4;       /* legal C: one past the end */
+            migrate_here();
+            printf("%d %d", (int)(end - arr), end[-1]);
+            return 0;
+        }
+        """
+        proc = stop_at_poll(src)
+        dest, *_ = roundtrip(proc)
+        dest.run()
+        assert dest.stdout == "4 4"
+
+    def test_pointer_into_struct_field(self):
+        src = """
+        struct rec { int a; double d; int b; };
+        struct rec r;
+        int *pb;
+        double *pd;
+        int main() {
+            r.a = 1; r.d = 2.5; r.b = 3;
+            pb = &r.b;
+            pd = &r.d;
+            migrate_here();
+            printf("%d %.1f", *pb, *pd);
+            return 0;
+        }
+        """
+        proc = stop_at_poll(src)
+        dest, *_ = roundtrip(proc)
+        dest.run()
+        assert dest.stdout == "3 2.5"
+
+    def test_stack_pointer_across_frames(self):
+        src = """
+        int helper(int *cell, int n) {
+            int i; int local = 0;
+            for (i = 0; i < n; i++) {
+                migrate_here();
+                local += *cell;
+                *cell += 1;
+            }
+            return local;
+        }
+        int main() {
+            int counter = 10;
+            int r = helper(&counter, 4);
+            printf("%d %d", r, counter);
+            return 0;
+        }
+        """
+        proc = stop_at_poll(src, after_polls=3)
+        assert len(proc.frames) == 2
+        dest, *_ = roundtrip(proc)
+        dest.run()
+        base = Process(compile_program(src), DEC5000)
+        base.run_to_completion()
+        assert dest.stdout == base.stdout == "46 14"
+
+    def test_null_pointers_stay_null(self):
+        src = """
+        struct n { struct n *next; int v; };
+        struct n *head;
+        int *q;
+        int main() {
+            head = (struct n *) malloc(sizeof(struct n));
+            head->next = NULL; head->v = 3;
+            q = NULL;
+            migrate_here();
+            printf("%d %d %d", head->v, head->next == NULL, q == NULL);
+            return 0;
+        }
+        """
+        proc = stop_at_poll(src)
+        dest, payload, cinfo, rinfo = roundtrip(proc)
+        assert cinfo.stats.n_nulls >= 2
+        dest.run()
+        assert dest.stdout == "3 1 1"
+
+    def test_pointer_to_string_literal(self):
+        src = """
+        char *msg;
+        int main() {
+            msg = "hello";
+            migrate_here();
+            printf("%s/%d", msg, msg[1]);
+            return 0;
+        }
+        """
+        proc = stop_at_poll(src)
+        dest, *_ = roundtrip(proc)
+        dest.run()
+        assert dest.stdout == "hello/101"
+
+
+class TestEndianAndWidthConversion:
+    @pytest.mark.parametrize(
+        "src_arch,dst_arch",
+        [(DEC5000, SPARC20), (SPARC20, DEC5000), (DEC5000, ALPHA),
+         (ALPHA, SPARC20), (X86, SPARC20), (SPARC20, X86)],
+        ids=lambda a: a.name,
+    )
+    def test_scalars_convert(self, src_arch, dst_arch):
+        src = """
+        int i_neg = -123456789;
+        unsigned int u_big;
+        double d_pi = 3.141592653589793;
+        float f_val = 2.71828f;
+        short s_neg = -32000;
+        char c_val = 'Z';
+        long l_val = -2000000;
+        int main() {
+            u_big = 4000000000u;
+            migrate_here();
+            printf("%d %u %.15f %.5f %d %d %d",
+                   i_neg, u_big, d_pi, f_val, s_neg, c_val, (int) l_val);
+            return 0;
+        }
+        """
+        proc = stop_at_poll(src, arch=src_arch)
+        dest, *_ = roundtrip(proc, dest_arch=dst_arch)
+        dest.run()
+        base = Process(compile_program(src), src_arch)
+        base.run_to_completion()
+        assert dest.stdout == base.stdout
+
+    def test_double_bit_exactness(self):
+        """§4.1: "The data collection and restoration process preserves
+        the high-order floating point accuracy." — bit-exact, in fact."""
+        src = """
+        double vals[6];
+        int main() {
+            vals[0] = 1.0 / 3.0;
+            vals[1] = 1.0e-300;
+            vals[2] = 1.0e300;
+            vals[3] = -0.0;
+            vals[4] = 4.9e-324;     /* subnormal */
+            vals[5] = 0.1 + 0.2;
+            migrate_here();
+            return 0;
+        }
+        """
+        proc = stop_at_poll(src)
+        gidx = proc.program.global_index("vals")
+        src_vals = proc.memory.read_array(
+            "double", proc.image.global_addrs[gidx], 6
+        )
+        dest, *_ = roundtrip(proc)
+        dst_vals = dest.memory.read_array(
+            "double", dest.image.global_addrs[gidx], 6
+        )
+        import numpy as np
+
+        assert np.array_equal(
+            src_vals.astype("<f8").view("<u8"), dst_vals.astype("<f8").view("<u8")
+        )
+
+    def test_addresses_actually_differ(self):
+        """Pointers must be translated, not copied: the same block lands
+        at a different address on the destination."""
+        src = """
+        int *p;
+        int main() {
+            p = (int *) malloc(sizeof(int));
+            *p = 7;
+            migrate_here();
+            printf("%d", *p);
+            return 0;
+        }
+        """
+        proc = stop_at_poll(src)
+        gidx = proc.program.global_index("p")
+        src_ptr = proc.memory.load("ptr", proc.image.global_addrs[gidx])
+        dest, *_ = roundtrip(proc)
+        dst_ptr = dest.memory.load("ptr", dest.image.global_addrs[gidx])
+        assert src_ptr != dst_ptr  # different heap bases by design
+        dest.run()
+        assert dest.stdout == "7"
+
+
+class TestWireFormat:
+    def test_trailing_garbage_rejected(self):
+        proc = stop_at_poll(SHARED_GRAPH)
+        payload, _ = collect_state(proc)
+        dest = Process(proc.program, SPARC20)
+        from repro.migration.engine import MigrationError
+
+        with pytest.raises(MigrationError, match="trailing"):
+            restore_state(proc.program, payload + b"\x00\x00", dest)
+
+    def test_truncated_payload_rejected(self):
+        proc = stop_at_poll(SHARED_GRAPH)
+        payload, _ = collect_state(proc)
+        dest = Process(proc.program, SPARC20)
+        with pytest.raises(Exception):
+            restore_state(proc.program, payload[: len(payload) // 2], dest)
+
+    def test_bad_magic_rejected(self):
+        proc = stop_at_poll(SHARED_GRAPH)
+        payload, _ = collect_state(proc)
+        dest = Process(proc.program, SPARC20)
+        with pytest.raises(ValueError, match="magic"):
+            restore_state(proc.program, b"XXXX" + payload[4:], dest)
+
+    def test_payload_smaller_than_data_for_dedup(self):
+        """With heavy sharing the wire carries REFs, not copies."""
+        src = """
+        struct fat { double pad[32]; int v; };
+        struct fat *one;
+        struct fat *copies[50];
+        int main() {
+            int i;
+            one = (struct fat *) malloc(sizeof(struct fat));
+            one->v = 42;
+            for (i = 0; i < 50; i++) copies[i] = one;
+            migrate_here();
+            printf("%d", copies[49]->v);
+            return 0;
+        }
+        """
+        proc = stop_at_poll(src)
+        payload, cinfo = collect_state(proc)
+        # the fat block is ~264 bytes; 50 copies would be ~13 KB
+        assert len(payload) < 2500
+        dest = Process(proc.program, SPARC20)
+        restore_state(proc.program, payload, dest)
+        dest.run()
+        assert dest.stdout == "42"
+
+    def test_collect_stats_accounting(self):
+        proc = stop_at_poll(SHARED_GRAPH)
+        payload, cinfo = collect_state(proc)
+        s = cinfo.stats
+        assert s.wire_bytes == len(payload)
+        assert s.n_blocks > 0
+        assert s.data_bytes > 0
+
+
+class TestFreedBlocks:
+    def test_freed_blocks_not_collected(self):
+        src = """
+        int *keep;
+        int main() {
+            int *tmp;
+            int i;
+            for (i = 0; i < 10; i++) {
+                tmp = (int *) malloc(sizeof(int));
+                free(tmp);
+            }
+            keep = (int *) malloc(sizeof(int));
+            *keep = 11;
+            tmp = NULL;
+            migrate_here();
+            printf("%d", *keep);
+            return 0;
+        }
+        """
+        proc = stop_at_poll(src)
+        payload, cinfo = collect_state(proc)
+        dest = Process(proc.program, SPARC20)
+        rinfo = restore_state(proc.program, payload, dest)
+        assert rinfo.stats.n_heap_allocs == 1  # only `keep` survives
+        dest.run()
+        assert dest.stdout == "11"
+
+    def test_dangling_pointer_detected_at_collection(self):
+        src = """
+        int *dangling;
+        int main() {
+            dangling = (int *) malloc(sizeof(int));
+            free(dangling);            /* migration-unsafe behaviour */
+            migrate_here();
+            return 0;
+        }
+        """
+        proc = stop_at_poll(src)
+        from repro.msr.msrlt import MSRLTError
+
+        with pytest.raises(MSRLTError, match="dangling|not inside"):
+            collect_state(proc)

@@ -1,0 +1,133 @@
+"""§4.2 complexity claims, verified with deterministic counters.
+
+Timing-based shape checks live in the benchmarks; these tests pin the
+same claims to quantities that cannot flake: block counts, wire bytes,
+and MSRLT operation counters.
+"""
+
+import pytest
+
+from repro.arch import ULTRA5
+from repro.migration.engine import collect_state
+from repro.vm.process import Process
+from repro.vm.program import compile_program
+from repro.workloads import bitonic_source, linpack_source
+
+
+def stopped(src, after=1, arch=ULTRA5):
+    prog = compile_program(src, poll_strategy="user")
+    proc = Process(prog, arch)
+    proc.start()
+    proc.migration_pending = True
+    proc.migrate_after_polls = after
+    assert proc.run().status == "poll"
+    return proc
+
+
+class TestLinpackShape:
+    """Figure 2(a): constant n, Σ Dᵢ ∝ N², wire ∝ Σ Dᵢ."""
+
+    SIZES = (16, 32, 48)
+
+    @pytest.fixture(scope="class")
+    def runs(self):
+        out = []
+        for n in self.SIZES:
+            proc = stopped(linpack_source(n))
+            payload, cinfo = collect_state(proc)
+            out.append((n, cinfo.stats, len(payload)))
+        return out
+
+    def test_constant_node_count(self, runs):
+        counts = {stats.n_blocks for _n, stats, _w in runs}
+        assert len(counts) == 1
+
+    def test_data_scales_quadratically_in_n(self, runs):
+        (n1, s1, _), (_n2, _s2, _), (n3, s3, _) = runs
+        ratio = s3.data_bytes / s1.data_bytes
+        expect = (n3 * n3) / (n1 * n1)
+        assert ratio == pytest.approx(expect, rel=0.15)
+
+    def test_wire_linear_in_data(self, runs):
+        for _n, stats, wire in runs:
+            # wire = canonical-width data + per-block framing; the data
+            # term dominates and framing is constant (constant n)
+            assert abs(wire - stats.data_bytes) < 0.2 * stats.data_bytes + 2048
+
+    def test_search_count_constant(self):
+        """MSRLT search work does not grow with the matrix."""
+        searches = []
+        for n in self.SIZES:
+            proc = stopped(linpack_source(n))
+            before = proc.msrlt.n_searches
+            collect_state(proc)
+            searches.append(proc.msrlt.n_searches - before)
+        assert len(set(searches)) == 1
+
+
+class TestBitonicShape:
+    """Figure 2(b): n blocks ∝ nodes, searches ∝ pointers, both linear."""
+
+    SIZES = (100, 200, 400)
+
+    @pytest.fixture(scope="class")
+    def runs(self):
+        out = []
+        for n in self.SIZES:
+            proc = stopped(bitonic_source(n), after=n)
+            before = proc.msrlt.n_searches
+            payload, cinfo = collect_state(proc)
+            searches = proc.msrlt.n_searches - before
+            out.append((n, cinfo.stats, searches))
+        return out
+
+    def test_blocks_linear_in_n(self, runs):
+        for n, stats, _s in runs:
+            assert n <= stats.n_blocks <= n + 16  # n tree nodes + fixed roots
+
+    def test_searches_linear_in_n(self, runs):
+        (n1, _s1, q1), (_n2, _s2, _q2), (n3, _s3, q3) = runs
+        assert q3 / q1 == pytest.approx(n3 / n1, rel=0.15)
+
+    def test_average_block_is_small(self, runs):
+        for _n, stats, _q in runs:
+            assert stats.data_bytes / stats.n_blocks < 32
+
+    def test_restore_does_no_searches(self, runs):
+        """The §4.2 asymmetry at its root: restoration never searches
+        the address table — logical ids resolve through the O(1) map."""
+        from repro.migration.engine import restore_state
+
+        proc = stopped(bitonic_source(150), after=150)
+        payload, _ = collect_state(proc)
+        dest = Process(proc.program, ULTRA5)
+        before = dest.msrlt.n_searches
+        restore_state(proc.program, payload, dest)
+        assert dest.msrlt.n_searches == before
+
+
+class TestDedupShape:
+    def test_k_aliases_cost_one_block_plus_k_refs(self):
+        """Wire size grows by a constant per extra alias, not per copy."""
+        def payload_with_aliases(k):
+            slots = "".join(f"copies[{i}] = one;\n" for i in range(k))
+            src = f"""
+            struct fat {{ double pad[64]; }};
+            struct fat *one;
+            struct fat *copies[32];
+            int main() {{
+                one = (struct fat *) malloc(sizeof(struct fat));
+                {slots}
+                migrate_here();
+                return 0;
+            }}
+            """
+            proc = stopped(src)
+            data, cinfo = collect_state(proc)
+            return len(data), cinfo.stats
+
+        w1, s1 = payload_with_aliases(1)
+        w16, s16 = payload_with_aliases(16)
+        assert s1.n_blocks == s16.n_blocks  # still one fat block
+        per_alias = (w16 - w1) / 15
+        assert per_alias < 32  # a REF record, not a 512-byte copy

@@ -1,0 +1,34 @@
+"""Every example script must run clean (deliverable b stays green)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).parent.parent / "examples").glob("*.py"))
+
+# fast arguments where a script accepts a size
+_ARGS = {
+    "linpack_migration.py": ["40"],
+    "bitonic_treesort.py": ["500"],
+}
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(script), *_ARGS.get(script.name, [])],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "example produced no output"
+
+
+def test_examples_exist():
+    assert len(EXAMPLES) >= 5
+    names = {p.name for p in EXAMPLES}
+    assert "quickstart.py" in names
+    assert "paper_figure1.py" in names

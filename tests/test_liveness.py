@@ -1,0 +1,237 @@
+"""Tests for the live-variable analysis (the pre-compiler's core)."""
+
+import pytest
+
+from repro.analysis.cfg import build_blocks
+from repro.analysis.liveness import compute_liveness
+from repro.vm.ir import Op
+from repro.vm.program import compile_program
+
+
+def liveness_of(source: str, fname: str = "main", **kwargs):
+    prog = compile_program(source, **kwargs)
+    fir = prog.function(fname)
+    return prog, fir
+
+
+def live_names_at_poll(prog, fir, which: int = 0):
+    poll_pcs = sorted(fir.poll_pcs.values())
+    pc = poll_pcs[which]
+    fidx = prog._func_index[fir.name]
+    live = prog.live_at(fidx, pc + 1)
+    return {fir.norm.variables[i].name for i in live}
+
+
+class TestLiveSets:
+    def test_dead_variable_excluded(self):
+        prog, fir = liveness_of(
+            """
+            int main() {
+                int alive = 1;
+                int dead = 2;
+                dead = dead + 1;   /* last use of dead */
+                migrate_here();
+                return alive;
+            }
+            """,
+            poll_strategy="user",
+        )
+        names = live_names_at_poll(prog, fir)
+        assert "alive" in names
+        assert "dead" not in names
+
+    def test_loop_counter_live_at_loop_poll(self):
+        prog, fir = liveness_of(
+            """
+            int main() {
+                int i; int s = 0;
+                for (i = 0; i < 10; i++) { migrate_here(); s += i; }
+                return s;
+            }
+            """,
+            poll_strategy="user",
+        )
+        names = live_names_at_poll(prog, fir)
+        assert {"i", "s"} <= names
+
+    def test_var_defined_after_poll_not_live(self):
+        prog, fir = liveness_of(
+            """
+            int main() {
+                int early = 5;
+                migrate_here();
+                { int late = early * 2; return late; }
+            }
+            """,
+            poll_strategy="user",
+        )
+        names = live_names_at_poll(prog, fir)
+        assert "early" in names
+        assert "late" not in names
+
+    def test_address_taken_always_live(self):
+        """&x escapes: x may be read through pointers we can't track."""
+        prog, fir = liveness_of(
+            """
+            void touch(int *p) { *p += 1; }
+            int main() {
+                int boxed = 1;
+                touch(&boxed);
+                migrate_here();   /* boxed has no direct use after this */
+                return 0;
+            }
+            """,
+            poll_strategy="user",
+        )
+        names = live_names_at_poll(prog, fir)
+        assert "boxed" in names
+
+    def test_arrays_always_live(self):
+        prog, fir = liveness_of(
+            """
+            int main() {
+                double buf[8];
+                buf[0] = 1.0;
+                migrate_here();
+                return 0;
+            }
+            """,
+            poll_strategy="user",
+        )
+        assert "buf" in live_names_at_poll(prog, fir)
+
+    def test_branch_merges_liveness(self):
+        prog, fir = liveness_of(
+            """
+            int main() {
+                int a = 1; int b = 2; int k = 0;
+                migrate_here();
+                if (k) return a;
+                return b;
+            }
+            """,
+            poll_strategy="user",
+        )
+        names = live_names_at_poll(prog, fir)
+        assert {"a", "b", "k"} <= names
+
+    def test_call_site_live_sets_exist(self):
+        prog, fir = liveness_of(
+            """
+            int f(int x) { return x; }
+            int main() {
+                int keep = 3;
+                int r = f(1);
+                return r + keep;
+            }
+            """,
+        )
+        assert fir.liveness is not None
+        call_resumes = [pc + 1 for pc in fir.call_pcs]
+        for rpc in call_resumes:
+            assert rpc in fir.liveness.resume_live
+        # keep is live across the call
+        fidx = prog._func_index["main"]
+        names = {
+            fir.norm.variables[i].name for i in prog.live_at(fidx, call_resumes[0])
+        }
+        assert "keep" in names
+
+    def test_save_all_mode_includes_everything(self):
+        src = """
+        int main() {
+            int a = 1; int b = 2; int unused = 9;
+            migrate_here();
+            return a + b;
+        }
+        """
+        prog, fir = liveness_of(src, poll_strategy="user", save_all_liveness=True)
+        names = live_names_at_poll(prog, fir)
+        assert {"a", "b", "unused"} <= names
+
+    def test_liveness_strictly_smaller_than_save_all(self):
+        src = """
+        int main() {
+            int a = 1; int d1 = 1; int d2 = 2; int d3 = 3;
+            d1 = d2 + d3;
+            migrate_here();
+            return a;
+        }
+        """
+        p1, f1 = liveness_of(src, poll_strategy="user")
+        p2, f2 = liveness_of(src, poll_strategy="user", save_all_liveness=True)
+        assert len(live_names_at_poll(p1, f1)) < len(live_names_at_poll(p2, f2))
+
+
+class TestCFG:
+    def test_straight_line_single_block(self):
+        prog, fir = liveness_of("int main() { int a = 1; a = a + 1; return a; }")
+        blocks = build_blocks(fir.code)
+        # one real block (+ the unreachable implicit-return epilogue)
+        assert len(blocks) <= 2
+
+    def test_if_creates_blocks(self):
+        prog, fir = liveness_of(
+            "int main() { int a = 1; if (a) a = 2; else a = 3; return a; }"
+        )
+        blocks = build_blocks(fir.code)
+        assert len(blocks) >= 4  # entry, then, else, join
+
+    def test_loop_back_edge(self):
+        prog, fir = liveness_of(
+            "int main() { int i; for (i = 0; i < 3; i++) { } return i; }"
+        )
+        blocks = build_blocks(fir.code)
+        # some block's successor precedes it (the back edge)
+        assert any(s <= start for start, b in blocks.items() for s in b.succ)
+
+    def test_preds_consistent_with_succs(self):
+        prog, fir = liveness_of(
+            """
+            int main() {
+                int i; int s = 0;
+                for (i = 0; i < 5; i++) { if (i % 2) s += i; }
+                return s;
+            }
+            """
+        )
+        blocks = build_blocks(fir.code)
+        for start, b in blocks.items():
+            for s in b.succ:
+                assert start in blocks[s].pred
+
+
+class TestMigrationUsesLiveness:
+    def test_dead_heap_structure_not_migrated(self):
+        """A heap graph only reachable from a dead local is garbage at the
+        migration point and must not be collected."""
+        from repro.migration.engine import collect_state
+        from repro.vm.process import Process
+        from repro.arch import DEC5000
+
+        src = """
+        struct n { int v; struct n *next; };
+        int main() {
+            struct n *temp;
+            int keep = 7;
+            temp = (struct n *) malloc(sizeof(struct n));
+            temp->v = 1; temp->next = NULL;
+            keep += temp->v;   /* last use of temp */
+            migrate_here();
+            return keep;
+        }
+        """
+        prog = compile_program(src, poll_strategy="user")
+        proc = Process(prog, DEC5000)
+        proc.start()
+        proc.migration_pending = True
+        result = proc.run()
+        assert result.status == "poll"
+        payload, cinfo = collect_state(proc)
+        # the heap node is unreachable from live data: nothing heap-ish saved
+        from repro.msr.msrlt import BlockKind
+
+        dest_heapish = cinfo.stats.n_blocks
+        # globals (rand cell) + keep only; the malloc'd node is dead
+        names_saved = cinfo.stats.n_blocks
+        assert cinfo.stats.data_bytes < 100

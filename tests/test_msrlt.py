@@ -1,0 +1,144 @@
+"""Tests for the MSR Lookup Table."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.arch import DEC5000, SPARC20
+from repro.clang.ctypes import ArrayType, DOUBLE, INT, PointerType, StructType, TypeLayout
+from repro.msr.msrlt import BlockKind, MSRLT, MSRLTError
+
+
+@pytest.fixture
+def msrlt():
+    return MSRLT(TypeLayout(SPARC20))
+
+
+class TestRegistration:
+    def test_global_block(self, msrlt):
+        b = msrlt.register_global(0, 0x1000, INT, name="counter")
+        assert b.logical == (BlockKind.GLOBAL, 0, 0)
+        assert b.size == 4 and b.count == 1
+        assert msrlt.lookup_logical((BlockKind.GLOBAL, 0, 0)) is b
+
+    def test_stack_block(self, msrlt):
+        b = msrlt.register_stack(2, 5, 0x7000, DOUBLE, name="acc")
+        assert b.logical == (BlockKind.STACK, 2, 5)
+        assert b.size == 8
+
+    def test_heap_serials_increment(self, msrlt):
+        b1 = msrlt.register_heap(0x2000, INT, 10)
+        b2 = msrlt.register_heap(0x3000, INT, 1)
+        assert b1.logical == (BlockKind.HEAP, 0, 0)
+        assert b2.logical == (BlockKind.HEAP, 1, 0)
+        assert b1.size == 40
+
+    def test_heap_serial_passthrough(self, msrlt):
+        b = msrlt.register_heap(0x2000, INT, 1, serial=17)
+        assert b.logical == (BlockKind.HEAP, 17, 0)
+        # local serials continue above the imported one
+        b2 = msrlt.register_heap(0x3000, INT, 1)
+        assert b2.logical[1] == 18
+
+    def test_duplicate_logical_rejected(self, msrlt):
+        msrlt.register_global(0, 0x1000, INT)
+        with pytest.raises(MSRLTError, match="duplicate"):
+            msrlt.register_global(0, 0x2000, INT)
+
+    def test_unregister(self, msrlt):
+        b = msrlt.register_heap(0x2000, INT, 4)
+        msrlt.unregister(0x2000)
+        assert not msrlt.has_logical(b.logical)
+        with pytest.raises(MSRLTError):
+            msrlt.lookup_addr(0x2000)
+
+    def test_unregister_unknown_faults(self, msrlt):
+        with pytest.raises(MSRLTError):
+            msrlt.unregister(0x9999)
+
+    def test_drop_stack_blocks(self, msrlt):
+        msrlt.register_global(0, 0x1000, INT)
+        msrlt.register_stack(0, 0, 0x7000, INT)
+        msrlt.register_heap(0x2000, INT, 1)
+        msrlt.drop_stack_blocks()
+        kinds = {b.logical[0] for b in msrlt.blocks()}
+        assert BlockKind.STACK not in kinds
+        assert len(msrlt) == 2
+
+
+class TestAddressSearch:
+    def test_exact_and_interior(self, msrlt):
+        b = msrlt.register_heap(0x2000, INT, 10)  # 40 bytes
+        blk, off = msrlt.lookup_addr(0x2000)
+        assert blk is b and off == 0
+        blk, off = msrlt.lookup_addr(0x2000 + 12)
+        assert blk is b and off == 12
+
+    def test_one_past_end(self, msrlt):
+        b = msrlt.register_heap(0x2000, INT, 10)
+        blk, off = msrlt.lookup_addr(0x2028)  # == end
+        assert blk is b and off == 40
+
+    def test_adjacent_blocks_prefer_start(self, msrlt):
+        msrlt.register_heap(0x2000, INT, 10)   # [0x2000, 0x2028)
+        b2 = msrlt.register_heap(0x2028, INT, 1)
+        blk, off = msrlt.lookup_addr(0x2028)
+        assert blk is b2 and off == 0
+
+    def test_miss_raises(self, msrlt):
+        msrlt.register_heap(0x2000, INT, 1)
+        with pytest.raises(MSRLTError):
+            msrlt.lookup_addr(0x1FFF)
+        with pytest.raises(MSRLTError):
+            msrlt.lookup_addr(0x2100)
+
+    def test_out_of_order_registration(self, msrlt):
+        # free-list reuse can hand back lower addresses; insort must cope
+        b_hi = msrlt.register_heap(0x9000, INT, 1)
+        b_lo = msrlt.register_heap(0x2000, INT, 1)
+        b_mid = msrlt.register_heap(0x5000, INT, 1)
+        assert msrlt.lookup_addr(0x2002)[0] is b_lo
+        assert msrlt.lookup_addr(0x5000)[0] is b_mid
+        assert msrlt.lookup_addr(0x9001)[0] is b_hi
+
+    def test_search_counter(self, msrlt):
+        msrlt.register_heap(0x2000, INT, 1)
+        before = msrlt.n_searches
+        msrlt.lookup_addr(0x2000)
+        msrlt.lookup_addr(0x2000)
+        assert msrlt.n_searches == before + 2
+
+    def test_total_bytes(self, msrlt):
+        msrlt.register_heap(0x2000, DOUBLE, 100)
+        msrlt.register_heap(0x3000, INT, 10)
+        assert msrlt.total_bytes() == 840
+
+    @given(st.sets(st.integers(min_value=0, max_value=500), min_size=1, max_size=60))
+    def test_search_property(self, starts):
+        """Every interior address maps back to its own block."""
+        msrlt = MSRLT(TypeLayout(DEC5000))
+        # non-overlapping 8-byte blocks at 16-byte strides
+        blocks = {}
+        for i, s in enumerate(sorted(starts)):
+            addr = 0x1_0000 + s * 16
+            blocks[addr] = msrlt.register_heap(addr, INT, 2)
+        for addr, block in blocks.items():
+            for off in (0, 4):
+                found, o = msrlt.lookup_addr(addr + off)
+                assert found is block and o == off
+
+
+class TestLogicalIdsAcrossArchs:
+    def test_same_ids_different_sizes(self):
+        """Logical ids are machine-independent even when sizes differ."""
+        from repro.arch import ALPHA
+
+        node = StructType("xnode")
+        node.define([("v", INT), ("next", PointerType(node))])
+
+        lt32 = MSRLT(TypeLayout(SPARC20))
+        lt64 = MSRLT(TypeLayout(ALPHA))
+        b32 = lt32.register_heap(0x1000, node, 1)
+        b64 = lt64.register_heap(0x8000, node, 1)
+        assert b32.logical == b64.logical
+        assert b32.size == 8 and b64.size == 16

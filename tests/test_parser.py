@@ -1,0 +1,268 @@
+"""Tests for the mini-C lexer and parser."""
+
+import pytest
+
+from repro.clang import cast as A
+from repro.clang.ctypes import (
+    ArrayType,
+    DOUBLE,
+    INT,
+    PointerType,
+    StructType,
+    UINT,
+)
+from repro.clang.lexer import LexError, tokenize
+from repro.clang.parser import ParseError, parse
+
+
+class TestLexer:
+    def test_basic_tokens(self):
+        toks = tokenize("int x = 42;")
+        kinds = [(t.kind, t.value) for t in toks]
+        assert kinds == [
+            ("kw", "int"),
+            ("id", "x"),
+            ("punct", "="),
+            ("int", "42"),
+            ("punct", ";"),
+            ("eof", ""),
+        ]
+
+    def test_maximal_munch(self):
+        toks = tokenize("a->b ++c <<= d")
+        values = [t.value for t in toks if t.kind != "eof"]
+        assert values == ["a", "->", "b", "++", "c", "<<=", "d"]
+
+    def test_comments_stripped_lines_preserved(self):
+        src = "/* multi\nline */ int x; // tail\nint y;"
+        toks = tokenize(src)
+        y = [t for t in toks if t.value == "y"][0]
+        assert y.line == 3
+
+    def test_char_and_string_escapes(self):
+        toks = tokenize(r"'\n' '\x41' " + '"a\\tb"')
+        assert toks[0].value == str(ord("\n"))
+        assert toks[1].value == str(ord("A"))
+        assert toks[2].value == "a\tb"
+
+    def test_define_substitution(self):
+        toks = tokenize("#define N 10\nint a[N];")
+        values = [t.value for t in toks if t.kind != "eof"]
+        assert "10" in values and "N" not in values
+
+    def test_include_ignored(self):
+        toks = tokenize('#include <stdio.h>\nint x;')
+        assert [t.value for t in toks[:2]] == ["int", "x"]
+
+    def test_float_forms(self):
+        toks = tokenize("1.5 2e3 .25 3.f")
+        assert [t.kind for t in toks[:-1]] == ["float"] * 4
+
+    def test_hex_literals(self):
+        toks = tokenize("0xFF 0x10u")
+        assert toks[0].value == "0xFF"
+
+    def test_bad_char_raises(self):
+        with pytest.raises(LexError):
+            tokenize("int @x;")
+
+    def test_recursive_define_capped(self):
+        with pytest.raises(LexError):
+            tokenize("#define A A\nint x = A;")
+
+
+class TestParserDecls:
+    def test_global_scalar(self):
+        unit = parse("int counter = 3;")
+        g = unit.globals[0]
+        assert g.name == "counter" and g.ctype is INT
+        assert isinstance(g.init, A.IntLit) and g.init.value == 3
+
+    def test_pointer_and_array_declarators(self):
+        unit = parse("double *p; int grid[4][5];")
+        assert unit.globals[0].ctype == PointerType(DOUBLE)
+        grid = unit.globals[1].ctype
+        assert grid == ArrayType(ArrayType(INT, 5), 4)
+
+    def test_unsigned_spellings(self):
+        unit = parse("unsigned u; unsigned int v; unsigned long w;")
+        assert unit.globals[0].ctype is not None
+        assert unit.globals[0].ctype == UINT
+        assert unit.globals[1].ctype == UINT
+
+    def test_struct_self_reference(self):
+        unit = parse(
+            """
+            struct node { float data; struct node *link; };
+            struct node *first;
+            """
+        )
+        node = unit.structs["node"]
+        assert isinstance(node, StructType)
+        assert node.field_type("link") == PointerType(node)
+
+    def test_typedef(self):
+        unit = parse(
+            """
+            typedef struct point { int x; int y; } Point;
+            Point origin;
+            """
+        )
+        assert unit.globals[0].ctype is unit.structs["point"]
+
+    def test_function_definition(self):
+        unit = parse("int add(int a, int b) { return a + b; }")
+        f = unit.function("add")
+        assert f.ret is INT
+        assert [p.name for p in f.params] == ["a", "b"]
+
+    def test_array_param_decays(self):
+        unit = parse("void f(double a[10]) { }")
+        assert unit.function("f").params[0].ctype == PointerType(DOUBLE)
+
+    def test_prototype_ignored(self):
+        unit = parse("int f(int); int f(int x) { return x; }")
+        assert len(unit.functions) == 1
+
+    def test_multiple_declarators(self):
+        unit = parse("int a, *b, c[2];")
+        assert [g.name for g in unit.globals] == ["a", "b", "c"]
+        assert unit.globals[1].ctype == PointerType(INT)
+
+    def test_const_dim_expression(self):
+        unit = parse("#define N 4\nint a[N * 2 + 1];")
+        assert unit.globals[0].ctype == ArrayType(INT, 9)
+
+    def test_init_list(self):
+        unit = parse("int a[3] = {1, 2, 3};")
+        assert [e.value for e in unit.globals[0].init_list] == [1, 2, 3]
+
+
+class TestParserStmts:
+    def _body(self, src):
+        return parse("void f() { %s }" % src).function("f").body.body
+
+    def test_if_else_chain(self):
+        (stmt,) = self._body("if (a) x = 1; else if (b) x = 2; else x = 3;")
+        assert isinstance(stmt, A.If)
+        assert isinstance(stmt.other, A.If)
+
+    def test_for_loop(self):
+        (stmt,) = self._body("for (i = 0; i < 10; i++) sum += i;")
+        assert isinstance(stmt, A.For)
+        assert isinstance(stmt.step, A.Unary) and stmt.step.op == "p++"
+
+    def test_while_and_do(self):
+        stmts = self._body("while (n) n--; do { n++; } while (n < 3);")
+        assert isinstance(stmts[0], A.While)
+        assert isinstance(stmts[1], A.DoWhile)
+
+    def test_switch(self):
+        (stmt,) = self._body(
+            "switch (k) { case 1: x = 1; break; default: x = 0; }"
+        )
+        assert isinstance(stmt, A.Switch)
+        assert stmt.cases[0].value == 1
+        assert stmt.cases[1].value is None
+
+    def test_local_decl_with_init(self):
+        (stmt,) = self._body("int i = 0, j = 1;")
+        assert isinstance(stmt, A.DeclStmt)
+        assert [d.name for d in stmt.decls] == ["i", "j"]
+
+    def test_poll_intrinsic(self):
+        (stmt,) = self._body("migrate_here();")
+        assert isinstance(stmt, A.PollHint)
+
+    def test_break_continue_return(self):
+        stmts = self._body("break; continue; return 1;")
+        assert isinstance(stmts[0], A.Break)
+        assert isinstance(stmts[1], A.Continue)
+        assert isinstance(stmts[2], A.Return)
+
+
+class TestParserExprs:
+    def _expr(self, src):
+        stmt = parse("void f() { x = %s; }" % src).function("f").body.body[0]
+        return stmt.expr.value
+
+    def test_precedence(self):
+        e = self._expr("1 + 2 * 3")
+        assert e.op == "+" and e.right.op == "*"
+
+    def test_associativity(self):
+        e = self._expr("8 - 4 - 2")
+        assert e.op == "-" and e.left.op == "-"
+
+    def test_pointer_deref_and_addr(self):
+        e = self._expr("*p + &q")
+        assert e.left.op == "*" and e.right.op == "&"
+
+    def test_arrow_and_dot(self):
+        e = self._expr("node->next.value")
+        assert isinstance(e, A.Member) and not e.arrow
+        assert e.base.arrow
+
+    def test_call_with_args(self):
+        e = self._expr("foo(1, bar(2), p)")
+        assert isinstance(e, A.Call)
+        assert isinstance(e.args[1], A.Call)
+
+    def test_cast_vs_parens(self):
+        e = self._expr("(int)x")
+        assert isinstance(e, A.Cast) and e.to is INT
+        e2 = self._expr("(x)")
+        assert isinstance(e2, A.Ident)
+
+    def test_cast_to_struct_pointer(self):
+        unit = parse(
+            "struct node { int v; };\n"
+            "void f() { p = (struct node *) malloc(8); }"
+        )
+        e = unit.function("f").body.body[0].expr.value
+        assert isinstance(e, A.Cast)
+        assert isinstance(e.to, PointerType)
+
+    def test_sizeof_forms(self):
+        e = self._expr("sizeof(int) + sizeof x")
+        assert isinstance(e.left, A.SizeofType)
+        assert isinstance(e.right, A.SizeofExpr)
+
+    def test_ternary(self):
+        e = self._expr("a ? b : c")
+        assert isinstance(e, A.Cond)
+
+    def test_null_keyword(self):
+        e = self._expr("NULL")
+        assert isinstance(e, A.Null)
+
+    def test_compound_assign(self):
+        stmt = parse("void f() { x += 2; }").function("f").body.body[0]
+        assert stmt.expr.op == "+"
+
+    def test_logical_ops(self):
+        e = self._expr("a && b || !c")
+        assert e.op == "||" and e.left.op == "&&"
+
+
+class TestParserRejections:
+    def test_union_rejected(self):
+        with pytest.raises(ParseError, match="union"):
+            parse("union u { int a; float b; };")
+
+    def test_goto_rejected(self):
+        with pytest.raises(ParseError, match="goto"):
+            parse("void f() { goto out; }")
+
+    def test_varargs_rejected(self):
+        with pytest.raises(ParseError, match="varargs"):
+            parse("int f(int a, ...) { return a; }")
+
+    def test_function_pointer_declarator_rejected(self):
+        with pytest.raises(ParseError, match="function pointers"):
+            parse("void f() { int (*fp)(int); }")
+
+    def test_syntax_error_reports_line(self):
+        with pytest.raises(ParseError) as ei:
+            parse("int x;\nint y = ;\n")
+        assert ei.value.line == 2

@@ -1,0 +1,182 @@
+"""Tests for poll-point placement strategies and unsafe-feature detection."""
+
+import pytest
+
+from repro.analysis.pollpoints import (
+    PollStrategy,
+    SMALL_KERNEL_STMTS,
+    insert_poll_points,
+    is_small_kernel,
+)
+from repro.clang.parser import ParseError, parse
+from repro.clang.unsafe import (
+    MigrationSafetyError,
+    check_migration_safety,
+)
+from repro.vm.builtins import BUILTIN_SIGS
+from repro.vm.normalize import normalize_function
+from repro.vm.program import compile_program
+from repro.vm.typecheck import TypeChecker
+
+
+def norm(source: str, fname: str):
+    unit = parse(source)
+    TypeChecker(unit, BUILTIN_SIGS).check()
+    return normalize_function(unit.function(fname))
+
+
+KERNEL = """
+double axpy(double a, double x, double y) { return a * x + y; }
+int main() {
+    int i; double acc = 0.0;
+    for (i = 0; i < 10; i++) acc = axpy(2.0, acc, 1.0);
+    return (int) acc;
+}
+"""
+
+
+class TestPlacement:
+    def test_user_strategy_adds_nothing(self):
+        nf = norm(KERNEL, "main")
+        assert insert_poll_points(nf, PollStrategy.USER) == 0
+
+    def test_loops_strategy_polls_loop_bodies(self):
+        nf = norm(KERNEL, "main")
+        n = insert_poll_points(nf, PollStrategy.LOOPS)
+        assert n == 1
+
+    def test_small_kernel_detected(self):
+        nf = norm(KERNEL, "axpy")
+        assert is_small_kernel(nf)
+
+    def test_small_kernel_skipped_by_loops(self):
+        nf = norm(KERNEL, "axpy")
+        assert insert_poll_points(nf, PollStrategy.LOOPS) == 0
+
+    def test_loops_all_does_not_skip(self):
+        src = """
+        int tiny(int n) { int i; int s = 0; for (i = 0; i < n; i++) s++; return s; }
+        int main() { return tiny(3); }
+        """
+        nf = norm(src, "tiny")
+        assert insert_poll_points(nf, PollStrategy.LOOPS_ALL) == 1
+
+    def test_every_stmt_is_densest(self):
+        counts = {}
+        for strat in (PollStrategy.LOOPS, PollStrategy.EVERY_STMT):
+            nf = norm(KERNEL, "main")
+            counts[strat] = insert_poll_points(nf, strat)
+        assert counts[PollStrategy.EVERY_STMT] > counts[PollStrategy.LOOPS]
+
+    def test_function_with_loop_is_not_small_kernel(self):
+        src = "int f() { int i; int s = 0; for (i = 0; i < 2; i++) s++; return s; } int main() { return f(); }"
+        assert not is_small_kernel(norm(src, "f"))
+
+    def test_nested_loops_each_polled(self):
+        src = """
+        int main() {
+            int i; int j; int s = 0;
+            for (i = 0; i < 2; i++) for (j = 0; j < 2; j++) s++;
+            return s;
+        }
+        """
+        nf = norm(src, "main")
+        assert insert_poll_points(nf, PollStrategy.LOOPS) == 2
+
+    def test_explicit_hints_always_kept(self):
+        src = "int f(int a) { migrate_here(); return a; } int main() { return f(1); }"
+        prog = compile_program(src, poll_strategy="user")
+        assert prog.n_polls == 1
+
+    def test_strategy_string_coercion(self):
+        prog = compile_program(KERNEL, poll_strategy="every-stmt")
+        assert prog.n_polls >= 5
+        with pytest.raises(ValueError):
+            compile_program(KERNEL, poll_strategy="bogus")
+
+
+class TestUnsafeDetection:
+    def test_ptr_to_int_cast(self):
+        unit = parse("int main() { int x; long v = (long) &x; return 0; }")
+        findings = check_migration_safety(unit)
+        assert any(f.kind == "ptr-to-int-cast" for f in findings)
+
+    def test_int_to_ptr_cast(self):
+        unit = parse("int main() { long v = 0; int *p = (int *) v; return 0; }")
+        # the cast's operand type is only known syntactically for literals;
+        # run after type annotation for precision
+        TypeChecker(unit, BUILTIN_SIGS).check()
+        findings = check_migration_safety(unit)
+        assert any(f.kind == "int-to-ptr-cast" for f in findings)
+
+    def test_absolute_address_constant(self):
+        unit = parse("int main() { int *p = (int *) 0xdead; return *p; }")
+        findings = check_migration_safety(unit)
+        assert any(f.kind == "absolute-address" for f in findings)
+
+    def test_null_cast_is_fine(self):
+        unit = parse("int main() { int *p = (int *) 0; return p == NULL; }")
+        assert check_migration_safety(unit) == []
+
+    def test_void_star_cast_is_fine(self):
+        unit = parse(
+            "struct s { int x; };"
+            "int main() { struct s v; void *any = (void *) &v;"
+            " struct s *back = (struct s *) any; return back->x; }"
+        )
+        TypeChecker(unit, BUILTIN_SIGS).check()
+        assert check_migration_safety(unit) == []
+
+    def test_char_aliasing_is_fine(self):
+        unit = parse("int main() { int x = 1; char *c = (char *) &x; return *c; }")
+        TypeChecker(unit, BUILTIN_SIGS).check()
+        assert check_migration_safety(unit) == []
+
+    def test_incompatible_struct_cast_flagged(self):
+        unit = parse(
+            "struct a { int x; }; struct b { double y; };"
+            "int main() { struct a v; struct b *p = (struct b *) &v; return 0; }"
+        )
+        TypeChecker(unit, BUILTIN_SIGS).check()
+        findings = check_migration_safety(unit)
+        assert any(f.kind == "incompatible-ptr-cast" for f in findings)
+
+    def test_strict_mode_raises(self):
+        unit = parse("int main() { int x; long v = (long) &x; return 0; }")
+        with pytest.raises(MigrationSafetyError):
+            check_migration_safety(unit, strict=True)
+
+    def test_compile_program_strict_by_default(self):
+        with pytest.raises(MigrationSafetyError):
+            compile_program("int main() { int x; long v = (long) &x; return (int) v; }")
+
+    def test_compile_program_non_strict_records(self):
+        prog = compile_program(
+            "int main() { int x; long v = (long) &x; return 0; }",
+            strict_safety=False,
+        )
+        assert prog.safety_findings
+
+    def test_findings_carry_location(self):
+        unit = parse("int main() {\n int x;\n long v = (long) &x;\n return 0; }")
+        (finding,) = check_migration_safety(unit)
+        assert finding.line == 3
+        assert finding.function == "main"
+        assert "main" in str(finding)
+
+
+class TestParserLevelRejections:
+    """Features the parser refuses outright (also §'migration-unsafe')."""
+
+    @pytest.mark.parametrize(
+        "src,msg",
+        [
+            ("union u { int a; };", "union"),
+            ("int main() { goto done; done: return 0; }", "goto"),
+            ("void f(int n, ...) { }", "varargs"),
+            ("int main() { void (*cb)(void); return 0; }", "function pointer"),
+        ],
+    )
+    def test_rejected(self, src, msg):
+        with pytest.raises(ParseError):
+            parse(src)

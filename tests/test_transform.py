@@ -1,0 +1,190 @@
+"""Tests for the C emitter and the pre-compiler's annotated output."""
+
+import pytest
+
+from repro.clang import cast as A
+from repro.clang.parser import parse
+from repro.transform.annotate import annotate_program
+from repro.transform.emit import declarator, emit_expr, emit_program
+from repro.vm.program import compile_program
+from repro.workloads import bitonic_source, linpack_source
+
+
+class TestDeclarator:
+    @pytest.mark.parametrize(
+        "source,rendered",
+        [
+            ("int x;", "int x"),
+            ("double *p;", "double *p"),
+            ("int a[4];", "int a[4]"),
+            ("int m[2][3];", "int m[2][3]"),
+            ("int *ptrs[5];", "int *ptrs[5]"),
+            ("unsigned long big;", "unsigned long big"),
+        ],
+    )
+    def test_roundtrip_decl(self, source, rendered):
+        g = parse(source).globals[0]
+        assert declarator(g.ctype, g.name) == rendered
+
+
+class TestEmitRoundtrip:
+    SOURCES = [
+        """
+        struct node { float data; struct node *link; };
+        struct node *first;
+        int counter = 3;
+        int table[3] = {1, 2, 3};
+
+        int add(int a, int b) { return a + b; }
+
+        int main() {
+            int i;
+            double acc = 0.0;
+            for (i = 0; i < 10; i++) {
+                if (i % 2 == 0) acc += i * 1.5;
+                else { acc -= 0.5; continue; }
+            }
+            while (counter > 0) counter--;
+            do { counter++; } while (counter < 2);
+            switch (counter) {
+            case 2: counter = 20; break;
+            default: counter = 0;
+            }
+            return add((int) acc, counter);
+        }
+        """,
+        """
+        int main() {
+            int x = 5;
+            int *p = &x;
+            char *s = "hi\\n";
+            int t = sizeof(int) + sizeof x;
+            *p = x > 3 ? 1 : 0;
+            migrate_here();
+            return *p + s[0] + t;
+        }
+        """,
+    ]
+
+    @pytest.mark.parametrize("idx", range(len(SOURCES)))
+    def test_emit_reparses_equal(self, idx):
+        unit1 = parse(self.SOURCES[idx])
+        text = emit_program(unit1)
+        unit2 = parse(text)
+        # structural equality of globals and function skeletons
+        assert [g.name for g in unit1.globals] == [g.name for g in unit2.globals]
+        assert [f.name for f in unit1.functions] == [f.name for f in unit2.functions]
+        # and the re-emission is a fixpoint (canonical form)
+        assert emit_program(unit2) == text
+
+    def test_emitted_program_behaves_identically(self):
+        from tests.conftest import run_c
+
+        src = self.SOURCES[0]
+        text = emit_program(parse(src))
+        assert run_c(src)[0] == run_c(text)[0]
+
+    def test_expression_precedence_preserved(self):
+        cases = [
+            "1 + 2 * 3",
+            "(1 + 2) * 3",
+            "a - b - c",
+            "a - (b - c)",
+            "-x * y",
+            "!(a && b) || c",
+            "*p++",
+            "&a[3]",
+            "x << 2 | 1",
+        ]
+        for expr_src in cases:
+            unit = parse(f"int main() {{ v = {expr_src}; }}")
+            expr = unit.function("main").body.body[0].expr.value
+            text = emit_expr(expr)
+            unit2 = parse(f"int main() {{ v = {text}; }}")
+            expr2 = unit2.function("main").body.body[0].expr.value
+            assert emit_expr(expr2) == text, expr_src
+
+
+class TestAnnotator:
+    def test_labels_match_poll_table(self):
+        ann = annotate_program(bitonic_source(50))
+        prog = ann.program
+        # every compiled poll id appears as a label and a macro
+        for fir in prog.functions:
+            for poll_id in fir.poll_pcs:
+                assert f"__mig_pp_{poll_id}:" in ann.source
+                assert f"MIG_POLL({poll_id}," in ann.source
+
+    def test_restoration_dispatch_present(self):
+        ann = annotate_program(bitonic_source(50))
+        assert "__mig_restoring" in ann.source
+        assert "switch (__mig_resume_label())" in ann.source
+        assert "goto __mig_pp_" in ann.source
+
+    def test_save_calls_match_liveness(self):
+        src = """
+        int main() {
+            int live_scalar = 1;
+            int *live_ptr = &live_scalar;
+            int dead = 9;
+            dead = dead * 2;
+            migrate_here();
+            return live_scalar + *live_ptr;
+        }
+        """
+        ann = annotate_program(compile_program(src, poll_strategy="user"))
+        (site,) = ann.poll_sites
+        names = dict(site.live)
+        assert names.get("live_scalar") is False  # Save_variable
+        assert names.get("live_ptr") is True  # Save_pointer
+        assert "dead" not in names
+        assert "Save_variable(&live_scalar)" in ann.source
+        assert "Save_pointer(live_ptr)" in ann.source
+        assert "live_ptr = Restore_pointer();" in ann.source
+
+    def test_unannotated_function_has_no_dispatch(self):
+        src = """
+        int helper(int a) { return a + 1; }   /* no polls inside */
+        int main() { migrate_here(); return helper(1); }
+        """
+        ann = annotate_program(compile_program(src, poll_strategy="user"))
+        helper_text = ann.source.split("int helper")[1].split("}")[0]
+        assert "__mig_restoring" not in helper_text
+
+    def test_all_workloads_annotate(self):
+        for src in (linpack_source(8), bitonic_source(20)):
+            ann = annotate_program(src)
+            assert ann.poll_sites
+            assert "MIG_POLL(" in ann.source
+
+    def test_sites_in_filter(self):
+        ann = annotate_program(bitonic_source(30))
+        assert all(s.function == "main" for s in ann.sites_in("main"))
+
+
+class TestEmitterFidelityOnWorkloads:
+    """emit(parse(w)) must run byte-for-byte identically to w, for every
+    workload — the strongest whole-program check of the pretty-printer."""
+
+    @pytest.mark.parametrize(
+        "maker",
+        [
+            lambda: linpack_source(12),
+            lambda: bitonic_source(60),
+            lambda: __import__("repro.workloads", fromlist=["matmul_source"]).matmul_source(8),
+            lambda: __import__("repro.workloads", fromlist=["nbody_source"]).nbody_source(5, 4),
+            lambda: __import__("repro.workloads", fromlist=["hashtable_source"]).hashtable_source(120),
+        ],
+        ids=["linpack", "bitonic", "matmul", "nbody", "hashtable"],
+    )
+    def test_emitted_source_runs_identically(self, maker):
+        from repro.arch import ULTRA5
+        from repro.vm.process import Process
+
+        src = maker()
+        emitted = emit_program(parse(src))
+        p1 = Process(compile_program(src, poll_strategy="user"), ULTRA5)
+        p1.run_to_completion()
+        p2 = Process(compile_program(emitted, poll_strategy="user"), ULTRA5)
+        p2.run_to_completion()
+        assert p1.stdout == p2.stdout

@@ -1,0 +1,182 @@
+"""Tests for the type checker: conversions, promotions, and rejections."""
+
+import pytest
+
+from repro.clang.parser import parse
+from repro.vm.builtins import BUILTIN_SIGS
+from repro.vm.typecheck import TypeCheckError, TypeChecker, arith_result
+from tests.conftest import run_c, run_main
+
+
+def check(source: str):
+    unit = parse(source)
+    TypeChecker(unit, BUILTIN_SIGS).check()
+    return unit
+
+
+def check_fails(source: str, match: str):
+    with pytest.raises(TypeCheckError, match=match):
+        check(source)
+
+
+class TestArithResult:
+    def test_float_dominates(self):
+        assert arith_result("int", "double") == "double"
+        assert arith_result("float", "int") == "float"
+        assert arith_result("float", "double") == "double"
+
+    def test_promotion_to_int(self):
+        assert arith_result("char", "char") == "int"
+        assert arith_result("short", "uchar") == "int"
+
+    def test_unsigned_wins_at_same_rank(self):
+        assert arith_result("int", "uint") == "uint"
+        assert arith_result("long", "ulong") == "ulong"
+
+    def test_higher_rank_wins(self):
+        assert arith_result("int", "long") == "long"
+        assert arith_result("uint", "llong") == "llong"
+
+
+class TestAccepts:
+    def test_implicit_numeric_conversions(self):
+        check("int main() { double d = 3; int i = 2.5; char c = 65; return c; }")
+
+    def test_null_to_any_pointer(self):
+        check("struct s { int x; }; int main() { struct s *p = NULL; int *q = 0; return p == NULL && q == 0; }")
+
+    def test_void_pointer_wildcard(self):
+        check(
+            "int main() { int x; void *v = &x; int *p = v; free(v); return 0; }"
+        )
+
+    def test_pointer_comparison_with_null(self):
+        check("int main() { int *p = NULL; return p != NULL; }")
+
+    def test_variadic_printf_promotions(self):
+        check(
+            'int main() { char c = 1; short s = 2; float f = 3.0f;'
+            ' printf("%d %d %f", c, s, f); return 0; }'
+        )
+
+
+class TestRejects:
+    def test_undeclared_identifier(self):
+        check_fails("int main() { return missing; }", "undeclared")
+
+    def test_unknown_function(self):
+        check_fails("int main() { return mystery(); }", "undefined function")
+
+    def test_wrong_arity(self):
+        check_fails(
+            "int f(int a) { return a; } int main() { return f(1, 2); }",
+            "expects 1 args",
+        )
+
+    def test_assign_to_array(self):
+        check_fails("int main() { int a[3]; int b[3]; a = b; return 0; }", "array")
+
+    def test_struct_assignment_of_wrong_struct(self):
+        check_fails(
+            "struct s { int x; }; struct t { int x; };"
+            " int main() { struct s a; struct t b; a = b; return 0; }",
+            "cannot assign",
+        )
+
+    def test_incompatible_pointer_assignment(self):
+        check_fails(
+            "int main() { int x; double *p = &x; return 0; }",
+            "incompatible pointer",
+        )
+
+    def test_implicit_ptr_to_int(self):
+        check_fails(
+            "int main() { int x; int v = &x; return v; }",
+            "migration-unsafe|cannot convert",
+        )
+
+    def test_deref_non_pointer(self):
+        check_fails("int main() { int x = 1; return *x; }", "dereference")
+
+    def test_deref_void_pointer(self):
+        check_fails(
+            "int main() { void *v = NULL; return *v; }", "dereference"
+        )
+
+    def test_member_of_non_struct(self):
+        check_fails("int main() { int x; return x.field; }", "non-struct")
+
+    def test_missing_field(self):
+        check_fails(
+            "struct s { int a; }; int main() { struct s v; return v.b; }",
+            "no field",
+        )
+
+    def test_subscript_non_pointer(self):
+        check_fails("int main() { int x; return x[0]; }", "subscript")
+
+    def test_modulo_on_float(self):
+        check_fails("int main() { double d = 1.5 % 2.0; return 0; }", "integer")
+
+    def test_return_value_from_void(self):
+        check_fails("void f() { return 3; } int main() { return 0; }", "void function")
+
+    def test_missing_return_value(self):
+        check_fails("int f() { return; } int main() { return 0; }", "without value")
+
+    def test_void_value_used(self):
+        check_fails(
+            "void f() { } int main() { int x = f(); return x; }",
+            "cannot convert|void",
+        )
+
+    def test_redefined_local(self):
+        check_fails("int main() { int x; int x; return 0; }", "redefinition")
+
+    def test_redefined_global(self):
+        check_fails("int g; int g; int main() { return 0; }", "redefinition")
+
+    def test_address_of_rvalue(self):
+        check_fails("int main() { int *p = &(1 + 2); return 0; }", "lvalue")
+
+    def test_non_constant_global_init(self):
+        check_fails("int x; int y = x; int main() { return 0; }", "constant")
+
+    def test_too_many_initializers(self):
+        check_fails("int a[2] = {1, 2, 3}; int main() { return 0; }", "too many")
+
+    def test_switch_on_float(self):
+        check_fails(
+            "int main() { double d = 1.0; switch (d) { default: return 0; } }",
+            "integer",
+        )
+
+
+class TestConversionSemantics:
+    """Conversions don't just typecheck — they compute C's values."""
+
+    def test_double_to_int_in_assignment(self):
+        assert run_main('int x = 2.999; printf("%d", x);') == "2"
+
+    def test_int_to_float_in_arg(self):
+        src = """
+        float f(float x) { return x + 0.5f; }
+        int main() { printf("%.1f", f(1)); return 0; }
+        """
+        assert run_c(src)[1] == "1.5"
+
+    def test_implicit_char_in_comparison(self):
+        out = run_main("char c = 'a'; printf(\"%d\", c < 'b');")
+        assert out == "1"
+
+    def test_mixed_signed_unsigned_compare(self):
+        # -1 converted to unsigned in the comparison: huge
+        out = run_main('int s = -1; unsigned int u = 1; printf("%d", s > u);')
+        assert out == "1"
+
+    def test_long_long_arithmetic(self):
+        out = run_main(
+            'long long big = 1; int i; for (i = 0; i < 40; i++) big = big * 2;'
+            ' printf("%d", (int)(big >> 35));'
+        )
+        assert out == "32"
