@@ -25,6 +25,7 @@ from benchmarks.conftest import (
     TABLE1_LINPACK_N,
     collect_once,
     fresh_restore,
+    record_bench_row,
     stopped_bitonic,
     stopped_linpack,
 )
@@ -49,6 +50,19 @@ def _measure_row(benchmark, proc, phase: str, report, label: str):
     report(
         f"Table1/{label}/{phase}: payload={len(payload)}B "
         f"blocks={cinfo.stats.n_blocks} modeled_tx={tx * 1e3:.2f}ms"
+    )
+    record_bench_row(
+        "table1",
+        {
+            "label": label,
+            "phase": phase,
+            "payload_bytes": len(payload),
+            "n_blocks": cinfo.stats.n_blocks,
+            "modeled_tx_s": tx,
+            "measured_s": getattr(benchmark.stats, "stats", benchmark.stats).mean
+            if benchmark.stats is not None
+            else None,
+        },
     )
 
 

@@ -48,7 +48,14 @@ from repro.migration.checkpoint import (
     restart_from_file,
     run_with_checkpoints,
 )
-from repro.migration.engine import MigrationEngine, collect_state, restore_state
+from repro.migration.engine import (
+    DEFAULT_CHUNK_SIZE,
+    MigrationEngine,
+    collect_state,
+    collect_state_chunks,
+    restore_state,
+    restore_state_stream,
+)
 from repro.migration.scheduler import Cluster, Host, Scheduler, SchedulerResult
 from repro.migration.stats import MigrationStats
 from repro.migration.transport import (
@@ -106,8 +113,11 @@ __all__ = [
     "build_msr_graph",
     # migration environment
     "MigrationEngine",
+    "DEFAULT_CHUNK_SIZE",
     "collect_state",
+    "collect_state_chunks",
     "restore_state",
+    "restore_state_stream",
     "Cluster",
     "Host",
     "Scheduler",

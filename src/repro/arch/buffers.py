@@ -5,14 +5,21 @@ restoration library consumes a :class:`ReadBuffer`.  Both keep simple
 accounting (bytes, record tags) that the benchmark harness reports —
 Table 1's ``Tx`` column is computed from ``WriteBuffer.nbytes`` and the
 modeled link.
+
+For the streaming pipeline, :meth:`WriteBuffer.drain` lets a producer
+peel off fixed-size chunks while collection is still appending, and
+:class:`StreamReadBuffer` presents an iterator of such chunks through
+the ordinary :class:`ReadBuffer` interface, so the restorer consumes a
+partially-arrived payload without knowing it is partial.
 """
 
 from __future__ import annotations
 
 import struct
 from collections import Counter
+from typing import Iterable, Iterator
 
-__all__ = ["WriteBuffer", "ReadBuffer"]
+__all__ = ["WriteBuffer", "ReadBuffer", "StreamReadBuffer"]
 
 _U8 = struct.Struct(">B")
 _U16 = struct.Struct(">H")
@@ -28,12 +35,14 @@ class WriteBuffer:
     Strings are length-prefixed UTF-8.
     """
 
-    __slots__ = ("_buf", "tag_counts")
+    __slots__ = ("_buf", "tag_counts", "bytes_drained")
 
     def __init__(self) -> None:
         self._buf = bytearray()
         #: Counter of record tags, filled by callers via :meth:`count_tag`.
         self.tag_counts: Counter[str] = Counter()
+        #: Bytes already removed from the front via :meth:`drain`/:meth:`flush`.
+        self.bytes_drained = 0
 
     # -- writers ----------------------------------------------------------
 
@@ -68,15 +77,52 @@ class WriteBuffer:
         """Record one occurrence of a wire record *tag* (for statistics)."""
         self.tag_counts[tag] += 1
 
+    # -- streaming ---------------------------------------------------------
+
+    def drain(self, chunk_size: int) -> list[bytes]:
+        """Remove and return all *complete* ``chunk_size``-byte chunks from
+        the front of the buffer, leaving any partial tail for later writes.
+
+        This is the producer side of the streaming pipeline: collection
+        keeps appending while the caller periodically drains full chunks
+        onto the wire.  :attr:`nbytes` keeps counting total bytes written,
+        drained or not.
+        """
+        if chunk_size <= 0:
+            raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+        n_full = len(self._buf) // chunk_size
+        if n_full == 0:
+            return []
+        chunks = [
+            bytes(self._buf[i * chunk_size : (i + 1) * chunk_size])
+            for i in range(n_full)
+        ]
+        del self._buf[: n_full * chunk_size]
+        self.bytes_drained += n_full * chunk_size
+        return chunks
+
+    def flush(self) -> bytes:
+        """Remove and return whatever remains in the buffer (the final,
+        possibly short, chunk of a drained stream).  May be empty."""
+        tail = bytes(self._buf)
+        self._buf.clear()
+        self.bytes_drained += len(tail)
+        return tail
+
     # -- accessors ---------------------------------------------------------
 
     @property
     def nbytes(self) -> int:
-        """Total bytes written so far."""
-        return len(self._buf)
+        """Total bytes written so far (including drained bytes)."""
+        return self.bytes_drained + len(self._buf)
 
     def getvalue(self) -> bytes:
-        """Immutable snapshot of the buffer contents."""
+        """Immutable snapshot of the (undrained) buffer contents."""
+        if self.bytes_drained:
+            raise ValueError(
+                "getvalue() after drain() would return a partial payload; "
+                "a streamed buffer's bytes already left via drain()/flush()"
+            )
         return bytes(self._buf)
 
     def __len__(self) -> int:
@@ -156,3 +202,112 @@ class ReadBuffer:
     def at_end(self) -> bool:
         """Whether the whole buffer has been consumed."""
         return self._pos == len(self._view)
+
+
+class StreamReadBuffer(ReadBuffer):
+    """A :class:`ReadBuffer` over an *iterator of chunks* instead of one
+    contiguous payload.
+
+    The restorer pulls records sequentially, so it only ever needs a small
+    window of bytes at a time; when a read outruns the window, the next
+    chunk is pulled from the iterator and spliced on.  This is what lets
+    restoration start before collection has finished: the iterator is
+    typically a channel's ``iter_chunks()``, fed (same-thread or from a
+    producer thread) by a draining collector.
+
+    The window is rebuilt as an immutable ``bytes`` on each refill, so
+    memoryviews handed out by earlier ``read`` calls stay valid (they pin
+    the old window object) and never block the splice.
+
+    An underrun past the final chunk raises :class:`EOFError`, exactly
+    like a truncated monolithic payload.
+    """
+
+    __slots__ = ("_chunks", "_exhausted", "_base")
+
+    def __init__(self, chunks: Iterable[bytes]) -> None:
+        super().__init__(b"")
+        self._chunks: Iterator[bytes] = iter(chunks)
+        self._exhausted = False
+        #: bytes discarded in front of the current window (for position)
+        self._base = 0
+
+    def _ensure(self, n: int) -> None:
+        """Pull chunks until *n* bytes are readable or the stream ends."""
+        while len(self._view) - self._pos < n:
+            if self._exhausted:
+                raise EOFError(
+                    f"stream underrun: need {n} bytes at {self.position}, "
+                    f"have {len(self._view) - self._pos} and no more chunks"
+                )
+            try:
+                chunk = next(self._chunks)
+            except StopIteration:
+                self._exhausted = True
+                continue
+            window = self._view[self._pos :].tobytes() + bytes(chunk)
+            self._base += self._pos
+            self._view = memoryview(window)
+            self._pos = 0
+
+    # -- refilling overrides ----------------------------------------------
+    # Each reader ensures its bytes are buffered BEFORE the base class
+    # touches self._view: the base readers evaluate self._view first and
+    # _advance() second, so a refill inside _advance would leave them
+    # unpacking from the stale (pre-splice) window.
+
+    def read(self, n: int) -> memoryview:
+        self._ensure(n)
+        return super().read(n)
+
+    def read_u8(self) -> int:
+        self._ensure(1)
+        return super().read_u8()
+
+    def read_u16(self) -> int:
+        self._ensure(2)
+        return super().read_u16()
+
+    def read_u32(self) -> int:
+        self._ensure(4)
+        return super().read_u32()
+
+    def read_u64(self) -> int:
+        self._ensure(8)
+        return super().read_u64()
+
+    def read_i64(self) -> int:
+        self._ensure(8)
+        return super().read_i64()
+
+    def _advance(self, n: int) -> int:
+        self._ensure(n)
+        return super()._advance(n)
+
+    def peek_u8(self) -> int:
+        self._ensure(1)
+        return super().peek_u8()
+
+    # -- state -------------------------------------------------------------
+
+    @property
+    def position(self) -> int:
+        """Absolute offset into the concatenated stream."""
+        return self._base + self._pos
+
+    @property
+    def remaining(self) -> int:
+        """Bytes available *without* pulling another chunk (a lower bound
+        on the true remainder while the stream is still live)."""
+        return len(self._view) - self._pos
+
+    def at_end(self) -> bool:
+        """Whether the whole stream has been consumed (pulls the iterator
+        to find out, so only call once the payload should be complete)."""
+        if len(self._view) - self._pos > 0:
+            return False
+        try:
+            self._ensure(1)
+        except EOFError:
+            return True
+        return False

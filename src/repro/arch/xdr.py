@@ -167,7 +167,13 @@ def encode_array(kind: str, values: np.ndarray) -> bytes:
 
 
 def decode_array(kind: str, data: bytes | memoryview, count: int, offset: int = 0) -> np.ndarray:
-    """Decode *count* primitives of *kind* from wire bytes (bulk path)."""
+    """Decode *count* primitives of *kind* from wire bytes (bulk path).
+
+    One copy total: ``frombuffer`` is a zero-copy view directly into
+    *data* at *offset* (no intermediate slice copy) and the single
+    ``.copy()`` detaches the result so callers get a writable array that
+    does not pin the wire buffer.  This is the bulk-restore hot path —
+    every linpack matrix passes through here.
+    """
     wire = _NP_DTYPE[kind]
-    end = offset + count * wire.itemsize
-    return np.frombuffer(data[offset:end], dtype=wire).copy()
+    return np.frombuffer(data, dtype=wire, count=count, offset=offset).copy()

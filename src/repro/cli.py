@@ -24,7 +24,7 @@ from repro.arch.machine import ARCH_PRESETS
 from repro.clang.parser import ParseError, parse
 from repro.clang.unsafe import MigrationSafetyError, check_migration_safety
 from repro.migration.checkpoint import checkpoint_to_file, restart_from_file
-from repro.migration.engine import MigrationEngine
+from repro.migration.engine import DEFAULT_CHUNK_SIZE, MigrationEngine
 from repro.migration.transport import Channel, ETHERNET_10M, ETHERNET_100M, GIGABIT, LOOPBACK
 from repro.transform.annotate import annotate_program
 from repro.vm.process import Process
@@ -131,10 +131,22 @@ def cmd_migrate(args) -> int:
     proc = _stop_at(prog, src_arch, args.after_polls)
     engine = MigrationEngine()
     channel = Channel(_LINKS[args.link])
-    dest, stats = engine.migrate(proc, dst_arch, channel=channel)
+    dest, stats = engine.migrate(
+        proc,
+        dst_arch,
+        channel=channel,
+        streaming=args.stream,
+        chunk_size=args.chunk_size,
+    )
     result = dest.run()
     sys.stdout.write(dest.stdout)
     print(f"[{stats}]", file=sys.stderr)
+    if args.stream:
+        print(
+            f"[response time {stats.response_time * 1e3:.2f} ms pipelined "
+            f"vs {stats.migration_time * 1e3:.2f} ms serial]",
+            file=sys.stderr,
+        )
     ok = dest.stdout == baseline.stdout and result.exit_code == baseline.exit_code
     print(
         f"[output {'identical to' if ok else 'DIFFERS from'} an unmigrated run]",
@@ -236,6 +248,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--to", dest="dst", default="sparc20", choices=list(ARCH_PRESETS))
     p.add_argument("--after-polls", type=int, default=1)
     p.add_argument("--link", default="10m", choices=list(_LINKS))
+    p.add_argument("--stream", action="store_true",
+                   help="overlap collect/tx/restore via the chunked pipeline")
+    p.add_argument("--chunk-size", type=int, default=DEFAULT_CHUNK_SIZE,
+                   help="streaming chunk payload size in bytes")
     p.set_defaults(fn=cmd_migrate)
 
     p = common(sub.add_parser("checkpoint", help="snapshot a process to a file"))

@@ -29,8 +29,15 @@ from repro.migration.checkpoint import (
     restart_from_file,
     run_with_checkpoints,
 )
-from repro.migration.stats import MigrationStats
-from repro.migration.engine import MigrationEngine, collect_state, restore_state
+from repro.migration.stats import MigrationStats, pipelined_response_time
+from repro.migration.engine import (
+    DEFAULT_CHUNK_SIZE,
+    MigrationEngine,
+    collect_state,
+    collect_state_chunks,
+    restore_state,
+    restore_state_stream,
+)
 from repro.migration.scheduler import Cluster, Host, Scheduler, SchedulerResult
 
 __all__ = [
@@ -48,9 +55,13 @@ __all__ = [
     "GIGABIT",
     "Link",
     "MigrationStats",
+    "pipelined_response_time",
     "MigrationEngine",
+    "DEFAULT_CHUNK_SIZE",
     "collect_state",
+    "collect_state_chunks",
     "restore_state",
+    "restore_state_stream",
     "Cluster",
     "Host",
     "Scheduler",

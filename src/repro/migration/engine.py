@@ -10,32 +10,61 @@ Collection order follows the §3.2 example: live data of the innermost
 function first (``foo`` before ``main``), then the globals.  The frame
 *table* is written outermost-first so the restorer can rebuild activation
 records bottom-up before any data arrives.
+
+Two transfer disciplines share that record stream:
+
+- **monolithic** (the paper's prototype, and the default): the whole
+  payload is collected, sent in one message, then restored — response
+  time is Collect + Tx + Restore (Table 1's model);
+- **streaming** (``migrate(..., streaming=True)``): collection drains
+  into fixed-size chunks that are framed, transmitted, and restored
+  while later records are still being produced, so response time
+  approaches ``max(Collect, Tx, Restore)``.  The chunk payloads
+  concatenate to the *byte-identical* monolithic payload; only the
+  transfer discipline differs.
 """
 
 from __future__ import annotations
 
+import threading
 import time
-from typing import Optional
+from typing import Iterable, Iterator, Optional
 
-from repro.arch.buffers import ReadBuffer, WriteBuffer
+from repro.arch.buffers import ReadBuffer, StreamReadBuffer, WriteBuffer
 from repro.migration.stats import MigrationStats
 from repro.migration.transport import Channel, LOOPBACK, Link
 from repro.msr.collect import Collector
 from repro.msr.msrlt import BlockKind
 from repro.msr.restore import Restorer
-from repro.msr.wire import WireHeader, read_header, write_header
+from repro.msr.wire import CHUNK_HEADER_SIZE, WireHeader, read_header, write_header
 from repro.vm.process import Process
 
-__all__ = ["MigrationEngine", "collect_state", "restore_state", "MigrationError"]
+__all__ = [
+    "MigrationEngine",
+    "collect_state",
+    "collect_state_chunks",
+    "restore_state",
+    "restore_state_stream",
+    "MigrationError",
+    "DEFAULT_CHUNK_SIZE",
+]
+
+#: default streaming chunk payload size (bytes)
+DEFAULT_CHUNK_SIZE = 64 * 1024
 
 
 class MigrationError(Exception):
     """A migration could not be performed."""
 
 
-def collect_state(process: Process) -> tuple[bytes, "CollectInfo"]:
-    """Collect the execution + memory state of a process stopped at a
-    poll-point.  Returns the machine-independent payload."""
+def _collect_records(process: Process, buf: WriteBuffer):
+    """Write the full migration payload into *buf*, yielding after every
+    variable (a safe drain point for the streaming pipeline).
+
+    Returns (via ``StopIteration.value``) the :class:`CollectInfo`.  Both
+    the monolithic and the chunked collectors drive this one generator,
+    which is what keeps their payload bytes identical.
+    """
     if not process.frames:
         raise MigrationError("process has no frames (not running?)")
 
@@ -43,7 +72,6 @@ def collect_state(process: Process) -> tuple[bytes, "CollectInfo"]:
     process.register_stack_blocks()
 
     program = process.program
-    buf = WriteBuffer()
     frames = process.frames
     header = WireHeader(
         source_arch=process.arch.name,
@@ -62,6 +90,7 @@ def collect_state(process: Process) -> tuple[bytes, "CollectInfo"]:
             block = process.msrlt.lookup_logical((BlockKind.STACK, depth, var_idx))
             buf.write_u16(var_idx)
             collector.save_variable(block)
+            yield
 
     # globals: unconditionally part of the memory state
     globals_ = program.globals
@@ -70,13 +99,56 @@ def collect_state(process: Process) -> tuple[bytes, "CollectInfo"]:
         block = process.msrlt.lookup_logical((BlockKind.GLOBAL, idx, 0))
         buf.write_u32(idx)
         collector.save_variable(block)
+        yield
 
     stats = collector.finish()
     # the source process is about to terminate; its collection-time stack
     # registrations are dropped for hygiene (it may also be resumed locally
     # when a migration is cancelled)
     process.msrlt.drop_stack_blocks()
-    return buf.getvalue(), CollectInfo(stats=stats, header=header)
+    return CollectInfo(stats=stats, header=header)
+
+
+def collect_state(process: Process) -> tuple[bytes, "CollectInfo"]:
+    """Collect the execution + memory state of a process stopped at a
+    poll-point.  Returns the machine-independent payload."""
+    buf = WriteBuffer()
+    gen = _collect_records(process, buf)
+    while True:
+        try:
+            next(gen)
+        except StopIteration as stop:
+            return buf.getvalue(), stop.value
+
+
+def collect_state_chunks(
+    process: Process,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    info_slot: Optional[list] = None,
+) -> Iterator[bytes]:
+    """Collect *process* incrementally, yielding payload chunks of
+    *chunk_size* bytes (the final chunk may be shorter).
+
+    The concatenation of the chunks is byte-identical to
+    :func:`collect_state`'s payload.  When the generator is exhausted,
+    the :class:`CollectInfo` is appended to *info_slot* (generators
+    cannot hand a return value to a ``for`` loop).
+    """
+    if chunk_size <= 0:
+        raise MigrationError(f"chunk_size must be positive, got {chunk_size}")
+    buf = WriteBuffer()
+    gen = _collect_records(process, buf)
+    while True:
+        try:
+            next(gen)
+        except StopIteration as stop:
+            if info_slot is not None:
+                info_slot.append(stop.value)
+            break
+        yield from buf.drain(chunk_size)
+    tail = buf.flush()
+    if tail:
+        yield tail
 
 
 class CollectInfo:
@@ -87,11 +159,16 @@ class CollectInfo:
         self.header = header
 
 
-def restore_state(program, payload: bytes, dest: Process) -> "RestoreInfo":
-    """Rebuild execution + memory state inside a fresh destination process."""
+def _restore_from(program, rbuf, dest: Process) -> "RestoreInfo":
+    """Rebuild execution + memory state from any reader with the
+    :class:`ReadBuffer` interface (contiguous payload or chunk stream)."""
     if dest.frames:
         raise MigrationError("destination process already has frames")
-    rbuf = ReadBuffer(payload)
+    if dest.program is not program:
+        raise MigrationError(
+            "destination process was invoked from a different program than "
+            "the payload claims (the migratable source must be pre-distributed)"
+        )
     header = read_header(rbuf)
 
     dest.load()
@@ -123,12 +200,54 @@ def restore_state(program, payload: bytes, dest: Process) -> "RestoreInfo":
     return RestoreInfo(stats=restorer.stats, header=header)
 
 
+def restore_state(program, payload: bytes, dest: Process) -> "RestoreInfo":
+    """Rebuild execution + memory state inside a fresh destination process.
+
+    *program* must be the very program object *dest* was invoked from;
+    the mismatch is rejected before any destination memory is written.
+    """
+    return _restore_from(program, ReadBuffer(payload), dest)
+
+
+def restore_state_stream(
+    program, chunks: Iterable[bytes], dest: Process
+) -> "RestoreInfo":
+    """Like :func:`restore_state`, but consuming an iterator of payload
+    chunks (e.g. a channel's ``iter_chunks()``) as they arrive — the
+    incremental-restore half of the streaming pipeline."""
+    return _restore_from(program, StreamReadBuffer(chunks), dest)
+
+
 class RestoreInfo:
     """Restoration by-products."""
 
     def __init__(self, stats, header: WireHeader) -> None:
         self.stats = stats
         self.header = header
+
+
+class _TimedIter:
+    """Iterator wrapper accumulating wall-clock time spent inside
+    ``__next__`` — how the engine attributes pipeline time to stages."""
+
+    __slots__ = ("_it", "seconds", "count")
+
+    def __init__(self, iterable) -> None:
+        self._it = iter(iterable)
+        self.seconds = 0.0
+        self.count = 0
+
+    def __iter__(self):
+        return self
+
+    def __next__(self):
+        t0 = time.perf_counter()
+        try:
+            item = next(self._it)
+        finally:
+            self.seconds += time.perf_counter() - t0
+        self.count += 1
+        return item
 
 
 class MigrationEngine:
@@ -144,6 +263,8 @@ class MigrationEngine:
         dest_name: Optional[str] = None,
         channel: Optional[Channel] = None,
         waiting: Optional[Process] = None,
+        streaming: bool = False,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
     ) -> tuple[Process, MigrationStats]:
         """Migrate *process* (stopped at a poll-point) to *dest_arch*.
 
@@ -154,6 +275,14 @@ class MigrationEngine:
         "the process on the destination machine is invoked to wait for
         execution and memory states of the migrating process"); it must
         be loaded but not started, and on the requested architecture.
+
+        With ``streaming=True`` the payload is cut into *chunk_size*
+        chunks that are collected, framed, transmitted, and restored in a
+        pipeline (generator-driven on in-memory/file channels, a
+        producer thread on the socket channel); the stats then carry
+        ``pipeline_time``/``n_chunks``/``overlap_ratio`` and
+        ``stats.response_time`` reports the overlapped total.  The
+        restored process is identical either way.
         """
         channel = channel or Channel(self.link)
         if waiting is not None:
@@ -174,28 +303,125 @@ class MigrationEngine:
             dest_arch=dest_arch.name,
             n_frames=len(process.frames),
         )
-
-        t0 = time.perf_counter()
-        payload, cinfo = collect_state(process)
-        stats.collect_time = time.perf_counter() - t0
-        stats.collect = cinfo.stats
-        stats.payload_bytes = len(payload)
-        stats.data_bytes = cinfo.stats.data_bytes
-        stats.n_blocks = cinfo.stats.n_blocks
-
-        stats.tx_time = channel.send(payload)
-        received = channel.recv()
-
         dest = waiting if waiting is not None else Process(
             process.program, dest_arch, name=dest_name or f"{process.name}'"
         )
-        t0 = time.perf_counter()
-        rinfo = restore_state(process.program, received, dest)
-        stats.restore_time = time.perf_counter() - t0
-        stats.restore = rinfo.stats
+
+        if streaming:
+            self._migrate_streaming(process, dest, channel, chunk_size, stats)
+        else:
+            self._migrate_monolithic(process, dest, channel, stats)
 
         # the migrating process terminates after successful transmission
         process.frames.clear()
         process.exited = True
         process.migration_pending = False
         return dest, stats
+
+    # -- the paper's serial discipline -------------------------------------
+
+    def _migrate_monolithic(self, process, dest, channel, stats) -> None:
+        t0 = time.perf_counter()
+        payload, cinfo = collect_state(process)
+        stats.collect_time = time.perf_counter() - t0
+        self._absorb_collect(stats, cinfo, len(payload))
+
+        stats.tx_time = channel.send(payload)
+        received = channel.recv()
+
+        t0 = time.perf_counter()
+        rinfo = _restore_from(process.program, ReadBuffer(received), dest)
+        stats.restore_time = time.perf_counter() - t0
+        stats.restore = rinfo.stats
+
+    # -- the overlapped discipline -----------------------------------------
+
+    def _migrate_streaming(self, process, dest, channel, chunk_size, stats) -> None:
+        info_slot: list = []
+        collect_iter = _TimedIter(
+            collect_state_chunks(process, chunk_size, info_slot)
+        )
+
+        if getattr(channel, "concurrent_stream", False):
+            feed, producer, producer_error = self._threaded_feed(
+                channel, collect_iter
+            )
+        else:
+            feed, producer, producer_error = self._inline_feed(
+                channel, collect_iter
+            )
+
+        feed_timer = _TimedIter(feed)
+        t0 = time.perf_counter()
+        try:
+            rinfo = _restore_from(process.program, StreamReadBuffer(feed_timer), dest)
+        finally:
+            if producer is not None:
+                producer.join()
+        restore_wall = time.perf_counter() - t0
+        if producer_error:
+            raise producer_error[0]
+
+        # feed time covers collection + channel hops; what is left of the
+        # restore driver's wall clock is pure restoration compute
+        stats.collect_time = collect_iter.seconds
+        stats.restore_time = max(restore_wall - feed_timer.seconds, 0.0)
+        stats.restore = rinfo.stats
+
+        cinfo = info_slot[0]
+        stats.streamed = True
+        stats.n_chunks = collect_iter.count
+        self._absorb_collect(stats, cinfo, cinfo.stats.wire_bytes)
+
+        link = channel.link
+        framed_bytes = stats.payload_bytes + (stats.n_chunks + 1) * CHUNK_HEADER_SIZE
+        stats.tx_time = link.pipelined_transfer_time(framed_bytes, stats.n_chunks)
+        stats.finish_pipeline(latency_s=link.latency_s)
+
+    @staticmethod
+    def _inline_feed(channel, collect_iter):
+        """Same-thread pipeline: the restorer's pull for the next chunk
+        collects it, sends it, and receives it — chunk-granular
+        interleaving of all three stages on one thread."""
+
+        def feed():
+            for chunk in collect_iter:
+                channel.send_chunk(chunk)
+                yield channel.recv_chunk()
+            channel.end_stream()
+            if channel.recv_chunk() is not None:  # pragma: no cover
+                raise MigrationError("stream terminator was not last on channel")
+
+        return feed(), None, []
+
+    @staticmethod
+    def _threaded_feed(channel, collect_iter):
+        """Producer/consumer pipeline for channels whose chunk writes
+        block until drained (the socket): collection + send run in a
+        producer thread while the caller restores from ``iter_chunks``."""
+        error: list = []
+
+        def produce():
+            try:
+                for chunk in collect_iter:
+                    channel.send_chunk(chunk)
+                channel.end_stream()
+            except BaseException as exc:  # noqa: BLE001 - repropagated by caller
+                error.append(exc)
+                # unblock the consumer: a closed tx side turns its next
+                # read into a typed TruncatedFrameError
+                try:
+                    channel._tx.close()
+                except OSError:  # pragma: no cover
+                    pass
+
+        producer = threading.Thread(target=produce, name="migration-collector")
+        producer.start()
+        return channel.iter_chunks(), producer, error
+
+    @staticmethod
+    def _absorb_collect(stats, cinfo, payload_bytes: int) -> None:
+        stats.collect = cinfo.stats
+        stats.payload_bytes = payload_bytes
+        stats.data_bytes = cinfo.stats.data_bytes
+        stats.n_blocks = cinfo.stats.n_blocks

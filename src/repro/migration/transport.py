@@ -10,12 +10,34 @@ Ultra 5 workstations.  We substitute an in-memory byte channel whose
 which is all a reliable bulk transfer contributes to migration time (the
 paper's Tx column).  Collection and restoration remain measured wall
 clock — only the wire is modeled (see DESIGN.md §2).
+
+Streaming
+---------
+
+All three channels additionally speak *chunk frames* (see
+:mod:`repro.msr.wire`): ``send_chunk`` frames and enqueues one payload
+chunk, ``end_stream`` sends the terminator, and ``recv_chunk`` /
+``iter_chunks`` validate and unwrap on the far side.  A chunked stream
+sent back-to-back keeps the wire busy, so its modeled transfer time
+amortizes the link latency across the train
+(:meth:`Link.pipelined_transfer_time`) instead of paying it per chunk —
+and, more importantly, lets the engine overlap transfer with collection
+and restoration (the pipeline model lives in
+:mod:`repro.migration.stats`).
 """
 
 from __future__ import annotations
 
+import struct
 from collections import deque
 from dataclasses import dataclass
+
+from repro.msr.wire import (
+    ChunkDecoder,
+    encode_chunk,
+    encode_end_of_stream,
+    TruncatedFrameError,
+)
 
 __all__ = [
     "Link",
@@ -27,6 +49,8 @@ __all__ = [
     "GIGABIT",
     "LOOPBACK",
 ]
+
+_RECORD_LEN = struct.Struct(">I")
 
 
 @dataclass(frozen=True)
@@ -41,6 +65,27 @@ class Link:
         """Modeled one-way transfer time for *nbytes* of payload."""
         return self.latency_s + (nbytes * 8.0) / self.bandwidth_bps
 
+    def pipelined_transfer_time(self, nbytes: int, n_chunks: int) -> float:
+        """Modeled transfer time for *nbytes* streamed as *n_chunks*
+        back-to-back frames.
+
+        The sender keeps the pipe full, so the propagation latency is
+        paid once — by the first frame filling the pipe — and every
+        later frame rides directly behind it:
+
+            latency + nbytes·8 / bandwidth
+
+        and **not** the naive per-chunk sum
+        ``n_chunks · (latency + chunk_bits/bandwidth)``, which would
+        charge the fill cost *n_chunks* times.  (*n_chunks* is accepted
+        for the signature's honesty — a zero-chunk stream still pays
+        nothing but latency — and for subclass models that do charge a
+        small per-frame cost.)
+        """
+        if n_chunks <= 1:
+            return self.transfer_time(nbytes)
+        return self.latency_s + (nbytes * 8.0) / self.bandwidth_bps
+
 
 #: the paper's heterogeneous testbed interconnect (§4.1)
 ETHERNET_10M = Link("ethernet-10M", 10e6, latency_s=0.002)
@@ -50,7 +95,75 @@ GIGABIT = Link("gigabit", 1e9, latency_s=0.0005)
 LOOPBACK = Link("loopback", 1e12, latency_s=0.0)
 
 
-class Channel:
+class _ChunkStreamMixin:
+    """Framed-chunk streaming on top of a channel's ``send``/``recv``.
+
+    The default implementation rides the channel's whole-message
+    primitives: a frame is just one more message on the wire.  Channels
+    with a genuinely different streaming data path (the socket) override
+    ``send_chunk``/``recv_chunk`` but keep the same accounting.
+
+    ``concurrent_stream`` tells the engine whether this channel needs a
+    producer thread (the stream blocks until someone consumes it) or can
+    be driven by a same-thread generator.
+    """
+
+    concurrent_stream = False
+
+    def _init_stream_state(self) -> None:
+        self._send_seq = 0
+        self._decoder = ChunkDecoder()
+        self.chunks_sent = 0
+        self.framed_bytes_sent = 0
+
+    def send_chunk(self, payload: bytes) -> float:
+        """Frame and transmit one chunk; returns the modeled per-frame
+        wire time (the engine amortizes latency across the whole train
+        via :meth:`Link.pipelined_transfer_time`)."""
+        frame = encode_chunk(self._send_seq, payload)
+        self._send_seq += 1
+        self.chunks_sent += 1
+        self.framed_bytes_sent += len(frame)
+        return self._send_frame(frame)
+
+    def end_stream(self) -> float:
+        """Transmit the end-of-stream terminator and reset the sender
+        sequence so the channel can carry another stream."""
+        frame = encode_end_of_stream(self._send_seq)
+        self._send_seq = 0
+        self.framed_bytes_sent += len(frame)
+        return self._send_frame(frame)
+
+    def recv_chunk(self) -> bytes | None:
+        """Receive, validate, and unwrap the next chunk payload.
+
+        Returns ``None`` at end-of-stream (and resets the receiver state
+        for the next stream).  Raises the typed
+        :class:`~repro.msr.wire.WireFrameError` family on damage.
+        """
+        payload = self._decoder.decode(self._recv_frame())
+        if payload is None:
+            self._decoder = ChunkDecoder()
+        return payload
+
+    def iter_chunks(self):
+        """Yield chunk payloads until end-of-stream."""
+        while True:
+            payload = self.recv_chunk()
+            if payload is None:
+                return
+            yield payload
+
+    # frame transport, overridable ----------------------------------------
+
+    def _send_frame(self, frame: bytes) -> float:
+        return self.send(frame)
+
+    def _recv_frame(self) -> bytes:
+        return self.recv()
+
+
+class Channel(_ChunkStreamMixin):
     """A reliable, ordered byte channel over one :class:`Link`.
 
     ``send`` enqueues the payload and returns the modeled transfer time;
@@ -63,6 +176,7 @@ class Channel:
         self._queue: deque[bytes] = deque()
         self.bytes_sent = 0
         self.messages_sent = 0
+        self._init_stream_state()
 
     def send(self, payload: bytes) -> float:
         """Transmit *payload*; returns the modeled wire time in seconds."""
@@ -82,11 +196,13 @@ class Channel:
         return len(self._queue)
 
 
-class FileChannel:
+class FileChannel(_ChunkStreamMixin):
     """Transfer via a shared file system (the paper's second layer-1
     option: "using either TCP protocol, shared file systems, or remote
     file transfer").  Each ``send`` writes one length-prefixed record to
-    the spool file; ``recv`` consumes records in order."""
+    the spool file; ``recv`` consumes records in order through a
+    persistent read handle (re-reading the whole spool per record would
+    be O(n²) bytes over a multi-message session)."""
 
     def __init__(self, path, link: Link = ETHERNET_10M) -> None:
         import pathlib
@@ -97,44 +213,60 @@ class FileChannel:
         self.bytes_sent = 0
         self.messages_sent = 0
         self.path.write_bytes(b"")
+        self._init_stream_state()
+
+    def _reader(self):
+        """The persistent read handle (created lazily so externally
+        attached channel objects keep working)."""
+        fh = getattr(self, "_rfh", None)
+        if fh is None or fh.closed:
+            fh = self.path.open("rb")
+            self._rfh = fh
+        return fh
 
     def send(self, payload: bytes) -> float:
-        import struct as _struct
-
         with self.path.open("ab") as fh:
-            fh.write(_struct.pack(">I", len(payload)))
+            fh.write(_RECORD_LEN.pack(len(payload)))
             fh.write(payload)
         self.bytes_sent += len(payload)
         self.messages_sent += 1
         return self.link.transfer_time(len(payload))
 
     def recv(self) -> bytes:
-        import struct as _struct
-
-        data = self.path.read_bytes()
-        if self._read_offset + 4 > len(data):
+        fh = self._reader()
+        fh.seek(self._read_offset)
+        header = fh.read(_RECORD_LEN.size)
+        if len(header) < _RECORD_LEN.size:
             raise RuntimeError("file channel empty: nothing was sent")
-        (n,) = _struct.unpack_from(">I", data, self._read_offset)
-        start = self._read_offset + 4
-        if start + n > len(data):
+        (n,) = _RECORD_LEN.unpack(header)
+        payload = fh.read(n)
+        if len(payload) < n:
             raise RuntimeError("file channel truncated")
-        self._read_offset = start + n
-        return data[start : start + n]
+        self._read_offset = fh.tell()
+        return payload
 
     @property
     def pending(self) -> int:
-        import struct as _struct
-
-        data = self.path.read_bytes()
+        # seek over record bodies instead of reading them: O(records)
+        fh = self._reader()
+        size = self.path.stat().st_size
         off, count = self._read_offset, 0
-        while off + 4 <= len(data):
-            (n,) = _struct.unpack_from(">I", data, off)
-            off += 4 + n
+        while off + _RECORD_LEN.size <= size:
+            fh.seek(off)
+            (n,) = _RECORD_LEN.unpack(fh.read(_RECORD_LEN.size))
+            if off + _RECORD_LEN.size + n > size:
+                break  # partial record still being written
+            off += _RECORD_LEN.size + n
             count += 1
         return count
 
+    def close(self) -> None:
+        fh = getattr(self, "_rfh", None)
+        if fh is not None and not fh.closed:
+            fh.close()
 
-class SocketChannel:
+
+class SocketChannel(_ChunkStreamMixin):
     """Transfer over a real local socket pair (the paper's TCP option).
 
     The bytes genuinely cross a kernel socket; the *reported* time still
@@ -142,13 +274,21 @@ class SocketChannel:
     the in-memory channel (a loopback socket says nothing about a
     10 Mb/s Ethernet).
 
-    Both endpoints live in one thread, so ``send`` only queues the
-    payload; ``recv`` pumps it through the socket in chunks small enough
-    never to fill the kernel buffer (an 8 MB matrix must not deadlock a
-    single-threaded test).
+    Both endpoints live in one thread for whole-message transfers, so
+    ``send`` only queues the payload; ``recv`` pumps it through the
+    socket in chunks small enough never to fill the kernel buffer (an
+    8 MB matrix must not deadlock a single-threaded test).
+
+    Streamed chunks are different: ``send_chunk`` writes the frame
+    straight into the socket and may block once the kernel buffer fills,
+    so the engine drives this channel with a producer thread
+    (``concurrent_stream = True``) while the consumer drains
+    ``recv_chunk`` — a real producer/consumer pipeline.
     """
 
     _CHUNK = 32768
+
+    concurrent_stream = True
 
     def __init__(self, link: Link = ETHERNET_10M) -> None:
         import socket
@@ -158,6 +298,7 @@ class SocketChannel:
         self._outgoing: deque[bytes] = deque()
         self.bytes_sent = 0
         self.messages_sent = 0
+        self._init_stream_state()
 
     def send(self, payload: bytes) -> float:
         self._outgoing.append(bytes(payload))
@@ -182,6 +323,37 @@ class SocketChannel:
                 out += piece
                 got += len(piece)
         return bytes(out)
+
+    # -- streamed frames go through the socket for real -------------------
+
+    def _send_frame(self, frame: bytes) -> float:
+        self._tx.sendall(frame)
+        return self.link.transfer_time(len(frame))
+
+    def _read_exact(self, n: int, context: str) -> bytes:
+        out = bytearray()
+        while len(out) < n:
+            piece = self._rx.recv(n - len(out))
+            if not piece:
+                raise TruncatedFrameError(
+                    f"socket closed mid-{context}: got {len(out)} of {n} bytes"
+                )
+            out += piece
+        return bytes(out)
+
+    def _recv_frame(self) -> bytes:
+        from repro.msr.wire import CHUNK_HEADER_SIZE, CHUNK_MAGIC, FrameCorruptError
+
+        header = self._read_exact(CHUNK_HEADER_SIZE, "frame header")
+        (magic,) = _RECORD_LEN.unpack_from(header, 0)
+        if magic != CHUNK_MAGIC:
+            # a desynced stream must fail here, before a garbage length
+            # field makes us block waiting for bytes that never come
+            raise FrameCorruptError(f"bad chunk frame magic {magic:#010x}")
+        (length,) = _RECORD_LEN.unpack_from(header, 8)
+        if length == 0:
+            return header
+        return header + self._read_exact(length, "frame payload")
 
     @property
     def pending(self) -> int:

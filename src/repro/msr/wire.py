@@ -31,10 +31,36 @@ header and offset" format):
 A ``BLOCK`` appears for the first (depth-first) visit of each memory
 block; every later reference is a ``REF``.  Cycles are safe because the
 restorer registers the block mapping *before* reading its contents.
+
+Streaming chunk frames
+----------------------
+
+When a payload is *streamed* (engine ``streaming=True``), it is cut into
+chunks and each chunk ships inside a self-delimiting frame:
+
+.. code-block:: text
+
+    chunk frame:
+        u32  magic        'MCHK'
+        u32  seq          0-based, strictly consecutive per stream
+        u32  payload_len  0 marks end-of-stream (no payload follows)
+        u32  crc32        zlib CRC-32 of the payload bytes
+        payload_len bytes of payload
+
+Frames make mid-stream damage a *typed* failure instead of garbage
+reaching the restorer: a short read raises
+:class:`TruncatedFrameError`, a bad magic or CRC raises
+:class:`FrameCorruptError`, and a non-consecutive sequence number
+(reordered, duplicated, or dropped frame) raises
+:class:`FrameOrderError` — all subclasses of :class:`WireFrameError`.
+The concatenated chunk payloads are byte-identical to the monolithic
+payload, so everything above the framing layer is unchanged.
 """
 
 from __future__ import annotations
 
+import struct
+import zlib
 from dataclasses import dataclass
 
 from repro.arch.buffers import ReadBuffer, WriteBuffer
@@ -51,6 +77,16 @@ __all__ = [
     "read_header",
     "write_logical",
     "read_logical",
+    "CHUNK_MAGIC",
+    "CHUNK_HEADER_SIZE",
+    "WireFrameError",
+    "TruncatedFrameError",
+    "FrameCorruptError",
+    "FrameOrderError",
+    "encode_chunk",
+    "encode_end_of_stream",
+    "decode_chunk",
+    "ChunkDecoder",
 ]
 
 MAGIC = 0x4D494752  # 'MIGR'
@@ -109,3 +145,109 @@ def write_logical(buf: WriteBuffer, logical: tuple) -> None:
 def read_logical(buf: ReadBuffer) -> tuple:
     """Parse a machine-independent block id."""
     return (buf.read_u8(), buf.read_u32(), buf.read_u32())
+
+
+# -- streaming chunk frames ---------------------------------------------------
+
+CHUNK_MAGIC = 0x4D43484B  # 'MCHK'
+_CHUNK_HEADER = struct.Struct(">IIII")  # magic, seq, payload_len, crc32
+CHUNK_HEADER_SIZE = _CHUNK_HEADER.size
+
+
+class WireFrameError(Exception):
+    """A streamed chunk frame is damaged or out of protocol."""
+
+
+class TruncatedFrameError(WireFrameError):
+    """A frame (header or payload) was cut short mid-stream.
+
+    Deliberately NOT an :class:`EOFError`: a reader probing for a clean
+    end of stream (``StreamReadBuffer.at_end``) treats ``EOFError`` as
+    "stream over", and a truncated frame must never pass for that.
+    """
+
+
+class FrameCorruptError(WireFrameError):
+    """A frame's magic or CRC-32 does not check out."""
+
+
+class FrameOrderError(WireFrameError):
+    """Frames arrived out of sequence (reordered, duplicated, or lost)."""
+
+
+def encode_chunk(seq: int, payload: bytes) -> bytes:
+    """Wrap one non-empty payload chunk in a frame."""
+    if not payload:
+        raise ValueError("empty chunk payload is reserved for end-of-stream")
+    return (
+        _CHUNK_HEADER.pack(CHUNK_MAGIC, seq, len(payload), zlib.crc32(payload))
+        + payload
+    )
+
+
+def encode_end_of_stream(seq: int) -> bytes:
+    """The terminator frame: ``payload_len == 0``, no payload bytes."""
+    return _CHUNK_HEADER.pack(CHUNK_MAGIC, seq, 0, 0)
+
+
+def decode_chunk(frame: bytes | bytearray | memoryview) -> tuple[int, bytes]:
+    """Validate and unwrap one complete frame.
+
+    Returns ``(seq, payload)``; an end-of-stream frame yields
+    ``(seq, b"")``.  Raises the typed errors documented in the module
+    docstring; sequence checking is the caller's job (see
+    :class:`ChunkDecoder`) because only the caller knows stream state.
+    """
+    frame = memoryview(frame)
+    if len(frame) < CHUNK_HEADER_SIZE:
+        raise TruncatedFrameError(
+            f"chunk frame header truncated: {len(frame)} of "
+            f"{CHUNK_HEADER_SIZE} bytes"
+        )
+    magic, seq, length, crc = _CHUNK_HEADER.unpack_from(frame, 0)
+    if magic != CHUNK_MAGIC:
+        raise FrameCorruptError(f"bad chunk frame magic {magic:#010x}")
+    body = frame[CHUNK_HEADER_SIZE:]
+    if len(body) != length:
+        raise TruncatedFrameError(
+            f"chunk {seq} claims {length} payload bytes, frame carries {len(body)}"
+        )
+    payload = bytes(body)
+    if length == 0:
+        if crc != 0:
+            raise FrameCorruptError(f"end-of-stream frame {seq} has nonzero CRC")
+        return seq, b""
+    actual = zlib.crc32(payload)
+    if actual != crc:
+        raise FrameCorruptError(
+            f"chunk {seq} CRC mismatch: header {crc:#010x}, payload {actual:#010x}"
+        )
+    return seq, payload
+
+
+class ChunkDecoder:
+    """Stream-side frame validation: decode + strict sequence checking.
+
+    Feed complete frames in arrival order via :meth:`decode`; it returns
+    the payload, or ``None`` for the end-of-stream frame.  Any gap,
+    duplicate, or backward jump in sequence numbers raises
+    :class:`FrameOrderError`; frames after end-of-stream raise too.
+    """
+
+    def __init__(self) -> None:
+        self.expected_seq = 0
+        self.finished = False
+
+    def decode(self, frame: bytes | bytearray | memoryview) -> bytes | None:
+        if self.finished:
+            raise FrameOrderError("chunk frame arrived after end-of-stream")
+        seq, payload = decode_chunk(frame)
+        if seq != self.expected_seq:
+            raise FrameOrderError(
+                f"chunk sequence break: expected {self.expected_seq}, got {seq}"
+            )
+        self.expected_seq += 1
+        if not payload:
+            self.finished = True
+            return None
+        return payload

@@ -1,0 +1,36 @@
+"""Tier-1 guard for the streaming perf claim: ``bench_pipeline --smoke``
+must show streamed response time strictly below monolithic
+(Collect + Tx + Restore) for linpack N >= 200 over the modeled 10 Mb/s
+Ethernet, and must leave machine-readable results in BENCH_PR1.json."""
+
+import json
+
+import pytest
+
+from benchmarks import bench_pipeline
+from benchmarks.results import BENCH_JSON
+
+
+@pytest.fixture(scope="module")
+def smoke_rows():
+    assert bench_pipeline.main(["--smoke"]) == 0
+    return {(r["workload"], r["n"]): r for r in json.loads(BENCH_JSON.read_text())["pipeline"]["rows"]}
+
+
+class TestPipelineSmoke:
+    def test_linpack_streaming_beats_monolithic(self, smoke_rows):
+        row = smoke_rows[("linpack", bench_pipeline.SMOKE_LINPACK[0])]
+        assert bench_pipeline.SMOKE_LINPACK[0] >= 200
+        assert row["link"] == "ethernet-10M"
+        assert row["n_chunks"] >= 2
+        assert row["streamed_s"] < row["monolithic_s"]
+
+    def test_bitonic_streaming_beats_monolithic(self, smoke_rows):
+        row = smoke_rows[("bitonic", bench_pipeline.SMOKE_BITONIC[0])]
+        assert row["streamed_s"] < row["monolithic_s"]
+
+    def test_json_has_both_numbers(self, smoke_rows):
+        for row in smoke_rows.values():
+            assert row["monolithic_s"] > 0
+            assert row["streamed_s"] > 0
+            assert 0.0 <= row["overlap_ratio"] < 1.0

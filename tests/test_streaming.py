@@ -1,0 +1,323 @@
+"""Tests for the chunked streaming pipeline (buffers → frames → channels
+→ engine): structural equality with the monolithic path across
+heterogeneous pairs, the pipelined cost model, and the chunk APIs."""
+
+import pytest
+
+from repro.arch import ALPHA, DEC5000, SPARC20
+from repro.arch.buffers import ReadBuffer, StreamReadBuffer, WriteBuffer
+from repro.migration.engine import (
+    DEFAULT_CHUNK_SIZE,
+    MigrationEngine,
+    MigrationError,
+    collect_state,
+    collect_state_chunks,
+    restore_state,
+    restore_state_stream,
+)
+from repro.migration.stats import pipelined_response_time
+from repro.migration.transport import (
+    Channel,
+    ETHERNET_10M,
+    FileChannel,
+    LOOPBACK,
+    Link,
+    SocketChannel,
+)
+from repro.msr.wire import (
+    ChunkDecoder,
+    FrameOrderError,
+    encode_chunk,
+    encode_end_of_stream,
+)
+from repro.vm.process import Process
+from repro.vm.program import compile_program
+
+PROGRAM = """
+struct node { double w; struct node *next; };
+struct node *ring;
+double table[300];
+int total;
+int main() {
+    int i;
+    for (i = 0; i < 40; i++) {
+        struct node *e = (struct node *) malloc(sizeof(struct node));
+        e->w = i * 0.5; e->next = ring; ring = e;
+        table[i] = i * 1.25;
+    }
+    migrate_here();
+    { struct node *p; double s = 0.0;
+      for (p = ring; p != NULL; p = p->next) s += p->w;
+      for (i = 0; i < 40; i++) s += table[i];
+      total = (int) s;
+      printf("%d", total); }
+    return 0;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def prog():
+    return compile_program(PROGRAM, poll_strategy="user")
+
+
+@pytest.fixture(scope="module")
+def expected(prog):
+    p = Process(prog, DEC5000)
+    p.run_to_completion()
+    return p.stdout
+
+
+def stopped(prog, arch=DEC5000):
+    proc = Process(prog, arch)
+    proc.start()
+    proc.migration_pending = True
+    assert proc.run().status == "poll"
+    return proc
+
+
+class TestWriteBufferDrain:
+    def test_drain_returns_full_chunks_only(self):
+        buf = WriteBuffer()
+        buf.write(b"x" * 10)
+        assert buf.drain(4) == [b"xxxx", b"xxxx"]
+        assert len(buf) == 2  # partial tail stays
+        assert buf.drain(4) == []
+        assert buf.flush() == b"xx"
+        assert buf.flush() == b""
+
+    def test_nbytes_counts_drained_bytes(self):
+        buf = WriteBuffer()
+        buf.write(b"a" * 7)
+        buf.drain(3)
+        buf.write(b"b" * 2)
+        assert buf.nbytes == 9
+        assert buf.bytes_drained == 6
+
+    def test_getvalue_after_drain_rejected(self):
+        buf = WriteBuffer()
+        buf.write(b"abcdef")
+        buf.drain(2)
+        with pytest.raises(ValueError, match="partial"):
+            buf.getvalue()
+
+    def test_bad_chunk_size_rejected(self):
+        with pytest.raises(ValueError):
+            WriteBuffer().drain(0)
+
+
+class TestStreamReadBuffer:
+    def _reference_payload(self):
+        buf = WriteBuffer()
+        buf.write_u32(0xDEADBEEF)
+        buf.write_str("stream me")
+        buf.write_u16(7)
+        buf.write_u64(1 << 60)
+        buf.write_i64(-12345)
+        buf.write(b"tail-bytes")
+        return buf.getvalue()
+
+    @pytest.mark.parametrize("chunk_size", [1, 2, 3, 7, 16, 1024])
+    def test_reads_match_contiguous_reader(self, chunk_size):
+        payload = self._reference_payload()
+        chunks = [
+            payload[i : i + chunk_size] for i in range(0, len(payload), chunk_size)
+        ]
+        mono, stream = ReadBuffer(payload), StreamReadBuffer(chunks)
+        assert stream.read_u32() == mono.read_u32()
+        assert stream.read_str() == mono.read_str()
+        assert stream.peek_u8() == mono.peek_u8()
+        assert stream.read_u16() == mono.read_u16()
+        assert stream.read_u64() == mono.read_u64()
+        assert stream.read_i64() == mono.read_i64()
+        assert bytes(stream.read(10)) == bytes(mono.read(10))
+        assert stream.position == mono.position
+        assert stream.at_end() and mono.at_end()
+
+    def test_underrun_raises_eof(self):
+        stream = StreamReadBuffer([b"ab"])
+        with pytest.raises(EOFError, match="underrun"):
+            stream.read_u32()
+
+    def test_earlier_views_survive_refills(self):
+        stream = StreamReadBuffer([b"abcd", b"efgh"])
+        first = stream.read(4)
+        stream.read(4)  # forces a window splice
+        assert bytes(first) == b"abcd"
+
+
+class TestChunkedCollection:
+    @pytest.mark.parametrize("chunk_size", [64, 257, 4096, DEFAULT_CHUNK_SIZE])
+    def test_chunks_concatenate_to_monolithic_payload(self, prog, chunk_size):
+        payload, _ = collect_state(stopped(prog))
+        slot = []
+        chunks = list(collect_state_chunks(stopped(prog), chunk_size, slot))
+        assert b"".join(chunks) == payload
+        assert all(len(c) == chunk_size for c in chunks[:-1])
+        assert slot and slot[0].stats.wire_bytes == len(payload)
+
+    def test_bad_chunk_size_rejected(self, prog):
+        with pytest.raises(MigrationError, match="chunk_size"):
+            list(collect_state_chunks(stopped(prog), 0))
+
+    @pytest.mark.parametrize(
+        "src_arch,dst_arch",
+        [(DEC5000, SPARC20), (SPARC20, ALPHA)],  # endianness; word size
+    )
+    def test_streamed_restore_equals_monolithic(
+        self, prog, expected, src_arch, dst_arch
+    ):
+        """Round-trip structural equality across heterogeneous pairs: the
+        streamed restore must behave exactly like the monolithic one."""
+        payload, _ = collect_state(stopped(prog, src_arch))
+
+        mono_dest = Process(prog, dst_arch)
+        mono_info = restore_state(prog, payload, mono_dest)
+
+        chunks = [payload[i : i + 509] for i in range(0, len(payload), 509)]
+        stream_dest = Process(prog, dst_arch)
+        stream_info = restore_state_stream(prog, iter(chunks), stream_dest)
+
+        assert stream_info.stats.n_blocks == mono_info.stats.n_blocks
+        assert stream_info.stats.data_bytes == mono_info.stats.data_bytes
+        assert stream_info.header.frames == mono_info.header.frames
+        for dest in (mono_dest, stream_dest):
+            dest.run()
+            assert dest.stdout == expected
+
+    def test_program_identity_enforced(self, prog):
+        payload, _ = collect_state(stopped(prog))
+        other = compile_program(PROGRAM, poll_strategy="user")
+        with pytest.raises(MigrationError, match="different program"):
+            restore_state(prog, payload, Process(other, SPARC20))
+
+
+class TestPipelinedLinkModel:
+    def test_latency_amortized_not_summed(self):
+        link = Link("t", bandwidth_bps=1e6, latency_s=0.01)
+        nbytes, n_chunks = 100_000, 10
+        pipelined = link.pipelined_transfer_time(nbytes, n_chunks)
+        per_chunk_sum = n_chunks * link.transfer_time(nbytes // n_chunks)
+        assert pipelined == pytest.approx(link.latency_s + nbytes * 8 / 1e6)
+        assert pipelined < per_chunk_sum  # latency paid once, not 10 times
+
+    def test_single_chunk_degenerates_to_transfer_time(self):
+        assert ETHERNET_10M.pipelined_transfer_time(5000, 1) == pytest.approx(
+            ETHERNET_10M.transfer_time(5000)
+        )
+
+    def test_response_model_bounds(self):
+        c, x, r, n = 0.3, 0.6, 0.2, 100
+        t = pipelined_response_time(c, x, r, n, latency_s=0.001)
+        assert t < c + x + r  # strictly better than serial
+        assert t >= max(c, x, r)  # cannot beat the bottleneck stage
+        # for many chunks the response approaches the bottleneck
+        assert t == pytest.approx(max(c, x, r), rel=0.02)
+
+    def test_response_model_serial_when_unchunked(self):
+        assert pipelined_response_time(0.1, 0.2, 0.3, 1) == pytest.approx(0.6)
+
+
+class TestChannelChunkAPI:
+    @pytest.mark.parametrize(
+        "make",
+        [
+            lambda tmp: Channel(LOOPBACK),
+            lambda tmp: FileChannel(tmp / "spool.bin", link=LOOPBACK),
+        ],
+        ids=["memory", "file"],
+    )
+    def test_chunk_roundtrip_and_reuse(self, tmp_path, make):
+        ch = make(tmp_path)
+        for stream in ([b"alpha", b"beta", b"gamma"], [b"second-stream"]):
+            for c in stream:
+                ch.send_chunk(c)
+            ch.end_stream()
+            assert list(ch.iter_chunks()) == stream  # seq resets per stream
+        assert ch.chunks_sent == 4
+
+    def test_socket_chunk_roundtrip_threaded(self):
+        import threading
+
+        ch = SocketChannel(link=LOOPBACK)
+        sent = [bytes([i]) * 5000 for i in range(20)]
+
+        def produce():
+            for c in sent:
+                ch.send_chunk(c)
+            ch.end_stream()
+
+        t = threading.Thread(target=produce)
+        t.start()
+        got = list(ch.iter_chunks())
+        t.join()
+        ch.close()
+        assert got == sent
+
+    def test_out_of_order_frames_rejected(self):
+        dec = ChunkDecoder()
+        dec.decode(encode_chunk(0, b"first"))
+        with pytest.raises(FrameOrderError, match="expected 1, got 2"):
+            dec.decode(encode_chunk(2, b"skipped"))
+
+    def test_frames_after_end_rejected(self):
+        dec = ChunkDecoder()
+        assert dec.decode(encode_end_of_stream(0)) is None
+        with pytest.raises(FrameOrderError, match="after end-of-stream"):
+            dec.decode(encode_chunk(1, b"late"))
+
+
+class TestStreamingMigration:
+    @pytest.mark.parametrize(
+        "make",
+        [
+            lambda tmp: Channel(ETHERNET_10M),
+            lambda tmp: FileChannel(tmp / "mig.bin", link=ETHERNET_10M),
+            lambda tmp: SocketChannel(link=ETHERNET_10M),
+        ],
+        ids=["memory", "file", "socket"],
+    )
+    def test_streamed_migration_matches_baseline(
+        self, prog, expected, tmp_path, make
+    ):
+        proc = stopped(prog)
+        channel = make(tmp_path)
+        dest, stats = MigrationEngine().migrate(
+            proc, SPARC20, channel=channel, streaming=True, chunk_size=512
+        )
+        dest.run()
+        if hasattr(channel, "close"):
+            channel.close()
+        assert dest.stdout == expected
+        assert proc.exited and not proc.frames
+        assert stats.streamed
+        assert stats.n_chunks >= 2
+        assert stats.pipeline_time <= stats.migration_time
+        assert stats.response_time == stats.pipeline_time
+        assert 0.0 <= stats.overlap_ratio < 1.0
+        assert stats.payload_bytes > 0
+
+    def test_monolithic_remains_default_and_identical(self, prog):
+        """The default path must still send one message whose bytes equal
+        the seed's payload format (collect_state output)."""
+        payload, _ = collect_state(stopped(prog))
+        proc = stopped(prog)
+        channel = Channel(LOOPBACK)
+        sent = []
+        original_send = channel.send
+        channel.send = lambda p: (sent.append(p), original_send(p))[1]
+        dest, stats = MigrationEngine().migrate(proc, SPARC20, channel=channel)
+        assert not stats.streamed and stats.n_chunks == 0
+        assert sent == [payload]
+
+    def test_streamed_stats_consistent_with_monolithic(self, prog):
+        payload, _ = collect_state(stopped(prog))
+        proc = stopped(prog)
+        _, stats = MigrationEngine().migrate(
+            proc, SPARC20, channel=Channel(ETHERNET_10M), streaming=True,
+            chunk_size=512,
+        )
+        assert stats.payload_bytes == len(payload)
+        import math
+
+        assert stats.n_chunks == math.ceil(len(payload) / 512)

@@ -14,9 +14,20 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.arch import DEC5000, SPARC20
-from repro.migration.engine import MigrationError, collect_state, restore_state
+from repro.migration.engine import (
+    MigrationError,
+    collect_state,
+    restore_state,
+    restore_state_stream,
+)
 from repro.msr.msrlt import MSRLTError
 from repro.msr.restore import RestoreError
+from repro.msr.wire import (
+    ChunkDecoder,
+    WireFrameError,
+    encode_chunk,
+    encode_end_of_stream,
+)
 from repro.vm.memory import MemoryFault
 from repro.vm.process import Process
 from repro.vm.program import compile_program
@@ -116,5 +127,109 @@ class TestCorruption:
     def test_pristine_payload_still_works(self):
         """Guard for the fixture itself."""
         dest = _try_restore(_PAYLOAD)
+        dest.run()
+        assert dest.stdout == "15 7.5"
+
+
+# -- streamed chunk-frame corruption -----------------------------------------
+
+_CHUNK = 97  # deliberately odd so records straddle chunk boundaries
+
+
+def _frames() -> list[bytes]:
+    """The payload as a pristine framed chunk stream (incl. terminator)."""
+    chunks = [_PAYLOAD[i : i + _CHUNK] for i in range(0, len(_PAYLOAD), _CHUNK)]
+    frames = [encode_chunk(seq, c) for seq, c in enumerate(chunks)]
+    frames.append(encode_end_of_stream(len(chunks)))
+    return frames
+
+
+def _try_stream_restore(frames):
+    """Decode frames exactly the way a channel receiver does, feeding the
+    surviving payloads into an incremental restore."""
+    decoder = ChunkDecoder()
+
+    def payloads():
+        for frame in frames:
+            chunk = decoder.decode(frame)
+            if chunk is None:
+                return
+            yield chunk
+
+    dest = Process(_PROG, SPARC20)
+    restore_state_stream(_PROG, payloads(), dest)
+    return dest
+
+
+class TestStreamCorruption:
+    """Mid-stream damage must surface as the typed wire-frame errors —
+    the CRC/seq framing catches what a monolithic receiver cannot."""
+
+    def test_pristine_stream_still_works(self):
+        dest = _try_stream_restore(_frames())
+        dest.run()
+        assert dest.stdout == "15 7.5"
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.data())
+    def test_frame_bit_flip_rejected_typed(self, data):
+        """Any single-bit flip anywhere in any frame is caught by the
+        framing layer itself (magic, seq, length, or CRC check)."""
+        frames = _frames()
+        idx = data.draw(st.integers(min_value=0, max_value=len(frames) - 1))
+        frame = bytearray(frames[idx])
+        pos = data.draw(st.integers(min_value=0, max_value=len(frame) - 1))
+        frame[pos] ^= 1 << data.draw(st.integers(min_value=0, max_value=7))
+        frames[idx] = bytes(frame)
+        with pytest.raises(WireFrameError):
+            _try_stream_restore(frames)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.data())
+    def test_frame_truncation_rejected(self, data):
+        """A frame cut short mid-wire (crashed sender) fails typed."""
+        frames = _frames()
+        idx = data.draw(st.integers(min_value=0, max_value=len(frames) - 2))
+        cut = data.draw(st.integers(min_value=0, max_value=len(frames[idx]) - 1))
+        truncated = frames[:idx] + [frames[idx][:cut]]
+        with pytest.raises((WireFrameError, EOFError, MigrationError)):
+            _try_stream_restore(truncated)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.data())
+    def test_frame_reordering_rejected(self, data):
+        frames = _frames()
+        i = data.draw(st.integers(min_value=0, max_value=len(frames) - 2))
+        j = data.draw(
+            st.integers(min_value=0, max_value=len(frames) - 2).filter(
+                lambda x: x != i
+            )
+        )
+        frames[i], frames[j] = frames[j], frames[i]
+        with pytest.raises(WireFrameError):
+            _try_stream_restore(frames)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_frame_duplication_rejected(self, seed):
+        frames = _frames()
+        idx = seed % (len(frames) - 1)
+        frames.insert(idx, frames[idx])
+        with pytest.raises(WireFrameError):
+            _try_stream_restore(frames)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_frame_drop_rejected(self, seed):
+        frames = _frames()
+        del frames[seed % (len(frames) - 1)]
+        with pytest.raises((WireFrameError, EOFError, MigrationError)):
+            _try_stream_restore(frames)
+
+    def test_missing_terminator_is_truncation(self):
+        """A stream that just stops (no end-of-stream frame) restores
+        everything — the *transport* is what notices the missing
+        terminator; the payload itself is complete and consistent."""
+        dest = _try_stream_restore(_frames()[:-1])
         dest.run()
         assert dest.stdout == "15 7.5"
