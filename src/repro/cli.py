@@ -24,8 +24,21 @@ from repro.arch.machine import ARCH_PRESETS
 from repro.clang.parser import ParseError, parse
 from repro.clang.unsafe import MigrationSafetyError, check_migration_safety
 from repro.migration.checkpoint import checkpoint_to_file, restart_from_file
-from repro.migration.engine import DEFAULT_CHUNK_SIZE, MigrationEngine
-from repro.migration.transport import Channel, ETHERNET_10M, ETHERNET_100M, GIGABIT, LOOPBACK
+from repro.migration.engine import (
+    DEFAULT_CHUNK_SIZE,
+    MigrationEngine,
+    MigrationError,
+    RetryPolicy,
+)
+from repro.migration.transport import (
+    Channel,
+    ETHERNET_10M,
+    ETHERNET_100M,
+    FaultPlan,
+    FaultyChannel,
+    GIGABIT,
+    LOOPBACK,
+)
 from repro.transform.annotate import annotate_program
 from repro.vm.process import Process
 from repro.vm.program import compile_program
@@ -120,7 +133,14 @@ def cmd_annotate(args) -> int:
 
 
 def cmd_migrate(args) -> int:
-    """`repro migrate`: run with one migration; compare to a baseline."""
+    """`repro migrate`: run with one migration; compare to a baseline.
+
+    ``--fault PLAN`` injects a deterministic transport fault schedule
+    (see :class:`repro.migration.transport.FaultPlan`); with
+    ``--retries`` the engine fights through transient faults, and if
+    every attempt fails the source process — untouched by the aborted
+    transfer — resumes locally, so the run still completes.
+    """
     prog = _compile(args.file, args)
     src_arch = _arch(args.src)
     dst_arch = _arch(args.dst)
@@ -130,14 +150,56 @@ def cmd_migrate(args) -> int:
 
     proc = _stop_at(prog, src_arch, args.after_polls)
     engine = MigrationEngine()
-    channel = Channel(_LINKS[args.link])
-    dest, stats = engine.migrate(
-        proc,
-        dst_arch,
-        channel=channel,
-        streaming=args.stream,
-        chunk_size=args.chunk_size,
-    )
+    link = _LINKS[args.link]
+
+    plan = None
+    if args.fault:
+        try:
+            plan = FaultPlan.parse(args.fault)
+        except (ValueError, KeyError) as exc:
+            raise SystemExit(f"bad --fault spec {args.fault!r}: {exc}")
+        print(f"[fault plan: {plan}]", file=sys.stderr)
+
+    def make_channel():
+        inner = Channel(link)
+        return inner if plan is None else FaultyChannel(inner, plan)
+
+    retry = None
+    if args.retries or args.timeout is not None:
+        retry = RetryPolicy(
+            max_attempts=args.retries + 1,
+            attempt_timeout_s=args.timeout,
+            degrade_after=2 if args.stream else None,
+            sleep=lambda _s: None,  # don't wall-clock-wait in a CLI demo
+        )
+
+    try:
+        dest, stats = engine.migrate(
+            proc,
+            dst_arch,
+            channel_factory=make_channel,
+            streaming=args.stream,
+            chunk_size=args.chunk_size,
+            retry=retry,
+        )
+    except MigrationError as exc:
+        print(f"[migration failed: {exc}]", file=sys.stderr)
+        # all-or-nothing held: the source is still at its poll-point —
+        # resume it locally and finish the run there
+        proc.migration_pending = False
+        result = proc.run()
+        sys.stdout.write(proc.stdout)
+        ok = (
+            proc.stdout == baseline.stdout
+            and result.exit_code == baseline.exit_code
+        )
+        print(
+            f"[resumed on source {src_arch.name}; output "
+            f"{'identical to' if ok else 'DIFFERS from'} an unmigrated run]",
+            file=sys.stderr,
+        )
+        return 0 if ok else 1
+
     result = dest.run()
     sys.stdout.write(dest.stdout)
     print(f"[{stats}]", file=sys.stderr)
@@ -252,6 +314,16 @@ def build_parser() -> argparse.ArgumentParser:
                    help="overlap collect/tx/restore via the chunked pipeline")
     p.add_argument("--chunk-size", type=int, default=DEFAULT_CHUNK_SIZE,
                    help="streaming chunk payload size in bytes")
+    p.add_argument("--retries", type=int, default=0,
+                   help="retry a failed transfer up to N times (fresh "
+                        "channel, exponential backoff)")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="per-attempt recv deadline in seconds")
+    p.add_argument("--fault", default=None, metavar="PLAN",
+                   help="inject deterministic transport faults, e.g. "
+                        "'bitflip@1:3,drop@2' or 'seed=42:count=2' "
+                        "(kinds: drop, truncate, bitflip, stall, "
+                        "disconnect; '!' suffix = persistent)")
     p.set_defaults(fn=cmd_migrate)
 
     p = common(sub.add_parser("checkpoint", help="snapshot a process to a file"))

@@ -14,8 +14,14 @@
 
 from repro.migration.transport import (
     Channel,
+    ChannelClosedError,
+    ChannelError,
+    ChannelTimeoutError,
     ETHERNET_10M,
     ETHERNET_100M,
+    Fault,
+    FaultPlan,
+    FaultyChannel,
     FileChannel,
     GIGABIT,
     Link,
@@ -32,7 +38,12 @@ from repro.migration.checkpoint import (
 from repro.migration.stats import MigrationStats, pipelined_response_time
 from repro.migration.engine import (
     DEFAULT_CHUNK_SIZE,
+    MigrationAbortedError,
     MigrationEngine,
+    MigrationError,
+    RestoreError,
+    RetryPolicy,
+    TransferError,
     collect_state,
     collect_state_chunks,
     restore_state,
@@ -44,6 +55,17 @@ __all__ = [
     "Channel",
     "FileChannel",
     "SocketChannel",
+    "ChannelError",
+    "ChannelTimeoutError",
+    "ChannelClosedError",
+    "Fault",
+    "FaultPlan",
+    "FaultyChannel",
+    "MigrationError",
+    "TransferError",
+    "RestoreError",
+    "MigrationAbortedError",
+    "RetryPolicy",
     "Checkpoint",
     "checkpoint",
     "checkpoint_to_file",

@@ -125,14 +125,31 @@ def run_with_checkpoints(
     arch,
     every_polls: int,
     max_checkpoints: Optional[int] = None,
+    on_checkpoint=None,
+    resume_from: Optional[Process] = None,
 ) -> tuple[Process, list[Checkpoint]]:
     """Run a program to completion, snapshotting every *every_polls*
     poll-points.  Returns the finished process and the checkpoints taken
-    (each independently restartable, on any architecture)."""
+    (each independently restartable, on any architecture).
+
+    *on_checkpoint* is called as ``on_checkpoint(ckpt, i)`` right after
+    the *i*-th snapshot (0-based) — the hook crash-safe checkpointing
+    hangs off: persist each snapshot to disk as it is taken, and a host
+    that dies mid-run restarts from the last file written (exceptions it
+    raises propagate, exactly like a host crash would).  *resume_from*
+    continues an already-restored process (e.g. from
+    :func:`restart_from_file`) under the same periodic regime instead of
+    starting fresh.
+    """
     if every_polls < 1:
         raise ValueError("every_polls must be >= 1")
-    proc = Process(program, arch)
-    proc.start()
+    if resume_from is not None:
+        proc = resume_from
+        if proc.program is not program:
+            raise CheckpointError("resume_from process runs a different program")
+    else:
+        proc = Process(program, arch)
+        proc.start()
     checkpoints: list[Checkpoint] = []
     while True:
         proc.migration_pending = True
@@ -143,6 +160,8 @@ def run_with_checkpoints(
         if result.status != "poll":  # pragma: no cover - defensive
             raise MigrationError(f"unexpected run status {result.status!r}")
         checkpoints.append(checkpoint(proc))
+        if on_checkpoint is not None:
+            on_checkpoint(checkpoints[-1], len(checkpoints) - 1)
         if max_checkpoints is not None and len(checkpoints) >= max_checkpoints:
             proc.migration_pending = False
             result = proc.run()

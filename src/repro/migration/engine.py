@@ -28,24 +28,37 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import Iterable, Iterator, Optional
+import zlib
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, Optional
 
 from repro.arch.buffers import ReadBuffer, StreamReadBuffer, WriteBuffer
 from repro.migration.stats import MigrationStats
-from repro.migration.transport import Channel, LOOPBACK, Link
+from repro.migration.transport import Channel, ChannelError, LOOPBACK, Link
 from repro.msr.collect import Collector
 from repro.msr.msrlt import BlockKind
 from repro.msr.restore import Restorer
-from repro.msr.wire import CHUNK_HEADER_SIZE, WireHeader, read_header, write_header
+from repro.msr.wire import (
+    CHUNK_HEADER_SIZE,
+    WireFrameError,
+    WireHeader,
+    read_header,
+    write_header,
+)
 from repro.vm.process import Process
 
 __all__ = [
     "MigrationEngine",
+    "RetryPolicy",
     "collect_state",
     "collect_state_chunks",
     "restore_state",
     "restore_state_stream",
     "MigrationError",
+    "TransferError",
+    "RestoreError",
+    "MigrationAbortedError",
+    "RETRYABLE_ERRORS",
     "DEFAULT_CHUNK_SIZE",
 ]
 
@@ -55,6 +68,72 @@ DEFAULT_CHUNK_SIZE = 64 * 1024
 
 class MigrationError(Exception):
     """A migration could not be performed."""
+
+
+class TransferError(MigrationError):
+    """The payload was damaged in transit (checksum/length mismatch) —
+    a transient wire failure, worth retrying."""
+
+
+class RestoreError(MigrationError):
+    """The received payload failed validation or restoration.  The
+    destination process was NOT touched (restoration is transactional:
+    it runs against a scratch process that is discarded on failure)."""
+
+
+class MigrationAbortedError(MigrationError):
+    """Every attempt failed; the migration is off.  The source process
+    is still stopped at its poll-point and still runnable, and the
+    destination was never mutated."""
+
+    def __init__(self, message: str, attempts: int, last_error: Exception) -> None:
+        super().__init__(message)
+        self.attempts = attempts
+        self.last_error = last_error
+
+
+#: transient failures a retry can cure (wire damage, stalls, drops);
+#: anything else — bad arguments, wrong program — fails fast
+RETRYABLE_ERRORS = (ChannelError, WireFrameError, TransferError, RestoreError)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How hard the engine fights a flaky link.
+
+    Backoff before retry *k* (0-based) is
+    ``min(backoff_base_s · backoff_factor^k, backoff_max_s)``, optionally
+    reshaped by the *jitter* hook — a pure function ``(k, delay) → delay``
+    so that jittered schedules stay deterministic and testable.  *sleep*
+    is injectable for the same reason; the intended delay is recorded in
+    ``stats.time_in_backoff`` whether or not the clock really waits.
+    """
+
+    max_attempts: int = 3
+    backoff_base_s: float = 0.01
+    backoff_factor: float = 2.0
+    backoff_max_s: float = 1.0
+    jitter: Optional[Callable[[int, float], float]] = None
+    #: per-attempt recv deadline installed on the channel (seconds)
+    attempt_timeout_s: Optional[float] = None
+    #: after this many failed *streaming* attempts, fall back to one
+    #: monolithic transfer (graceful degradation); None = never degrade
+    degrade_after: Optional[int] = None
+    sleep: Callable[[float], None] = time.sleep
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+
+    def backoff_for(self, retry_index: int) -> float:
+        """Delay before the *retry_index*-th retry (0-based)."""
+        delay = min(
+            self.backoff_base_s * self.backoff_factor**retry_index,
+            self.backoff_max_s,
+        )
+        if self.jitter is not None:
+            delay = self.jitter(retry_index, delay)
+        return max(delay, 0.0)
 
 
 def _collect_records(process: Process, buf: WriteBuffer):
@@ -265,6 +344,9 @@ class MigrationEngine:
         waiting: Optional[Process] = None,
         streaming: bool = False,
         chunk_size: int = DEFAULT_CHUNK_SIZE,
+        retry: Optional[RetryPolicy] = None,
+        channel_factory: Optional[Callable[[], Channel]] = None,
+        checkpoint_path=None,
     ) -> tuple[Process, MigrationStats]:
         """Migrate *process* (stopped at a poll-point) to *dest_arch*.
 
@@ -283,8 +365,23 @@ class MigrationEngine:
         ``pipeline_time``/``n_chunks``/``overlap_ratio`` and
         ``stats.response_time`` reports the overlapped total.  The
         restored process is identical either way.
+
+        Failure semantics (DESIGN.md §7): restoration is transactional —
+        each attempt restores into a scratch process, and the real
+        destination (*waiting* included) is only mutated after the whole
+        payload has validated and restored, so a failed attempt leaves
+        the destination untouched and the source still stopped at its
+        poll-point, runnable.  A *retry* policy makes the engine fight
+        transient faults: per-attempt recv deadlines, exponential
+        backoff with a deterministic jitter hook, a fresh channel per
+        attempt (*channel_factory*, or ``channel.reset()``), and —
+        past ``degrade_after`` failed streaming attempts — graceful
+        degradation to one monolithic transfer.  When every attempt
+        fails, :class:`MigrationAbortedError` carries the last typed
+        error.  *checkpoint_path* snapshots the source to disk before
+        the first attempt, so even a host crash mid-migration can
+        resume from the checkpoint.
         """
-        channel = channel or Channel(self.link)
         if waiting is not None:
             if waiting.frames or waiting.exited:
                 raise MigrationError("waiting destination is already running")
@@ -298,6 +395,8 @@ class MigrationEngine:
                     "waiting process was invoked from a different program "
                     "(the migratable source must be pre-distributed)"
                 )
+        if channel_factory is None and channel is None:
+            channel = Channel(self.link)
         stats = MigrationStats(
             source_arch=process.arch.name,
             dest_arch=dest_arch.name,
@@ -306,17 +405,91 @@ class MigrationEngine:
         dest = waiting if waiting is not None else Process(
             process.program, dest_arch, name=dest_name or f"{process.name}'"
         )
+        if checkpoint_path is not None:
+            # belt-and-braces: even a crash of *this* host mid-migration
+            # can resume from disk (migration/checkpoint.py)
+            from repro.migration.checkpoint import checkpoint_to_file
 
-        if streaming:
-            self._migrate_streaming(process, dest, channel, chunk_size, stats)
-        else:
-            self._migrate_monolithic(process, dest, channel, stats)
+            checkpoint_to_file(process, checkpoint_path)
 
+        policy = retry or RetryPolicy(max_attempts=1)
+        use_streaming = streaming
+        failed_streaming = 0
+        scratch: Optional[Process] = None
+        for attempt in range(policy.max_attempts):
+            ch = channel_factory() if channel_factory is not None else channel
+            if attempt > 0 and channel_factory is None and hasattr(ch, "reset"):
+                ch.reset()
+            if policy.attempt_timeout_s is not None and hasattr(ch, "set_deadline"):
+                ch.set_deadline(policy.attempt_timeout_s)
+            sent_before = self._channel_bytes(ch)
+            # transactional restore: build the new process off to the side
+            # and only graft it onto *dest* once everything validated
+            scratch = Process(process.program, dest_arch, name=dest.name)
+            try:
+                if use_streaming:
+                    self._migrate_streaming(process, scratch, ch, chunk_size, stats)
+                else:
+                    self._migrate_monolithic(process, scratch, ch, stats)
+            except RETRYABLE_ERRORS as exc:
+                stats.attempts = attempt + 1
+                stats.retries = attempt
+                stats.aborted_bytes += self._channel_bytes(ch) - sent_before
+                # a half-driven collection leaves stack blocks registered;
+                # drop them so the source stays cleanly runnable and the
+                # next attempt re-registers from scratch
+                process.msrlt.drop_stack_blocks()
+                if use_streaming:
+                    failed_streaming += 1
+                    if (
+                        policy.degrade_after is not None
+                        and failed_streaming >= policy.degrade_after
+                    ):
+                        use_streaming = False
+                        stats.degraded = True
+                if attempt + 1 >= policy.max_attempts:
+                    raise MigrationAbortedError(
+                        f"migration aborted after {attempt + 1} attempt(s); "
+                        f"source still runnable, destination untouched "
+                        f"(last error: {exc})",
+                        attempts=attempt + 1,
+                        last_error=exc,
+                    ) from exc
+                delay = policy.backoff_for(attempt)
+                stats.time_in_backoff += delay
+                if delay > 0:
+                    policy.sleep(delay)
+                continue
+            stats.attempts = attempt + 1
+            stats.retries = attempt
+            break
+
+        self._adopt(dest, scratch)
         # the migrating process terminates after successful transmission
         process.frames.clear()
         process.exited = True
         process.migration_pending = False
         return dest, stats
+
+    @staticmethod
+    def _channel_bytes(channel) -> int:
+        return getattr(channel, "bytes_sent", 0) + getattr(
+            channel, "framed_bytes_sent", 0
+        )
+
+    @staticmethod
+    def _adopt(dest: Process, scratch: Process) -> None:
+        """Graft the fully-restored scratch state onto the real
+        destination — the commit point of the transactional restore.
+        Everything else about *dest* (identity, image, layout, TI table)
+        is already correct because scratch shares its program and arch.
+        """
+        dest.memory = scratch.memory
+        dest.msrlt = scratch.msrlt
+        dest.frames = scratch.frames
+        dest._loaded = True
+        dest.exited = False
+        dest.exit_code = None
 
     # -- the paper's serial discipline -------------------------------------
 
@@ -326,13 +499,39 @@ class MigrationEngine:
         stats.collect_time = time.perf_counter() - t0
         self._absorb_collect(stats, cinfo, len(payload))
 
+        crc = zlib.crc32(payload)
         stats.tx_time = channel.send(payload)
         received = channel.recv()
+        # the monolithic wire format carries no checksum (it predates the
+        # framed stream and must stay byte-identical), so integrity is
+        # verified end-to-end against the payload the sender produced
+        if len(received) != len(payload) or zlib.crc32(received) != crc:
+            raise TransferError(
+                f"monolithic payload damaged in transit: sent "
+                f"{len(payload)} bytes (crc {crc:#010x}), received "
+                f"{len(received)} bytes (crc {zlib.crc32(received):#010x})"
+            )
 
         t0 = time.perf_counter()
-        rinfo = _restore_from(process.program, ReadBuffer(received), dest)
+        rinfo = self._validated_restore(
+            process.program, ReadBuffer(received), dest
+        )
         stats.restore_time = time.perf_counter() - t0
         stats.restore = rinfo.stats
+
+    @staticmethod
+    def _validated_restore(program, rbuf, scratch) -> "RestoreInfo":
+        """Restore into the scratch process, converting any damage-induced
+        failure into a typed, retryable :class:`RestoreError` (channel and
+        frame errors already are typed — they pass through)."""
+        try:
+            return _restore_from(program, rbuf, scratch)
+        except RETRYABLE_ERRORS:
+            raise
+        except Exception as exc:
+            raise RestoreError(
+                f"restore failed ({exc}); destination left untouched"
+            ) from exc
 
     # -- the overlapped discipline -----------------------------------------
 
@@ -354,7 +553,9 @@ class MigrationEngine:
         feed_timer = _TimedIter(feed)
         t0 = time.perf_counter()
         try:
-            rinfo = _restore_from(process.program, StreamReadBuffer(feed_timer), dest)
+            rinfo = self._validated_restore(
+                process.program, StreamReadBuffer(feed_timer), dest
+            )
         finally:
             if producer is not None:
                 producer.join()
@@ -408,12 +609,9 @@ class MigrationEngine:
                 channel.end_stream()
             except BaseException as exc:  # noqa: BLE001 - repropagated by caller
                 error.append(exc)
-                # unblock the consumer: a closed tx side turns its next
+                # unblock the consumer: an aborted tx side turns its next
                 # read into a typed TruncatedFrameError
-                try:
-                    channel._tx.close()
-                except OSError:  # pragma: no cover
-                    pass
+                channel.abort_stream()
 
         producer = threading.Thread(target=produce, name="migration-collector")
         producer.start()

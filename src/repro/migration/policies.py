@@ -15,15 +15,26 @@ working distributed scheduler, not competing with real schedulers.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Callable, Optional
 
-from repro.migration.engine import MigrationEngine
+from repro.migration.engine import MigrationEngine, MigrationError, RetryPolicy
 from repro.migration.scheduler import Cluster, Host
 from repro.migration.stats import MigrationStats
-from repro.migration.transport import Channel
+from repro.migration.transport import Channel, Link
 from repro.vm.process import Process
 
-__all__ = ["BalancerResult", "LoadBalancer"]
+__all__ = ["BalancerResult", "FailedMigration", "LoadBalancer"]
+
+
+@dataclass
+class FailedMigration:
+    """One rebalancing attempt the transport defeated.  The process kept
+    running on its source host (the engine's all-or-nothing guarantee)."""
+
+    process_name: str
+    source: str
+    dest: str
+    error: MigrationError
 
 
 @dataclass
@@ -34,6 +45,8 @@ class BalancerResult:
     finished: list[Process] = field(default_factory=list)
     #: all migrations performed, in order
     migrations: list[MigrationStats] = field(default_factory=list)
+    #: rebalancing attempts that failed (process stayed on its source)
+    failed: list[FailedMigration] = field(default_factory=list)
     #: scheduling epochs executed
     epochs: int = 0
 
@@ -63,6 +76,8 @@ class LoadBalancer:
         quantum: int = 20_000,
         imbalance_threshold: int = 2,
         engine: Optional[MigrationEngine] = None,
+        retry: Optional[RetryPolicy] = None,
+        channel_factory: Optional[Callable[[Link], Channel]] = None,
     ) -> None:
         if imbalance_threshold < 1:
             raise ValueError("imbalance_threshold must be >= 1")
@@ -70,6 +85,10 @@ class LoadBalancer:
         self.quantum = quantum
         self.imbalance_threshold = imbalance_threshold
         self.engine = engine or MigrationEngine()
+        #: per-migration retry policy handed to the engine (None = one shot)
+        self.retry = retry
+        #: channel builder per link — the hook fault-injection tests use
+        self.channel_factory = channel_factory or (lambda link: Channel(link))
         self._placement: dict[int, Host] = {}
         self._procs: list[Process] = []
 
@@ -137,9 +156,27 @@ class LoadBalancer:
                         continue
                     src_host = self._placement[id(proc)]
                     link = self.cluster.link_between(src_host, dest)
-                    new_proc, stats = self.engine.migrate(
-                        proc, dest.arch, channel=Channel(link)
-                    )
+                    try:
+                        new_proc, stats = self.engine.migrate(
+                            proc,
+                            dest.arch,
+                            channel=self.channel_factory(link),
+                            retry=self.retry,
+                        )
+                    except MigrationError as exc:
+                        # all-or-nothing: the process is untouched on its
+                        # source host — record the failure and keep the
+                        # epoch (and every other process) running
+                        proc.migration_pending = False
+                        result.failed.append(
+                            FailedMigration(
+                                process_name=proc.name,
+                                source=src_host.name,
+                                dest=dest.name,
+                                error=exc,
+                            )
+                        )
+                        continue
                     # keep the *report* in host terms, not just arch names
                     stats.source_arch = src_host.name
                     stats.dest_arch = dest.name

@@ -88,6 +88,16 @@ class MigrationStats:
     #: fraction of the serial Collect+Tx+Restore hidden by overlap:
     #: ``1 − pipeline_time / migration_time`` (0.0 when monolithic)
     overlap_ratio: float = 0.0
+    #: transfer attempts made (1 = clean first try)
+    attempts: int = 1
+    #: failed attempts that were retried (``attempts − 1`` on success)
+    retries: int = 0
+    #: bytes sent on attempts that were later abandoned
+    aborted_bytes: int = 0
+    #: total intended backoff delay between attempts (seconds)
+    time_in_backoff: float = 0.0
+    #: whether the engine fell back from streaming to monolithic
+    degraded: bool = False
 
     @property
     def migration_time(self) -> float:
@@ -127,6 +137,10 @@ class MigrationStats:
             out["Pipelined"] = self.pipeline_time
             out["Chunks"] = self.n_chunks
             out["Overlap"] = self.overlap_ratio
+        if self.retries:
+            out["Attempts"] = self.attempts
+            out["AbortedBytes"] = self.aborted_bytes
+            out["Backoff"] = self.time_in_backoff
         return out
 
     def __str__(self) -> str:
@@ -143,5 +157,12 @@ class MigrationStats:
                 f" [streamed: {self.n_chunks} chunks, "
                 f"pipelined {self.pipeline_time * 1e3:.2f} ms, "
                 f"overlap {self.overlap_ratio:.0%}]"
+            )
+        if self.retries:
+            base += (
+                f" [{self.attempts} attempts, {self.retries} retried, "
+                f"{self.aborted_bytes} bytes aborted, "
+                f"backoff {self.time_in_backoff * 1e3:.1f} ms"
+                f"{', degraded to monolithic' if self.degraded else ''}]"
             )
         return base

@@ -24,10 +24,25 @@ amortizes the link latency across the train
 and, more importantly, lets the engine overlap transfer with collection
 and restoration (the pipeline model lives in
 :mod:`repro.migration.stats`).
+
+Failure
+-------
+
+Transport failure is a first-class, *typed* event (DESIGN.md §7):
+
+- every channel has ``reset()`` (fresh-connection semantics for a retry)
+  and ``set_deadline()`` (a recv deadline, so a silently stalled peer
+  raises :class:`ChannelTimeoutError` instead of hanging — enforced with
+  a real socket timeout on :class:`SocketChannel`);
+- :class:`FaultyChannel` wraps any channel and deterministically injects
+  drops, truncations, bit-flips, stalls, and disconnects at chosen send
+  indices per a :class:`FaultPlan`, so every failure scenario is
+  reproducible (CLI: ``repro migrate --fault``).
 """
 
 from __future__ import annotations
 
+import random
 import struct
 from collections import deque
 from dataclasses import dataclass
@@ -44,6 +59,12 @@ __all__ = [
     "Channel",
     "FileChannel",
     "SocketChannel",
+    "ChannelError",
+    "ChannelTimeoutError",
+    "ChannelClosedError",
+    "Fault",
+    "FaultPlan",
+    "FaultyChannel",
     "ETHERNET_10M",
     "ETHERNET_100M",
     "GIGABIT",
@@ -51,6 +72,19 @@ __all__ = [
 ]
 
 _RECORD_LEN = struct.Struct(">I")
+
+
+class ChannelError(Exception):
+    """A channel could not deliver or receive a payload."""
+
+
+class ChannelTimeoutError(ChannelError):
+    """The recv deadline expired: the peer stalled or the data was lost."""
+
+
+class ChannelClosedError(ChannelError):
+    """The connection dropped; this channel object is dead (retry on a
+    fresh channel — ``reset()`` gives one)."""
 
 
 @dataclass(frozen=True)
@@ -115,6 +149,24 @@ class _ChunkStreamMixin:
         self._decoder = ChunkDecoder()
         self.chunks_sent = 0
         self.framed_bytes_sent = 0
+        self.deadline: float | None = None
+
+    def _reset_stream_protocol(self) -> None:
+        """Abandon any half-spoken stream (sequence numbers, decoder);
+        cumulative byte/chunk counters are preserved for accounting."""
+        self._send_seq = 0
+        self._decoder = ChunkDecoder()
+
+    def set_deadline(self, seconds: float | None) -> None:
+        """Install a recv deadline.  The modeled channels cannot block, so
+        for them the deadline is bookkeeping the fault layer consults;
+        :class:`SocketChannel` enforces it with a real socket timeout."""
+        self.deadline = seconds
+
+    def abort_stream(self) -> None:
+        """Tear down the send side of an in-flight stream so a blocked
+        consumer fails with a typed error instead of hanging (no-op on
+        channels whose reads never block)."""
 
     def send_chunk(self, payload: bytes) -> float:
         """Frame and transmit one chunk; returns the modeled per-frame
@@ -191,6 +243,12 @@ class Channel(_ChunkStreamMixin):
             raise RuntimeError("channel empty: nothing was sent")
         return self._queue.popleft()
 
+    def reset(self) -> None:
+        """Fresh-connection semantics for a retry: discard any undelivered
+        payloads and stream state from the failed attempt."""
+        self._queue.clear()
+        self._reset_stream_protocol()
+
     @property
     def pending(self) -> int:
         return len(self._queue)
@@ -260,6 +318,14 @@ class FileChannel(_ChunkStreamMixin):
             count += 1
         return count
 
+    def reset(self) -> None:
+        """Fresh-spool semantics for a retry: truncate the spool file and
+        rewind the reader past the failed attempt's records."""
+        self.close()
+        self.path.write_bytes(b"")
+        self._read_offset = 0
+        self._reset_stream_protocol()
+
     def close(self) -> None:
         fh = getattr(self, "_rfh", None)
         if fh is not None and not fh.closed:
@@ -290,7 +356,7 @@ class SocketChannel(_ChunkStreamMixin):
 
     concurrent_stream = True
 
-    def __init__(self, link: Link = ETHERNET_10M) -> None:
+    def __init__(self, link: Link = ETHERNET_10M, deadline: float | None = None) -> None:
         import socket
 
         self.link = link
@@ -299,6 +365,15 @@ class SocketChannel(_ChunkStreamMixin):
         self.bytes_sent = 0
         self.messages_sent = 0
         self._init_stream_state()
+        if deadline is not None:
+            self.set_deadline(deadline)
+
+    def set_deadline(self, seconds: float | None) -> None:
+        """Recv deadline, enforced by the kernel: a peer that connects and
+        then stalls raises :class:`ChannelTimeoutError` within *seconds*
+        instead of hanging the consumer forever."""
+        self.deadline = seconds
+        self._rx.settimeout(seconds)
 
     def send(self, payload: bytes) -> float:
         self._outgoing.append(bytes(payload))
@@ -333,7 +408,13 @@ class SocketChannel(_ChunkStreamMixin):
     def _read_exact(self, n: int, context: str) -> bytes:
         out = bytearray()
         while len(out) < n:
-            piece = self._rx.recv(n - len(out))
+            try:
+                piece = self._rx.recv(n - len(out))
+            except TimeoutError:
+                raise ChannelTimeoutError(
+                    f"recv deadline ({self.deadline}s) expired mid-{context}: "
+                    f"peer stalled after {len(out)} of {n} bytes"
+                ) from None
             if not piece:
                 raise TruncatedFrameError(
                     f"socket closed mid-{context}: got {len(out)} of {n} bytes"
@@ -359,6 +440,297 @@ class SocketChannel(_ChunkStreamMixin):
     def pending(self) -> int:
         return len(self._outgoing)
 
+    def reset(self) -> None:
+        """Fresh-connection semantics for a retry: tear down the failed
+        socket pair (which may hold half a frame) and dial a new one."""
+        import socket
+
+        self.close()
+        self._tx, self._rx = socket.socketpair()
+        self._outgoing.clear()
+        self._reset_stream_protocol()
+        if self.deadline is not None:
+            self._rx.settimeout(self.deadline)
+
+    def abort_stream(self) -> None:
+        try:
+            self._tx.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+
     def close(self) -> None:
         self._tx.close()
         self._rx.close()
+
+
+# -- deterministic fault injection --------------------------------------------
+
+
+@dataclass
+class Fault:
+    """One injected transport fault.
+
+    *index* is the 0-based send operation (message or chunk frame) it
+    fires on, counted per attempt (``reset()`` rewinds the counter).  A
+    transient fault fires once and is spent — the way real links fail —
+    so a retried attempt sails past it; ``persistent=True`` models a
+    deterministic black hole that hits every attempt.
+    """
+
+    kind: str  # 'drop' | 'truncate' | 'bitflip' | 'stall' | 'disconnect'
+    index: int
+    #: bitflip: bit position in the payload; truncate: bytes cut off the end
+    arg: int = 1
+    persistent: bool = False
+
+    KINDS = ("drop", "truncate", "bitflip", "stall", "disconnect")
+
+    def __post_init__(self) -> None:
+        if self.kind not in self.KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; choose from {self.KINDS}")
+        if self.index < 0:
+            raise ValueError(f"fault index must be >= 0, got {self.index}")
+
+    def __str__(self) -> str:
+        tail = "!" if self.persistent else ""
+        return f"{self.kind}@{self.index}:{self.arg}{tail}"
+
+
+class FaultPlan:
+    """A deterministic schedule of transport faults.
+
+    Build one explicitly, parse it from a spec string
+    (``"bitflip@1:3,drop@2"``, persistent faults suffixed ``!``), or
+    derive it from a seed (``FaultPlan.seeded(42)`` /
+    ``FaultPlan.parse("seed=42:count=2:max=8")``) — the same seed always
+    yields the same schedule, which is what makes a flaky-link scenario
+    reproducible from the CLI.
+    """
+
+    def __init__(self, faults=()) -> None:
+        self.faults: list[Fault] = list(faults)
+        self._spent: set[int] = set()
+
+    def take(self, index: int):
+        """The fault scheduled for send *index*, consuming it if
+        transient; ``None`` when that send is clean."""
+        for i, fault in enumerate(self.faults):
+            if fault.index == index and i not in self._spent:
+                if not fault.persistent:
+                    self._spent.add(i)
+                return fault
+        return None
+
+    @property
+    def pending(self) -> int:
+        """Faults not yet fired (persistent faults never deplete)."""
+        return len(self.faults) - len(self._spent)
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        """Parse ``kind@index[:arg][!],...`` or ``seed=N[:count=K][:max=M]``."""
+        spec = spec.strip()
+        if spec.startswith("seed="):
+            params = {}
+            for part in spec.split(":"):
+                key, _, value = part.partition("=")
+                params[key.strip()] = int(value)
+            return cls.seeded(
+                params["seed"],
+                n_faults=params.get("count", 1),
+                max_index=params.get("max", 8),
+            )
+        faults = []
+        for token in spec.split(","):
+            token = token.strip()
+            if not token:
+                continue
+            persistent = token.endswith("!")
+            if persistent:
+                token = token[:-1]
+            kind, _, rest = token.partition("@")
+            if not rest:
+                raise ValueError(f"fault spec {token!r} needs '@index'")
+            index_s, _, arg_s = rest.partition(":")
+            kind = {"flip": "bitflip", "trunc": "truncate"}.get(kind, kind)
+            faults.append(
+                Fault(kind, int(index_s), int(arg_s) if arg_s else 1, persistent)
+            )
+        return cls(faults)
+
+    @classmethod
+    def seeded(
+        cls,
+        seed: int,
+        n_faults: int = 1,
+        max_index: int = 8,
+        kinds=Fault.KINDS,
+        persistent: bool = False,
+    ) -> "FaultPlan":
+        """A reproducible random schedule: same seed, same faults."""
+        rng = random.Random(seed)
+        return cls(
+            Fault(rng.choice(list(kinds)), rng.randrange(max_index),
+                  rng.randrange(1, 64), persistent)
+            for _ in range(n_faults)
+        )
+
+    def __str__(self) -> str:
+        return ",".join(str(f) for f in self.faults) or "<no faults>"
+
+
+def _flip_bit(payload: bytes, bit: int) -> bytes:
+    out = bytearray(payload)
+    bit %= len(out) * 8
+    out[bit // 8] ^= 1 << (bit % 8)
+    return bytes(out)
+
+
+class FaultyChannel(_ChunkStreamMixin):
+    """Deterministic fault injection on top of any channel.
+
+    Wraps an inner channel and applies the :class:`FaultPlan` on the
+    send path (both whole messages and chunk frames share one send
+    counter).  Fault semantics:
+
+    - ``drop``: the payload silently vanishes — the receiver sees a
+      sequence gap (:class:`~repro.msr.wire.FrameOrderError`) or, when
+      nothing else is coming, a recv deadline expiry;
+    - ``truncate``: the last *arg* bytes are cut off →
+      :class:`~repro.msr.wire.TruncatedFrameError` / checksum mismatch;
+    - ``bitflip``: one payload bit flips → CRC/magic failure on frames,
+      the engine's whole-payload checksum on monolithic transfers;
+    - ``stall``: the payload wedges in the pipe; the next receive raises
+      :class:`ChannelTimeoutError` (the recv deadline firing);
+    - ``disconnect``: the connection dies — this and every later
+      operation raises :class:`ChannelClosedError` until ``reset()``.
+    """
+
+    def __init__(self, inner, plan: FaultPlan, deadline: float | None = None) -> None:
+        self.inner = inner
+        self.plan = plan
+        self.bytes_sent = 0
+        self.messages_sent = 0
+        self.faults_fired: list[Fault] = []
+        self._send_index = 0
+        self._stalled = False
+        self._closed = False
+        self._init_stream_state()
+        if deadline is not None:
+            self.set_deadline(deadline)
+
+    @property
+    def link(self) -> Link:
+        return self.inner.link
+
+    @property
+    def concurrent_stream(self) -> bool:
+        return getattr(self.inner, "concurrent_stream", False)
+
+    @property
+    def pending(self) -> int:
+        return self.inner.pending
+
+    def set_deadline(self, seconds: float | None) -> None:
+        self.deadline = seconds
+        if hasattr(self.inner, "set_deadline"):
+            self.inner.set_deadline(seconds)
+
+    # -- fault application -------------------------------------------------
+
+    def _apply_send(self, payload: bytes):
+        """Corrupt (or swallow) one outgoing payload per the plan.
+        Returns the bytes to forward, or ``None`` to forward nothing."""
+        if self._closed:
+            raise ChannelClosedError("send on a disconnected channel")
+        index = self._send_index
+        self._send_index += 1
+        self.bytes_sent += len(payload)
+        self.messages_sent += 1
+        fault = self.plan.take(index)
+        if fault is None:
+            return payload
+        self.faults_fired.append(fault)
+        if fault.kind == "drop":
+            return None
+        if fault.kind == "truncate":
+            return payload[: max(len(payload) - max(fault.arg, 1), 0)]
+        if fault.kind == "bitflip":
+            return _flip_bit(payload, fault.arg)
+        if fault.kind == "stall":
+            self._stalled = True
+            return None
+        # disconnect
+        self._closed = True
+        raise ChannelClosedError(
+            f"connection dropped at send #{index} (injected disconnect)"
+        )
+
+    def _pre_recv(self) -> None:
+        if self._closed:
+            raise ChannelClosedError("recv on a disconnected channel")
+        if self._stalled:
+            self._stalled = False
+            raise ChannelTimeoutError(
+                f"recv deadline ({self.deadline}s) expired: peer stalled "
+                f"mid-transfer (injected stall)"
+            )
+
+    # -- whole messages ----------------------------------------------------
+
+    def send(self, payload: bytes) -> float:
+        forwarded = self._apply_send(payload)
+        if forwarded is None:
+            return self.link.transfer_time(len(payload))
+        return self.inner.send(forwarded)
+
+    def recv(self) -> bytes:
+        self._pre_recv()
+        if self.inner.pending == 0:
+            raise ChannelTimeoutError(
+                f"recv deadline ({self.deadline}s) expired: nothing arrived "
+                f"(payload lost in transit)"
+            )
+        return self.inner.recv()
+
+    # -- chunk frames ------------------------------------------------------
+
+    def _send_frame(self, frame: bytes) -> float:
+        forwarded = self._apply_send(frame)
+        if forwarded is None:
+            return self.link.transfer_time(len(frame))
+        return self.inner._send_frame(forwarded)
+
+    def _recv_frame(self) -> bytes:
+        self._pre_recv()
+        # message-queue channels cannot block; an empty queue after a
+        # dropped frame is the deadline firing.  The socket blocks for
+        # real and enforces its own deadline.
+        if not self.concurrent_stream and self.inner.pending == 0:
+            raise ChannelTimeoutError(
+                f"recv deadline ({self.deadline}s) expired: expected chunk "
+                f"frame never arrived"
+            )
+        return self.inner._recv_frame()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def reset(self) -> None:
+        """Fresh-connection semantics for a retry: clears the disconnect /
+        stall state and rewinds the per-attempt send counter.  Spent
+        transient faults stay spent — the retry meets the link as it is
+        *now*, not a replay of the failure."""
+        self._send_index = 0
+        self._stalled = False
+        self._closed = False
+        self._reset_stream_protocol()
+        if hasattr(self.inner, "reset"):
+            self.inner.reset()
+
+    def abort_stream(self) -> None:
+        if hasattr(self.inner, "abort_stream"):
+            self.inner.abort_stream()
+
+    def close(self) -> None:
+        if hasattr(self.inner, "close"):
+            self.inner.close()

@@ -139,6 +139,80 @@ class TestPeriodicCheckpointing:
         with pytest.raises(ValueError):
             run_with_checkpoints(prog, DEC5000, every_polls=0)
 
+    def test_on_checkpoint_hook_called_in_order(self, prog):
+        seen = []
+        run_with_checkpoints(
+            prog, DEC5000, every_polls=10,
+            on_checkpoint=lambda ckpt, i: seen.append((i, ckpt.source_arch)),
+        )
+        assert seen == [(i, DEC5000.name) for i in range(4)]
+
+
+class TestCrashResume:
+    """A host killed mid-run restarts from its last persisted checkpoint
+    — on a *different* architecture — and still produces the same final
+    output as the uninterrupted run."""
+
+    class HostDied(RuntimeError):
+        pass
+
+    def test_kill_midrun_resume_other_arch(self, prog, expected, tmp_path):
+        ckpt_file = tmp_path / "periodic.ckpt"
+
+        def persist_then_die(ckpt, i):
+            # crash-safe discipline: write the snapshot durably *first*,
+            # then (simulated) the host dies after the 2nd checkpoint
+            ckpt_file.write_bytes(ckpt.to_bytes())
+            if i == 1:
+                raise self.HostDied(f"killed after checkpoint {i}")
+
+        with pytest.raises(self.HostDied):
+            run_with_checkpoints(
+                prog, DEC5000, every_polls=10, on_checkpoint=persist_then_die
+            )
+        assert ckpt_file.exists()
+
+        # restart on a different architecture from the last durable file
+        revived = restart_from_file(prog, ckpt_file, ALPHA)
+        proc, later_ckpts = run_with_checkpoints(
+            prog, ALPHA, every_polls=10, resume_from=revived
+        )
+        assert proc.exited and proc.stdout == expected
+        # 40 polls total, died after the 20th: 2 more periodic snapshots
+        assert len(later_ckpts) == 2
+        assert proc.arch.name == ALPHA.name
+
+    def test_kill_at_every_point_always_resumable(self, prog, expected, tmp_path):
+        """Exhaustive: whichever checkpoint the crash lands after, the
+        resumed run finishes with identical output."""
+        for die_after in range(4):
+            ckpt_file = tmp_path / f"ckpt-{die_after}.bin"
+
+            def persist(ckpt, i, _f=ckpt_file, _d=die_after):
+                _f.write_bytes(ckpt.to_bytes())
+                if i == _d:
+                    raise self.HostDied
+
+            with pytest.raises(self.HostDied):
+                run_with_checkpoints(
+                    prog, DEC5000, every_polls=10, on_checkpoint=persist
+                )
+            revived = restart_from_file(prog, ckpt_file, SPARC20)
+            proc, _ = run_with_checkpoints(
+                prog, SPARC20, every_polls=10, resume_from=revived
+            )
+            assert proc.stdout == expected
+
+    def test_resume_from_rejects_foreign_process(self, prog):
+        other = compile_program(
+            "int main() { migrate_here(); printf(\"x\"); return 0; }",
+            poll_strategy="user",
+        )
+        alien = Process(other, DEC5000)
+        alien.start()
+        with pytest.raises(CheckpointError, match="different program"):
+            run_with_checkpoints(prog, DEC5000, every_polls=5, resume_from=alien)
+
     def test_checkpoint_of_pointer_state(self):
         """Heap graphs survive disk roundtrips across architectures."""
         src = """

@@ -109,6 +109,64 @@ class TestMigrate:
             main(["migrate", demo_c, "--after-polls", "99999"])
 
 
+class TestMigrateFaults:
+    def test_fault_abort_resumes_on_source(self, demo_c, capsys):
+        """A persistently dead link aborts the migration, but the run
+        still completes — on the source — with the right output."""
+        rc = main(
+            ["migrate", demo_c, "--after-polls", "7",
+             "--fault", "disconnect@0!"]
+        )
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert captured.out == "sum=45\n"
+        assert "migration failed" in captured.err
+        assert "resumed on source" in captured.err
+        assert "identical" in captured.err
+
+    def test_transient_fault_with_retries_succeeds(self, demo_c, capsys):
+        rc = main(
+            ["migrate", demo_c, "--after-polls", "7",
+             "--fault", "drop@0", "--retries", "2"]
+        )
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert captured.out == "sum=45\n"
+        assert "2 attempts" in captured.err
+        assert "identical" in captured.err
+
+    def test_streaming_fault_with_retries(self, demo_c, capsys):
+        rc = main(
+            ["migrate", demo_c, "--after-polls", "7", "--stream",
+             "--chunk-size", "128", "--fault", "bitflip@1:3",
+             "--retries", "2", "--timeout", "5"]
+        )
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert captured.out == "sum=45\n"
+        assert "identical" in captured.err
+
+    def test_seeded_fault_plan_is_deterministic(self, demo_c, capsys):
+        def run_once():
+            rc = main(
+                ["migrate", demo_c, "--after-polls", "7",
+                 "--fault", "seed=42:count=2", "--retries", "3"]
+            )
+            cap = capsys.readouterr()
+            plan_lines = [l for l in cap.err.splitlines() if "fault plan" in l]
+            return rc, cap.out, plan_lines
+
+        first = run_once()
+        second = run_once()
+        assert first == second
+        assert first[0] == 0 and first[1] == "sum=45\n"
+        assert len(first[2]) == 1  # the plan was echoed, identically
+
+    def test_bad_fault_spec_rejected(self, demo_c):
+        with pytest.raises(SystemExit, match="bad --fault"):
+            main(["migrate", demo_c, "--fault", "meteor@1"])
+
+
 class TestCheckpointRestartCLI:
     def test_checkpoint_then_restart(self, demo_c, tmp_path, capsys):
         snap = str(tmp_path / "s.ckpt")

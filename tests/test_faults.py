@@ -1,0 +1,483 @@
+"""Fault-injected transport and resilient migration.
+
+The acceptance matrix: for every fault kind (drop, truncate, bitflip,
+stall, disconnect) × both transfer modes (monolithic, streaming), the
+engine either completes with a byte-identical restored state or raises a
+typed error with the destination process unmodified and the source
+process still runnable — and with retries enabled, transient
+single-fault plans complete successfully.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.arch import ALPHA, DEC5000, SPARC20
+from repro.migration.checkpoint import restart_from_file
+from repro.migration.engine import (
+    MigrationAbortedError,
+    MigrationEngine,
+    RestoreError,
+    RetryPolicy,
+    TransferError,
+    collect_state,
+)
+from repro.migration.transport import (
+    Channel,
+    ChannelClosedError,
+    ChannelError,
+    ChannelTimeoutError,
+    Fault,
+    FaultPlan,
+    FaultyChannel,
+    FileChannel,
+    LOOPBACK,
+    SocketChannel,
+)
+from repro.vm.process import Process
+from repro.vm.program import compile_program
+
+PROGRAM = """
+struct node { double w; struct node *next; };
+struct node *ring;
+double table[120];
+int main() {
+    int i;
+    for (i = 0; i < 30; i++) {
+        struct node *e = (struct node *) malloc(sizeof(struct node));
+        e->w = i * 0.5; e->next = ring; ring = e;
+        table[i] = i * 1.25;
+    }
+    migrate_here();
+    { struct node *p; double s = 0.0;
+      for (p = ring; p != NULL; p = p->next) s += p->w;
+      for (i = 0; i < 30; i++) s += table[i];
+      printf("%d", (int) s); }
+    return 0;
+}
+"""
+
+FAULT_KINDS = ["drop", "truncate", "bitflip", "stall", "disconnect"]
+NO_SLEEP = dict(sleep=lambda _s: None)
+
+
+@pytest.fixture(scope="module")
+def prog():
+    return compile_program(PROGRAM, poll_strategy="user")
+
+
+@pytest.fixture(scope="module")
+def expected(prog):
+    p = Process(prog, DEC5000)
+    p.run_to_completion()
+    return p.stdout
+
+
+def stopped(prog, arch=DEC5000):
+    proc = Process(prog, arch)
+    proc.start()
+    proc.migration_pending = True
+    assert proc.run().status == "poll"
+    return proc
+
+
+class TestFaultPlan:
+    def test_parse_explicit(self):
+        plan = FaultPlan.parse("bitflip@1:3,drop@2,stall@0!")
+        assert [f.kind for f in plan.faults] == ["bitflip", "drop", "stall"]
+        assert plan.faults[0].index == 1 and plan.faults[0].arg == 3
+        assert not plan.faults[1].persistent and plan.faults[2].persistent
+
+    def test_parse_aliases(self):
+        plan = FaultPlan.parse("flip@0,trunc@1:4")
+        assert [f.kind for f in plan.faults] == ["bitflip", "truncate"]
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            FaultPlan.parse("gamma-ray@1")
+        with pytest.raises(ValueError):
+            FaultPlan.parse("drop")  # no index
+
+    def test_seeded_is_deterministic(self):
+        a = FaultPlan.seeded(42, n_faults=4, max_index=10)
+        b = FaultPlan.seeded(42, n_faults=4, max_index=10)
+        c = FaultPlan.seeded(43, n_faults=4, max_index=10)
+        assert str(a) == str(b)
+        assert str(a) != str(c)
+
+    def test_parse_seed_form(self):
+        assert str(FaultPlan.parse("seed=7:count=3")) == str(
+            FaultPlan.seeded(7, n_faults=3)
+        )
+
+    def test_transient_faults_are_consumed(self):
+        plan = FaultPlan([Fault("drop", 1)])
+        assert plan.take(0) is None
+        assert plan.take(1).kind == "drop"
+        assert plan.take(1) is None  # spent
+        assert plan.pending == 0
+
+    def test_persistent_faults_refire(self):
+        plan = FaultPlan([Fault("drop", 1, persistent=True)])
+        assert plan.take(1) is not None
+        assert plan.take(1) is not None
+        assert plan.pending == 1
+
+
+class TestFaultyChannelUnit:
+    def test_clean_plan_is_transparent(self):
+        ch = FaultyChannel(Channel(LOOPBACK), FaultPlan())
+        ch.send(b"hello")
+        assert ch.recv() == b"hello"
+        ch.send_chunk(b"alpha")
+        ch.end_stream()
+        assert list(ch.iter_chunks()) == [b"alpha"]
+
+    def test_bitflip_changes_exactly_one_bit(self):
+        ch = FaultyChannel(Channel(LOOPBACK), FaultPlan.parse("bitflip@0:5"))
+        ch.send(b"\x00" * 8)
+        got = ch.recv()
+        assert got != b"\x00" * 8
+        assert sum(bin(byte).count("1") for byte in got) == 1
+
+    def test_drop_then_recv_times_out(self):
+        ch = FaultyChannel(Channel(LOOPBACK), FaultPlan.parse("drop@0"))
+        ch.send(b"vanishes")
+        with pytest.raises(ChannelTimeoutError):
+            ch.recv()
+
+    def test_disconnect_kills_channel_until_reset(self):
+        ch = FaultyChannel(Channel(LOOPBACK), FaultPlan.parse("disconnect@0"))
+        with pytest.raises(ChannelClosedError):
+            ch.send(b"x")
+        with pytest.raises(ChannelClosedError):
+            ch.send(b"y")
+        ch.reset()
+        ch.send(b"z")  # fault was transient: the fresh connection works
+        assert ch.recv() == b"z"
+
+    def test_reset_rewinds_send_index(self):
+        ch = FaultyChannel(Channel(LOOPBACK), FaultPlan.parse("drop@1,drop@1"))
+        ch.send(b"a")
+        ch.send(b"dropped")
+        assert ch.recv() == b"a"
+        ch.reset()
+        ch.send(b"b")  # index 0 again
+        ch.send(b"dropped-again")  # the second drop@1 fires
+        assert ch.recv() == b"b"
+        with pytest.raises(ChannelTimeoutError):
+            ch.recv()
+
+    def test_fired_faults_recorded(self):
+        ch = FaultyChannel(Channel(LOOPBACK), FaultPlan.parse("stall@0"))
+        ch.send(b"wedged")
+        with pytest.raises(ChannelTimeoutError):
+            ch.recv()
+        assert [f.kind for f in ch.faults_fired] == ["stall"]
+
+
+class TestFaultMatrix:
+    """Every fault kind × both transfer modes: typed failure with the
+    destination untouched and the source runnable, or clean success."""
+
+    @pytest.mark.parametrize("streaming", [False, True], ids=["mono", "stream"])
+    @pytest.mark.parametrize("kind", FAULT_KINDS)
+    def test_single_fault_no_retry_aborts_cleanly(
+        self, prog, expected, kind, streaming
+    ):
+        proc = stopped(prog)
+        waiting = Process(prog, SPARC20)
+        waiting.load()
+        channel = FaultyChannel(Channel(LOOPBACK), FaultPlan.parse(f"{kind}@0"))
+        with pytest.raises(MigrationAbortedError) as excinfo:
+            MigrationEngine().migrate(
+                proc, SPARC20, channel=channel, waiting=waiting,
+                streaming=streaming, chunk_size=64,
+            )
+        # the abort carries the typed underlying error
+        assert isinstance(
+            excinfo.value.last_error,
+            (ChannelError, TransferError, RestoreError, Exception),
+        )
+        assert excinfo.value.attempts == 1
+        # destination untouched: still a waiting, never-run process
+        assert not waiting.frames and not waiting.exited
+        # source untouched: still at its poll-point, and it runs to the
+        # exact baseline output
+        assert proc.frames and not proc.exited
+        proc.migration_pending = False
+        assert proc.run().status == "exit"
+        assert proc.stdout == expected
+
+    @pytest.mark.parametrize("streaming", [False, True], ids=["mono", "stream"])
+    @pytest.mark.parametrize("kind", FAULT_KINDS)
+    def test_transient_fault_with_retry_succeeds(
+        self, prog, expected, kind, streaming
+    ):
+        proc = stopped(prog)
+        channel = FaultyChannel(Channel(LOOPBACK), FaultPlan.parse(f"{kind}@0"))
+        dest, stats = MigrationEngine().migrate(
+            proc, SPARC20, channel=channel, streaming=streaming, chunk_size=64,
+            retry=RetryPolicy(max_attempts=3, **NO_SLEEP),
+        )
+        dest.run()
+        assert dest.stdout == expected
+        assert proc.exited and not proc.frames
+        assert stats.attempts == 2 and stats.retries == 1
+        assert stats.aborted_bytes > 0
+        assert stats.time_in_backoff > 0
+
+    def test_fault_free_run_reports_single_attempt(self, prog, expected):
+        proc = stopped(prog)
+        dest, stats = MigrationEngine().migrate(
+            proc, SPARC20, retry=RetryPolicy(max_attempts=3, **NO_SLEEP)
+        )
+        dest.run()
+        assert dest.stdout == expected
+        assert stats.attempts == 1 and stats.retries == 0
+        assert stats.aborted_bytes == 0 and stats.time_in_backoff == 0.0
+
+    def test_monolithic_bitflip_caught_by_checksum(self, prog):
+        """The monolithic wire format has no frame CRCs; the engine's
+        end-to-end checksum must still turn a flipped bit into a typed
+        TransferError, never silent corruption."""
+        proc = stopped(prog)
+        channel = FaultyChannel(Channel(LOOPBACK), FaultPlan.parse("bitflip@0:999"))
+        with pytest.raises(MigrationAbortedError) as excinfo:
+            MigrationEngine().migrate(proc, SPARC20, channel=channel)
+        assert isinstance(excinfo.value.last_error, TransferError)
+
+    def test_two_faults_need_three_attempts(self, prog, expected):
+        proc = stopped(prog)
+        channel = FaultyChannel(Channel(LOOPBACK), FaultPlan.parse("drop@0,drop@0"))
+        dest, stats = MigrationEngine().migrate(
+            proc, SPARC20, channel=channel,
+            retry=RetryPolicy(max_attempts=4, **NO_SLEEP),
+        )
+        dest.run()
+        assert dest.stdout == expected
+        assert stats.attempts == 3 and stats.retries == 2
+
+    def test_file_channel_faults(self, prog, expected, tmp_path):
+        proc = stopped(prog)
+        channel = FaultyChannel(
+            FileChannel(tmp_path / "spool.bin", link=LOOPBACK),
+            FaultPlan.parse("truncate@0:64"),
+        )
+        dest, stats = MigrationEngine().migrate(
+            proc, SPARC20, channel=channel, streaming=True, chunk_size=128,
+            retry=RetryPolicy(max_attempts=2, **NO_SLEEP),
+        )
+        dest.run()
+        assert dest.stdout == expected
+        assert stats.retries == 1
+
+
+class TestRetryPolicy:
+    def test_backoff_is_exponential_and_capped(self):
+        policy = RetryPolicy(
+            max_attempts=8, backoff_base_s=0.1, backoff_factor=2.0,
+            backoff_max_s=0.5, **NO_SLEEP,
+        )
+        delays = [policy.backoff_for(k) for k in range(5)]
+        assert delays == pytest.approx([0.1, 0.2, 0.4, 0.5, 0.5])
+
+    def test_jitter_hook_is_deterministic(self):
+        policy = RetryPolicy(
+            max_attempts=3, backoff_base_s=0.1,
+            jitter=lambda k, d: d * (1 + 0.5 * k), **NO_SLEEP,
+        )
+        assert policy.backoff_for(0) == pytest.approx(0.1)
+        assert policy.backoff_for(1) == pytest.approx(0.3)
+        assert policy.backoff_for(1) == pytest.approx(0.3)  # pure function
+
+    def test_sleep_hook_receives_backoff(self, prog):
+        slept = []
+        proc = stopped(prog)
+        channel = FaultyChannel(Channel(LOOPBACK), FaultPlan.parse("drop@0"))
+        _, stats = MigrationEngine().migrate(
+            proc, SPARC20, channel=channel,
+            retry=RetryPolicy(max_attempts=2, backoff_base_s=0.25,
+                              sleep=slept.append),
+        )
+        assert slept == [pytest.approx(0.25)]
+        assert stats.time_in_backoff == pytest.approx(0.25)
+
+    def test_zero_attempts_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+
+
+class TestGracefulDegradation:
+    def test_streaming_falls_back_to_monolithic(self, prog, expected):
+        """A link that persistently kills the third frame defeats every
+        streaming attempt; after ``degrade_after`` failures the engine
+        completes the migration with one monolithic transfer (whose only
+        send, index 0, the fault never touches)."""
+        proc = stopped(prog)
+        channel = FaultyChannel(Channel(LOOPBACK), FaultPlan.parse("bitflip@2:7!"))
+        dest, stats = MigrationEngine().migrate(
+            proc, SPARC20, channel=channel, streaming=True, chunk_size=64,
+            retry=RetryPolicy(max_attempts=4, degrade_after=2, **NO_SLEEP),
+        )
+        dest.run()
+        assert dest.stdout == expected
+        assert stats.degraded
+        assert not stats.streamed  # the successful attempt was monolithic
+        assert stats.attempts == 3 and stats.retries == 2
+
+    def test_no_degradation_without_opt_in(self, prog):
+        proc = stopped(prog)
+        channel = FaultyChannel(Channel(LOOPBACK), FaultPlan.parse("bitflip@2:7!"))
+        with pytest.raises(MigrationAbortedError) as excinfo:
+            MigrationEngine().migrate(
+                proc, SPARC20, channel=channel, streaming=True, chunk_size=64,
+                retry=RetryPolicy(max_attempts=3, **NO_SLEEP),
+            )
+        assert excinfo.value.attempts == 3
+
+
+class TestSocketDeadline:
+    def test_stalled_peer_times_out_not_hangs(self):
+        """A peer that connects and then goes silent must raise
+        ChannelTimeoutError within the deadline — no hang."""
+        ch = SocketChannel(link=LOOPBACK, deadline=0.25)
+        t0 = time.monotonic()
+        with pytest.raises(ChannelTimeoutError, match="stalled"):
+            ch.recv_chunk()
+        assert time.monotonic() - t0 < 5.0
+        ch.close()
+
+    def test_mid_frame_stall_times_out(self):
+        """Even a peer that sends half a frame header then stalls is
+        caught by the deadline."""
+        ch = SocketChannel(link=LOOPBACK, deadline=0.25)
+        ch._tx.sendall(b"\x4d\x43")  # 2 of the 16 header bytes
+        with pytest.raises(ChannelTimeoutError):
+            ch.recv_chunk()
+        ch.close()
+
+    def test_retry_on_fresh_channel_succeeds(self):
+        stalled = SocketChannel(link=LOOPBACK, deadline=0.2)
+        with pytest.raises(ChannelTimeoutError):
+            stalled.recv_chunk()
+        stalled.close()
+
+        fresh = SocketChannel(link=LOOPBACK, deadline=2.0)
+        sent = [bytes([i]) * 400 for i in range(8)]
+
+        def produce():
+            for c in sent:
+                fresh.send_chunk(c)
+            fresh.end_stream()
+
+        t = threading.Thread(target=produce)
+        t.start()
+        got = list(fresh.iter_chunks())
+        t.join()
+        fresh.close()
+        assert got == sent
+
+    def test_reset_gives_working_channel_after_timeout(self):
+        ch = SocketChannel(link=LOOPBACK, deadline=0.2)
+        with pytest.raises(ChannelTimeoutError):
+            ch.recv_chunk()
+        ch.reset()
+        ch.send_chunk(b"after-reset")
+        ch.end_stream()
+        assert list(ch.iter_chunks()) == [b"after-reset"]
+        ch.close()
+
+    def test_engine_retries_socket_migration(self, prog, expected):
+        """A dropped frame mid-stream on a real socket: the consumer sees
+        a typed error, and the retry — on a fresh socket via the channel
+        factory — completes."""
+        plan = FaultPlan.parse("drop@1")
+        channels = []
+
+        def factory():
+            ch = FaultyChannel(SocketChannel(link=LOOPBACK), plan, deadline=2.0)
+            channels.append(ch)
+            return ch
+
+        proc = stopped(prog)
+        dest, stats = MigrationEngine().migrate(
+            proc, SPARC20, channel_factory=factory, streaming=True,
+            chunk_size=256, retry=RetryPolicy(max_attempts=3, **NO_SLEEP),
+        )
+        dest.run()
+        for ch in channels:
+            ch.close()
+        assert dest.stdout == expected
+        assert stats.attempts == 2
+        assert len(channels) == 2  # one fresh channel per attempt
+
+
+class TestCheckpointBeforeMigrate:
+    def test_aborted_migration_resumes_from_checkpoint(
+        self, prog, expected, tmp_path
+    ):
+        """checkpoint_path snapshots the source before the transfer; when
+        every attempt fails — or the source host later dies — the run
+        resumes from disk, even on a different architecture."""
+        ckpt = tmp_path / "pre-migrate.ckpt"
+        proc = stopped(prog)
+        channel = FaultyChannel(
+            Channel(LOOPBACK), FaultPlan.parse("disconnect@0!")
+        )
+        with pytest.raises(MigrationAbortedError):
+            MigrationEngine().migrate(
+                proc, SPARC20, channel=channel, checkpoint_path=ckpt,
+                retry=RetryPolicy(max_attempts=2, **NO_SLEEP),
+            )
+        assert ckpt.exists()
+        resumed = restart_from_file(prog, ckpt, ALPHA)
+        resumed.run()
+        assert resumed.stdout == expected
+
+    def test_checkpoint_written_even_on_success(self, prog, expected, tmp_path):
+        ckpt = tmp_path / "pre-migrate.ckpt"
+        proc = stopped(prog)
+        dest, _ = MigrationEngine().migrate(proc, SPARC20, checkpoint_path=ckpt)
+        dest.run()
+        assert dest.stdout == expected
+        assert ckpt.exists()
+        replay = restart_from_file(prog, ckpt, SPARC20)
+        replay.run()
+        assert replay.stdout == expected
+
+
+class TestTransactionalRestore:
+    def test_waiting_process_identity_preserved(self, prog, expected):
+        """The commit grafts restored state onto the caller's waiting
+        process object — same identity, now runnable."""
+        proc = stopped(prog)
+        waiting = Process(prog, SPARC20, name="the-waiter")
+        waiting.load()
+        dest, _ = MigrationEngine().migrate(proc, SPARC20, waiting=waiting)
+        assert dest is waiting
+        dest.run()
+        assert dest.stdout == expected
+
+    def test_payload_byte_identical_after_retry(self, prog):
+        """The payload restored on attempt 2 is byte-identical to what a
+        clean collection produces — a failed attempt must not perturb
+        the source's collectable state."""
+        reference, _ = collect_state(stopped(prog))
+        proc = stopped(prog)
+        channel = FaultyChannel(Channel(LOOPBACK), FaultPlan.parse("drop@0"))
+        received = []
+        inner_send = channel.inner.send
+
+        def spy(payload):
+            received.append(payload)
+            return inner_send(payload)
+
+        channel.inner.send = spy
+        dest, stats = MigrationEngine().migrate(
+            proc, SPARC20, channel=channel,
+            retry=RetryPolicy(max_attempts=2, **NO_SLEEP),
+        )
+        assert stats.retries == 1
+        assert received == [reference]

@@ -3,8 +3,9 @@
 import pytest
 
 from repro.arch import ALPHA, DEC5000, SPARC20
-from repro.migration import Cluster, ETHERNET_100M
+from repro.migration import Cluster, ETHERNET_100M, RetryPolicy
 from repro.migration.policies import LoadBalancer
+from repro.migration.transport import Channel, FaultPlan, FaultyChannel
 from repro.vm.process import Process
 from repro.vm.program import compile_program
 
@@ -99,3 +100,73 @@ class TestLoadBalancer:
         balancer.submit(prog, a)
         with pytest.raises(RuntimeError, match="max_epochs"):
             balancer.run(max_epochs=3)
+
+
+class TestBalancerFaultContainment:
+    """A MigrationError during rebalancing must not crash the balancer or
+    lose the process: it stays on its source host, keeps running, and the
+    failed attempt is recorded."""
+
+    def test_broken_links_never_lose_processes(self, prog, expected):
+        cluster, hot, _cold, _spare = make_cluster()
+        # every rebalance channel persistently disconnects: no migration
+        # can ever succeed
+        balancer = LoadBalancer(
+            cluster,
+            quantum=2000,
+            channel_factory=lambda link: FaultyChannel(
+                Channel(link), FaultPlan.parse("disconnect@0!")
+            ),
+        )
+        for i in range(6):
+            balancer.submit(prog, hot, name=f"w{i}")
+        result = balancer.run()
+        # every process still finished — on the hot host — with the
+        # right output
+        assert len(result.finished) == 6
+        assert all(p.stdout == expected for p in result.finished)
+        assert not result.migrations
+        # and the defeated attempts were recorded, source == dest-stays-put
+        assert result.failed
+        for failure in result.failed:
+            assert failure.source == "hot"
+            assert failure.dest in ("cold", "spare")
+            assert failure.process_name.startswith("w")
+
+    def test_transient_faults_cured_by_balancer_retry_policy(self, prog, expected):
+        cluster, hot, _cold, _spare = make_cluster()
+        plan = FaultPlan.parse("drop@0")  # one transient fault, then clean
+        balancer = LoadBalancer(
+            cluster,
+            quantum=2000,
+            retry=RetryPolicy(max_attempts=3, sleep=lambda _s: None),
+            channel_factory=lambda link: FaultyChannel(Channel(link), plan),
+        )
+        for i in range(6):
+            balancer.submit(prog, hot, name=f"w{i}")
+        result = balancer.run()
+        assert len(result.finished) == 6
+        assert all(p.stdout == expected for p in result.finished)
+        # the drop cost one retry but no migration was abandoned
+        assert result.migrations and not result.failed
+        assert any(m.retries == 1 for m in result.migrations)
+
+    def test_failed_attempt_leaves_process_migratable_later(self, prog, expected):
+        """After a failure the process is not poisoned: a later epoch can
+        still pick it and move it over a (now healthy) link."""
+        cluster, hot, _cold, _spare = make_cluster()
+        plan = FaultPlan.parse("drop@0,drop@0")  # first two attempts fail
+        balancer = LoadBalancer(
+            cluster,
+            quantum=2000,
+            channel_factory=lambda link: FaultyChannel(Channel(link), plan),
+        )
+        for i in range(6):
+            balancer.submit(prog, hot, name=f"w{i}")
+        result = balancer.run()
+        assert len(result.finished) == 6
+        assert all(p.stdout == expected for p in result.finished)
+        # two single-shot attempts died on the transient drops, then the
+        # plan ran dry and later rebalances went through
+        assert len(result.failed) == 2
+        assert result.migrations

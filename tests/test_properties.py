@@ -219,6 +219,108 @@ class TestMemoryValueProperty:
         assert got == expect
 
 
+class TestFaultResilienceProperty:
+    """Random programs × random fault plans: a migration either succeeds
+    with output-identical state, or fails with a typed error leaving the
+    destination unmodified and the source runnable — never silent
+    corruption."""
+
+    @staticmethod
+    def _random_program(values):
+        init = ", ".join(str(v) for v in values)
+        src = f"""
+        int data[{len(values)}] = {{{init}}};
+        int main() {{
+            int i; int acc = 0;
+            for (i = 0; i < {len(values)}; i++) {{
+                migrate_here();
+                acc = acc * 3 + data[i];
+            }}
+            printf("%d", acc);
+            return 0;
+        }}
+        """
+        return compile_program(src, poll_strategy="user")
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(st.integers(min_value=-1000, max_value=1000), min_size=1, max_size=10),
+        st.integers(min_value=0, max_value=2**32 - 1),
+        st.integers(min_value=1, max_value=3),
+        st.booleans(),
+        st.sampled_from([SPARC20, ALPHA, X86]),
+    )
+    def test_faults_never_silently_corrupt(
+        self, values, seed, n_faults, streaming, dest_arch
+    ):
+        from repro.migration.engine import MigrationEngine, MigrationError
+        from repro.migration.transport import Channel, FaultPlan, FaultyChannel, LOOPBACK
+
+        prog = self._random_program(values)
+        base = Process(prog, DEC5000)
+        base.run_to_completion()
+
+        proc = Process(prog, DEC5000)
+        proc.start()
+        proc.migration_pending = True
+        assert proc.run().status == "poll"
+        waiting = Process(prog, dest_arch)
+        waiting.load()
+
+        plan = FaultPlan.seeded(seed, n_faults=n_faults, max_index=6)
+        channel = FaultyChannel(Channel(LOOPBACK), plan)
+        engine = MigrationEngine()
+        try:
+            dest, _ = engine.migrate(
+                proc, dest_arch, channel=channel, waiting=waiting,
+                streaming=streaming, chunk_size=96,
+            )
+        except MigrationError:
+            # typed failure: destination untouched, source still runnable
+            assert not waiting.frames and not waiting.exited
+            assert proc.frames and not proc.exited
+            proc.migration_pending = False
+            proc.run()
+            assert proc.stdout == base.stdout
+        else:
+            dest.run()
+            assert dest.stdout == base.stdout
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.lists(st.integers(min_value=-1000, max_value=1000), min_size=1, max_size=8),
+        st.integers(min_value=0, max_value=2**32 - 1),
+        st.integers(min_value=1, max_value=3),
+        st.booleans(),
+    )
+    def test_transient_plans_always_cured_by_enough_retries(
+        self, values, seed, n_faults, streaming
+    ):
+        """Each failing attempt consumes at least one transient fault, so
+        ``n_faults + 1`` attempts always suffice."""
+        from repro.migration.engine import MigrationEngine, RetryPolicy
+        from repro.migration.transport import Channel, FaultPlan, FaultyChannel, LOOPBACK
+
+        prog = self._random_program(values)
+        base = Process(prog, DEC5000)
+        base.run_to_completion()
+
+        proc = Process(prog, DEC5000)
+        proc.start()
+        proc.migration_pending = True
+        assert proc.run().status == "poll"
+
+        plan = FaultPlan.seeded(seed, n_faults=n_faults, max_index=6)
+        channel = FaultyChannel(Channel(LOOPBACK), plan)
+        dest, stats = MigrationEngine().migrate(
+            proc, SPARC20, channel=channel, streaming=streaming, chunk_size=96,
+            retry=RetryPolicy(max_attempts=n_faults + 1, sleep=lambda _s: None),
+        )
+        dest.run()
+        assert dest.stdout == base.stdout
+        assert stats.attempts <= n_faults + 1
+
+
 class TestExecutionDeterminismProperty:
     @settings(max_examples=20, deadline=None)
     @given(
