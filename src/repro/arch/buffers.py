@@ -35,10 +35,14 @@ class WriteBuffer:
     Strings are length-prefixed UTF-8.
     """
 
-    __slots__ = ("_buf", "tag_counts", "bytes_drained")
+    __slots__ = ("_buf", "tag_counts", "bytes_drained", "debug_tags")
 
-    def __init__(self) -> None:
+    def __init__(self, debug_tags: bool = False) -> None:
         self._buf = bytearray()
+        #: Whether :meth:`count_tag` records anything.  Off by default:
+        #: tag accounting is a diagnostic, and a Counter update per wire
+        #: record is measurable on large payloads.
+        self.debug_tags = debug_tags
         #: Counter of record tags, filled by callers via :meth:`count_tag`.
         self.tag_counts: Counter[str] = Counter()
         #: Bytes already removed from the front via :meth:`drain`/:meth:`flush`.
@@ -74,8 +78,10 @@ class WriteBuffer:
         self._buf += raw
 
     def count_tag(self, tag: str) -> None:
-        """Record one occurrence of a wire record *tag* (for statistics)."""
-        self.tag_counts[tag] += 1
+        """Record one occurrence of a wire record *tag* (diagnostic; a
+        no-op unless the buffer was built with ``debug_tags=True``)."""
+        if self.debug_tags:
+            self.tag_counts[tag] += 1
 
     # -- streaming ---------------------------------------------------------
 

@@ -52,6 +52,10 @@ __all__ = [
     "encode_array",
     "decode_array",
     "wire_dtype",
+    "wire_struct_code",
+    "host_struct_code",
+    "host_np_dtype",
+    "int_bounds",
 ]
 
 #: Canonical on-the-wire byte width of every primitive kind.
@@ -177,3 +181,61 @@ def decode_array(kind: str, data: bytes | memoryview, count: int, offset: int = 
     """
     wire = _NP_DTYPE[kind]
     return np.frombuffer(data, dtype=wire, count=count, offset=offset).copy()
+
+
+# -- host-side format tables (compiled codec support) --------------------------
+#
+# The compiled codec plans in :mod:`repro.msr.ti` fuse many per-cell
+# encode/decode calls into one precompiled :class:`struct.Struct` or one
+# NumPy structured-dtype cast.  That requires the *host* representation
+# of each primitive kind — which, unlike the wire side, depends on the
+# architecture (byte order, ``long``/pointer width, ``char`` signedness).
+
+_HOST_CODE_FIXED: Final[dict[str, str]] = {
+    "uchar": "B",
+    "short": "h",
+    "ushort": "H",
+    "int": "i",
+    "uint": "I",
+    "llong": "q",
+    "ullong": "Q",
+    "float": "f",
+    "double": "d",
+}
+
+
+def wire_struct_code(kind: str) -> str:
+    """Canonical wire :mod:`struct` format character of primitive *kind*
+    (apply with a ``">"`` byte-order prefix)."""
+    return _STRUCT_FMT[kind]
+
+
+def host_struct_code(kind: str, arch) -> str:
+    """Host :mod:`struct` format character of *kind* on *arch* (apply with
+    the architecture's byte-order prefix)."""
+    if kind == "char":
+        return "b" if arch.char_signed else "B"
+    if kind == "long":
+        return "q" if arch.long_size == 8 else "i"
+    if kind == "ulong":
+        return "Q" if arch.long_size == 8 else "I"
+    if kind == "ptr":
+        return "Q" if arch.ptr_size == 8 else "I"
+    return _HOST_CODE_FIXED[kind]
+
+
+def host_np_dtype(kind: str, arch) -> np.dtype:
+    """Host-byte-order NumPy dtype of primitive *kind* on *arch* (matches
+    :meth:`repro.vm.memory.Memory.np_dtype` without needing a Memory)."""
+    code = host_struct_code(kind, arch)
+    np_code = {"b": "i1", "B": "u1", "h": "i2", "H": "u2", "i": "i4",
+               "I": "u4", "q": "i8", "Q": "u8", "f": "f4", "d": "f8"}[code]
+    order = "<" if arch.byteorder == "little" else ">"
+    return np.dtype(order + np_code)
+
+
+def int_bounds(code: str, size: int) -> tuple[int, int, bool]:
+    """``(mask, sign bit, signed)`` wrap parameters for an integer struct
+    format *code* of *size* bytes — the reduction :func:`encode` applies,
+    exposed so compiled codec plans can pre-bind it per cell."""
+    return (1 << (8 * size)) - 1, 1 << (8 * size - 1), code.islower()

@@ -247,7 +247,7 @@ def type_key(ctype: CType) -> tuple:
     raise TypeError(f"unknown ctype {ctype!r}")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Cell:
     """One primitive leaf of a flattened type.
 

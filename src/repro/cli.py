@@ -180,6 +180,7 @@ def cmd_migrate(args) -> int:
             channel_factory=make_channel,
             streaming=args.stream,
             chunk_size=args.chunk_size,
+            compress=args.compress,
             retry=retry,
         )
     except MigrationError as exc:
@@ -314,6 +315,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="overlap collect/tx/restore via the chunked pipeline")
     p.add_argument("--chunk-size", type=int, default=DEFAULT_CHUNK_SIZE,
                    help="streaming chunk payload size in bytes")
+    p.add_argument("--compress", action="store_true",
+                   help="adaptively zlib-compress the wire payload "
+                        "(kept per unit only when it shrinks >= 10%%)")
     p.add_argument("--retries", type=int, default=0,
                    help="retry a failed transfer up to N times (fresh "
                         "channel, exponential backoff)")

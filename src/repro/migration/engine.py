@@ -42,6 +42,8 @@ from repro.msr.wire import (
     CHUNK_HEADER_SIZE,
     WireFrameError,
     WireHeader,
+    compress_payload,
+    expand_payload,
     read_header,
     write_header,
 )
@@ -344,6 +346,7 @@ class MigrationEngine:
         waiting: Optional[Process] = None,
         streaming: bool = False,
         chunk_size: int = DEFAULT_CHUNK_SIZE,
+        compress: bool = False,
         retry: Optional[RetryPolicy] = None,
         channel_factory: Optional[Callable[[], Channel]] = None,
         checkpoint_path=None,
@@ -365,6 +368,15 @@ class MigrationEngine:
         ``pipeline_time``/``n_chunks``/``overlap_ratio`` and
         ``stats.response_time`` reports the overlapped total.  The
         restored process is identical either way.
+
+        With ``compress=True`` each transfer unit (the whole payload when
+        monolithic, each chunk when streaming) is zlib-deflated and the
+        compressed form kept only when it shrinks by ≥ 10% (see
+        :mod:`repro.msr.wire`); the stats then carry
+        ``compressed_bytes``/``compression_ratio``/``codec_time`` and the
+        modeled Tx time charges the *stored* bytes.  The restored process
+        is identical either way; without the flag the wire bytes are
+        unchanged.
 
         Failure semantics (DESIGN.md §7): restoration is transactional —
         each attempt restores into a scratch process, and the real
@@ -428,9 +440,11 @@ class MigrationEngine:
             scratch = Process(process.program, dest_arch, name=dest.name)
             try:
                 if use_streaming:
-                    self._migrate_streaming(process, scratch, ch, chunk_size, stats)
+                    self._migrate_streaming(
+                        process, scratch, ch, chunk_size, stats, compress
+                    )
                 else:
-                    self._migrate_monolithic(process, scratch, ch, stats)
+                    self._migrate_monolithic(process, scratch, ch, stats, compress)
             except RETRYABLE_ERRORS as exc:
                 stats.attempts = attempt + 1
                 stats.retries = attempt
@@ -493,24 +507,38 @@ class MigrationEngine:
 
     # -- the paper's serial discipline -------------------------------------
 
-    def _migrate_monolithic(self, process, dest, channel, stats) -> None:
+    def _migrate_monolithic(self, process, dest, channel, stats, compress=False) -> None:
         t0 = time.perf_counter()
         payload, cinfo = collect_state(process)
         stats.collect_time = time.perf_counter() - t0
         self._absorb_collect(stats, cinfo, len(payload))
 
-        crc = zlib.crc32(payload)
-        stats.tx_time = channel.send(payload)
+        wire_payload = payload
+        if compress:
+            t0 = time.perf_counter()
+            wire_payload = compress_payload(payload)
+            stats.codec_time = time.perf_counter() - t0
+            stats.compressed = True
+            stats.compressed_bytes = len(wire_payload)
+            stats.compression_ratio = len(payload) / len(wire_payload)
+
+        crc = zlib.crc32(wire_payload)
+        stats.tx_time = channel.send(wire_payload)
         received = channel.recv()
         # the monolithic wire format carries no checksum (it predates the
         # framed stream and must stay byte-identical), so integrity is
-        # verified end-to-end against the payload the sender produced
-        if len(received) != len(payload) or zlib.crc32(received) != crc:
+        # verified end-to-end against the bytes the sender put on the wire
+        # (the compressed envelope carries its own raw-payload CRC too)
+        if len(received) != len(wire_payload) or zlib.crc32(received) != crc:
             raise TransferError(
                 f"monolithic payload damaged in transit: sent "
-                f"{len(payload)} bytes (crc {crc:#010x}), received "
+                f"{len(wire_payload)} bytes (crc {crc:#010x}), received "
                 f"{len(received)} bytes (crc {zlib.crc32(received):#010x})"
             )
+        if compress:
+            t0 = time.perf_counter()
+            received = expand_payload(received)
+            stats.codec_time += time.perf_counter() - t0
 
         t0 = time.perf_counter()
         rinfo = self._validated_restore(
@@ -535,11 +563,17 @@ class MigrationEngine:
 
     # -- the overlapped discipline -----------------------------------------
 
-    def _migrate_streaming(self, process, dest, channel, chunk_size, stats) -> None:
+    def _migrate_streaming(
+        self, process, dest, channel, chunk_size, stats, compress=False
+    ) -> None:
         info_slot: list = []
         collect_iter = _TimedIter(
             collect_state_chunks(process, chunk_size, info_slot)
         )
+        if hasattr(channel, "compress_stream"):
+            channel.compress_stream = compress
+        codec_before = getattr(channel, "codec_seconds", 0.0)
+        stored_before = getattr(channel, "stored_chunk_bytes", 0)
 
         if getattr(channel, "concurrent_stream", False):
             feed, producer, producer_error = self._threaded_feed(
@@ -574,8 +608,21 @@ class MigrationEngine:
         stats.n_chunks = collect_iter.count
         self._absorb_collect(stats, cinfo, cinfo.stats.wire_bytes)
 
+        wire_payload_bytes = stats.payload_bytes
+        if compress:
+            stats.compressed = True
+            stats.codec_time = getattr(channel, "codec_seconds", 0.0) - codec_before
+            stored = getattr(channel, "stored_chunk_bytes", 0) - stored_before
+            stats.compressed_bytes = stored or stats.payload_bytes
+            stats.compression_ratio = (
+                stats.payload_bytes / stats.compressed_bytes
+                if stats.compressed_bytes
+                else 1.0
+            )
+            wire_payload_bytes = stats.compressed_bytes
+
         link = channel.link
-        framed_bytes = stats.payload_bytes + (stats.n_chunks + 1) * CHUNK_HEADER_SIZE
+        framed_bytes = wire_payload_bytes + (stats.n_chunks + 1) * CHUNK_HEADER_SIZE
         stats.tx_time = link.pipelined_transfer_time(framed_bytes, stats.n_chunks)
         stats.finish_pipeline(latency_s=link.latency_s)
 

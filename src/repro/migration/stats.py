@@ -88,6 +88,15 @@ class MigrationStats:
     #: fraction of the serial Collect+Tx+Restore hidden by overlap:
     #: ``1 − pipeline_time / migration_time`` (0.0 when monolithic)
     overlap_ratio: float = 0.0
+    #: whether adaptive wire compression was requested
+    compressed: bool = False
+    #: bytes actually stored on the wire after (adaptive) compression;
+    #: equals :attr:`payload_bytes` when compression was off or never won
+    compressed_bytes: int = 0
+    #: raw / stored payload bytes (1.0 = no shrink, 2.0 = halved)
+    compression_ratio: float = 1.0
+    #: seconds spent compressing + decompressing payload bytes
+    codec_time: float = 0.0
     #: transfer attempts made (1 = clean first try)
     attempts: int = 1
     #: failed attempts that were retried (``attempts − 1`` on success)
@@ -137,6 +146,10 @@ class MigrationStats:
             out["Pipelined"] = self.pipeline_time
             out["Chunks"] = self.n_chunks
             out["Overlap"] = self.overlap_ratio
+        if self.compressed:
+            out["Compressed"] = self.compressed_bytes
+            out["Ratio"] = self.compression_ratio
+            out["Codec"] = self.codec_time
         if self.retries:
             out["Attempts"] = self.attempts
             out["AbortedBytes"] = self.aborted_bytes
@@ -157,6 +170,12 @@ class MigrationStats:
                 f" [streamed: {self.n_chunks} chunks, "
                 f"pipelined {self.pipeline_time * 1e3:.2f} ms, "
                 f"overlap {self.overlap_ratio:.0%}]"
+            )
+        if self.compressed:
+            base += (
+                f" [compressed: {self.compressed_bytes} wire bytes, "
+                f"ratio {self.compression_ratio:.2f}x, "
+                f"codec {self.codec_time * 1e3:.2f} ms]"
             )
         if self.retries:
             base += (

@@ -44,10 +44,12 @@ from __future__ import annotations
 
 import random
 import struct
+import time
 from collections import deque
 from dataclasses import dataclass
 
 from repro.msr.wire import (
+    CHUNK_HEADER_SIZE,
     ChunkDecoder,
     encode_chunk,
     encode_end_of_stream,
@@ -149,12 +151,19 @@ class _ChunkStreamMixin:
         self._decoder = ChunkDecoder()
         self.chunks_sent = 0
         self.framed_bytes_sent = 0
+        #: stored (possibly compressed) chunk payload bytes, headers excluded
+        self.stored_chunk_bytes = 0
+        #: opt-in per-chunk zlib compression (``migrate(..., compress=True)``)
+        self.compress_stream = False
+        #: seconds spent compressing + decompressing chunk payloads
+        self.codec_seconds = 0.0
         self.deadline: float | None = None
 
     def _reset_stream_protocol(self) -> None:
         """Abandon any half-spoken stream (sequence numbers, decoder);
         cumulative byte/chunk counters are preserved for accounting."""
         self._send_seq = 0
+        self.codec_seconds += self._decoder.codec_seconds
         self._decoder = ChunkDecoder()
 
     def set_deadline(self, seconds: float | None) -> None:
@@ -172,10 +181,16 @@ class _ChunkStreamMixin:
         """Frame and transmit one chunk; returns the modeled per-frame
         wire time (the engine amortizes latency across the whole train
         via :meth:`Link.pipelined_transfer_time`)."""
-        frame = encode_chunk(self._send_seq, payload)
+        if self.compress_stream:
+            t0 = time.perf_counter()
+            frame = encode_chunk(self._send_seq, payload, compress=True)
+            self.codec_seconds += time.perf_counter() - t0
+        else:
+            frame = encode_chunk(self._send_seq, payload)
         self._send_seq += 1
         self.chunks_sent += 1
         self.framed_bytes_sent += len(frame)
+        self.stored_chunk_bytes += len(frame) - CHUNK_HEADER_SIZE
         return self._send_frame(frame)
 
     def end_stream(self) -> float:
@@ -195,6 +210,7 @@ class _ChunkStreamMixin:
         """
         payload = self._decoder.decode(self._recv_frame())
         if payload is None:
+            self.codec_seconds += self._decoder.codec_seconds
             self._decoder = ChunkDecoder()
         return payload
 
@@ -423,11 +439,11 @@ class SocketChannel(_ChunkStreamMixin):
         return bytes(out)
 
     def _recv_frame(self) -> bytes:
-        from repro.msr.wire import CHUNK_HEADER_SIZE, CHUNK_MAGIC, FrameCorruptError
+        from repro.msr.wire import CHUNK_MAGIC, CHUNK_MAGIC_Z, FrameCorruptError
 
         header = self._read_exact(CHUNK_HEADER_SIZE, "frame header")
         (magic,) = _RECORD_LEN.unpack_from(header, 0)
-        if magic != CHUNK_MAGIC:
+        if magic not in (CHUNK_MAGIC, CHUNK_MAGIC_Z):
             # a desynced stream must fail here, before a garbage length
             # field makes us block waiting for bytes that never come
             raise FrameCorruptError(f"bad chunk frame magic {magic:#010x}")

@@ -27,7 +27,7 @@ from repro.msr.wire import FLAG_FLAT, TAG_BLOCK, TAG_NULL, TAG_REF, write_logica
 __all__ = ["CollectStats", "Collector", "Save_pointer", "Save_variable"]
 
 
-@dataclass
+@dataclass(slots=True)
 class CollectStats:
     """Accounting for one collection run (feeds Table 1 / Figure 2)."""
 
@@ -35,6 +35,8 @@ class CollectStats:
     n_refs: int = 0
     n_nulls: int = 0
     n_flat_blocks: int = 0
+    #: blocks saved through a compiled codec plan (struct or segmented)
+    n_codec_blocks: int = 0
     data_bytes: int = 0  # Σ Dᵢ over saved blocks (source-arch bytes)
     wire_bytes: int = 0
 
@@ -109,6 +111,13 @@ class Collector:
             return
 
         self.buf.write_u8(0)
+        codec = self.ti.codec_for(info)
+        if codec is not None:
+            # compiled plan: vectorized (pointer-free) or segmented
+            # (bulk runs + pointers); bytes identical to the loop below
+            codec.save(self, block, info)
+            self.stats.n_codec_blocks += 1
+            return
         memory = self.memory
         buf = self.buf
         addr = block.addr

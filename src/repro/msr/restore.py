@@ -33,7 +33,7 @@ class RestoreError(Exception):
     """Malformed or inconsistent migration payload."""
 
 
-@dataclass
+@dataclass(slots=True)
 class RestoreStats:
     """Accounting for one restoration run."""
 
@@ -146,6 +146,12 @@ class Restorer:
                         self.memory.store(
                             cell.kind, base + cell.offset, values[i * info.cell_count + j].item()
                         )
+            return
+
+        codec = self.ti.codec_for(info)
+        if codec is not None:
+            # compiled mirror plan for this (type, destination arch)
+            codec.restore(self, block, info)
             return
 
         memory = self.memory

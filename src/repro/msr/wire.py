@@ -55,11 +55,34 @@ reaching the restorer: a short read raises
 :class:`FrameOrderError` — all subclasses of :class:`WireFrameError`.
 The concatenated chunk payloads are byte-identical to the monolithic
 payload, so everything above the framing layer is unchanged.
+
+Adaptive compression
+--------------------
+
+Both framings have an opt-in compressed form (``migrate(...,
+compress=True)`` / ``repro migrate --compress``):
+
+- a chunk frame compressed with zlib ships under magic ``'MCHZ'``; its
+  ``payload_len`` counts the *stored* (compressed) bytes while its
+  ``crc32`` is computed over the **raw** payload, so end-to-end
+  integrity semantics are exactly those of PR 2's raw frames;
+- a monolithic payload ships inside a small ``'MIGZ'`` envelope
+  (raw length + raw CRC-32 + zlib bytes); a raw payload always starts
+  with the ``'MIGR'`` migration magic, so the two are self-describing.
+
+Compression is *adaptive*: the sender keeps the compressed form only
+when it shrinks the payload by at least :data:`MIN_COMPRESSION_GAIN`
+(10%) — already-dense numeric data ships raw rather than paying
+decompression for nothing.  The receiver accepts both forms
+unconditionally (the frame magic is the negotiation), so a compressing
+sender interoperates with any PR 2-era stream consumer path.  With
+compression off the bytes are identical to PR 2.
 """
 
 from __future__ import annotations
 
 import struct
+import time
 import zlib
 from dataclasses import dataclass
 
@@ -78,7 +101,9 @@ __all__ = [
     "write_logical",
     "read_logical",
     "CHUNK_MAGIC",
+    "CHUNK_MAGIC_Z",
     "CHUNK_HEADER_SIZE",
+    "MIN_COMPRESSION_GAIN",
     "WireFrameError",
     "TruncatedFrameError",
     "FrameCorruptError",
@@ -87,6 +112,9 @@ __all__ = [
     "encode_end_of_stream",
     "decode_chunk",
     "ChunkDecoder",
+    "PAYLOAD_MAGIC_Z",
+    "compress_payload",
+    "expand_payload",
 ]
 
 MAGIC = 0x4D494752  # 'MIGR'
@@ -149,9 +177,13 @@ def read_logical(buf: ReadBuffer) -> tuple:
 
 # -- streaming chunk frames ---------------------------------------------------
 
-CHUNK_MAGIC = 0x4D43484B  # 'MCHK'
+CHUNK_MAGIC = 0x4D43484B  # 'MCHK' — raw payload
+CHUNK_MAGIC_Z = 0x4D43485A  # 'MCHZ' — zlib-compressed payload
 _CHUNK_HEADER = struct.Struct(">IIII")  # magic, seq, payload_len, crc32
 CHUNK_HEADER_SIZE = _CHUNK_HEADER.size
+
+#: a compressed form is kept only when it shrinks the payload this much
+MIN_COMPRESSION_GAIN = 0.10
 
 
 class WireFrameError(Exception):
@@ -175,14 +207,22 @@ class FrameOrderError(WireFrameError):
     """Frames arrived out of sequence (reordered, duplicated, or lost)."""
 
 
-def encode_chunk(seq: int, payload: bytes) -> bytes:
-    """Wrap one non-empty payload chunk in a frame."""
+def encode_chunk(seq: int, payload: bytes, compress: bool = False) -> bytes:
+    """Wrap one non-empty payload chunk in a frame.
+
+    With *compress*, the payload is deflated and the compressed form is
+    kept only if it is at least :data:`MIN_COMPRESSION_GAIN` smaller
+    (adaptive skip — incompressible chunks ship raw under the ordinary
+    magic).  The CRC-32 always covers the **raw** payload.
+    """
     if not payload:
         raise ValueError("empty chunk payload is reserved for end-of-stream")
-    return (
-        _CHUNK_HEADER.pack(CHUNK_MAGIC, seq, len(payload), zlib.crc32(payload))
-        + payload
-    )
+    crc = zlib.crc32(payload)
+    if compress:
+        packed = zlib.compress(payload)
+        if len(packed) <= len(payload) * (1.0 - MIN_COMPRESSION_GAIN):
+            return _CHUNK_HEADER.pack(CHUNK_MAGIC_Z, seq, len(packed), crc) + packed
+    return _CHUNK_HEADER.pack(CHUNK_MAGIC, seq, len(payload), crc) + payload
 
 
 def encode_end_of_stream(seq: int) -> bytes:
@@ -205,7 +245,7 @@ def decode_chunk(frame: bytes | bytearray | memoryview) -> tuple[int, bytes]:
             f"{CHUNK_HEADER_SIZE} bytes"
         )
     magic, seq, length, crc = _CHUNK_HEADER.unpack_from(frame, 0)
-    if magic != CHUNK_MAGIC:
+    if magic not in (CHUNK_MAGIC, CHUNK_MAGIC_Z):
         raise FrameCorruptError(f"bad chunk frame magic {magic:#010x}")
     body = frame[CHUNK_HEADER_SIZE:]
     if len(body) != length:
@@ -214,9 +254,20 @@ def decode_chunk(frame: bytes | bytearray | memoryview) -> tuple[int, bytes]:
         )
     payload = bytes(body)
     if length == 0:
+        if magic != CHUNK_MAGIC:
+            raise FrameCorruptError(
+                f"end-of-stream frame {seq} must use the raw chunk magic"
+            )
         if crc != 0:
             raise FrameCorruptError(f"end-of-stream frame {seq} has nonzero CRC")
         return seq, b""
+    if magic == CHUNK_MAGIC_Z:
+        try:
+            payload = zlib.decompress(payload)
+        except zlib.error as exc:
+            raise FrameCorruptError(
+                f"chunk {seq} compressed payload is undecodable: {exc}"
+            ) from None
     actual = zlib.crc32(payload)
     if actual != crc:
         raise FrameCorruptError(
@@ -237,11 +288,18 @@ class ChunkDecoder:
     def __init__(self) -> None:
         self.expected_seq = 0
         self.finished = False
+        #: seconds spent inflating compressed ('MCHZ') frames
+        self.codec_seconds = 0.0
 
     def decode(self, frame: bytes | bytearray | memoryview) -> bytes | None:
         if self.finished:
             raise FrameOrderError("chunk frame arrived after end-of-stream")
-        seq, payload = decode_chunk(frame)
+        if bytes(memoryview(frame)[:4]) == b"MCHZ":
+            t0 = time.perf_counter()
+            seq, payload = decode_chunk(frame)
+            self.codec_seconds += time.perf_counter() - t0
+        else:
+            seq, payload = decode_chunk(frame)
         if seq != self.expected_seq:
             raise FrameOrderError(
                 f"chunk sequence break: expected {self.expected_seq}, got {seq}"
@@ -251,3 +309,49 @@ class ChunkDecoder:
             self.finished = True
             return None
         return payload
+
+
+# -- monolithic payload compression -------------------------------------------
+
+PAYLOAD_MAGIC_Z = 0x4D49475A  # 'MIGZ' — compressed monolithic envelope
+_PAYLOAD_Z_HEADER = struct.Struct(">III")  # magic, raw_len, crc32(raw)
+
+
+def compress_payload(payload: bytes) -> bytes:
+    """Adaptively compress a monolithic payload.
+
+    Returns a ``'MIGZ'`` envelope when zlib shrinks the payload by at
+    least :data:`MIN_COMPRESSION_GAIN`, otherwise the payload unchanged.
+    Raw payloads start with the ``'MIGR'`` migration magic, so
+    :func:`expand_payload` can tell the two apart without negotiation.
+    """
+    packed = zlib.compress(payload)
+    stored = _PAYLOAD_Z_HEADER.size + len(packed)
+    if stored <= len(payload) * (1.0 - MIN_COMPRESSION_GAIN):
+        return (
+            _PAYLOAD_Z_HEADER.pack(PAYLOAD_MAGIC_Z, len(payload), zlib.crc32(payload))
+            + packed
+        )
+    return payload
+
+
+def expand_payload(data: bytes) -> bytes:
+    """Undo :func:`compress_payload` — a no-op for raw payloads."""
+    if len(data) < _PAYLOAD_Z_HEADER.size or data[:4] != b"MIGZ":
+        return data
+    _, raw_len, crc = _PAYLOAD_Z_HEADER.unpack_from(data, 0)
+    try:
+        payload = zlib.decompress(data[_PAYLOAD_Z_HEADER.size :])
+    except zlib.error as exc:
+        raise FrameCorruptError(f"compressed payload is undecodable: {exc}") from None
+    if len(payload) != raw_len:
+        raise FrameCorruptError(
+            f"compressed payload inflated to {len(payload)} bytes, "
+            f"envelope claims {raw_len}"
+        )
+    actual = zlib.crc32(payload)
+    if actual != crc:
+        raise FrameCorruptError(
+            f"payload CRC mismatch: envelope {crc:#010x}, payload {actual:#010x}"
+        )
+    return payload

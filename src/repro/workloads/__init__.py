@@ -16,6 +16,7 @@ from repro.workloads.programs import (
     test_pointer_source,
     matmul_source,
     nbody_source,
+    structgrid_source,
 )
 
 __all__ = [
@@ -25,4 +26,5 @@ __all__ = [
     "test_pointer_source",
     "matmul_source",
     "nbody_source",
+    "structgrid_source",
 ]

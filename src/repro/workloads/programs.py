@@ -27,6 +27,7 @@ __all__ = [
     "matmul_source",
     "nbody_source",
     "hashtable_source",
+    "structgrid_source",
 ]
 
 
@@ -578,5 +579,81 @@ int main() {
 }
 """.replace("%NOPS%", str(n_ops))
         .replace("%NBUCKETS%", str(n_buckets))
+        .replace("%SEED%", str(seed))
+    )
+
+
+def structgrid_source(n_cells: int = 256, n_probes: int = 64, seed: int = 7) -> str:
+    """Extra workload: a struct grid probed through pointer nodes.
+
+    Built for the codec benchmarks (E5/PR 3): one large global array of
+    *mixed-kind, pointer-free* structs — too heterogeneous for the FLAT
+    fast path, ideal for the compiled vectorized codec — plus a chain of
+    pointer-bearing probe nodes, plus a global array of pointers whose
+    targets all land inside the grid, so the consecutive pointer lookups
+    of its collection hit the MSRLT last-hit cache.
+    """
+    return (
+        r"""
+#define CELLS %CELLS%
+#define PROBES %PROBES%
+
+struct cell {
+    double value;
+    int row;
+    int col;
+    double weight;
+};
+
+struct probe {
+    struct cell *target;
+    int strength;
+    struct probe *next;
+};
+
+struct cell grid[CELLS];
+struct probe *chain;
+struct cell *hot[PROBES];
+
+void init_grid() {
+    int i;
+    for (i = 0; i < CELLS; i++) {
+        grid[i].value = i * 0.5;
+        grid[i].row = i / 16;
+        grid[i].col = i % 16;
+        grid[i].weight = 1.0 / (i + 1);
+    }
+}
+
+int main() {
+    int i, live;
+    double acc;
+    struct probe *p;
+    init_grid();
+    chain = NULL;
+    srand(%SEED%);
+    for (i = 0; i < PROBES; i++) {
+        p = (struct probe *) malloc(sizeof(struct probe));
+        p->target = &grid[rand() % CELLS];
+        p->strength = rand() % 100;
+        p->next = chain;
+        chain = p;
+        hot[i] = &grid[(i * 7) % CELLS];
+        migrate_here();
+    }
+    acc = 0.0;
+    live = 0;
+    for (p = chain; p != NULL; p = p->next) {
+        acc = acc + p->target->value * p->target->weight + p->strength;
+        live = live + 1;
+    }
+    for (i = 0; i < PROBES; i++) {
+        if (hot[i] != NULL) acc = acc + hot[i]->value;
+    }
+    printf("probes=%d acc=%.6f\n", live, acc);
+    return 0;
+}
+""".replace("%CELLS%", str(n_cells))
+        .replace("%PROBES%", str(n_probes))
         .replace("%SEED%", str(seed))
     )

@@ -165,11 +165,16 @@ class TestBuffers:
         assert r.remaining == 1
 
     def test_tag_accounting(self):
-        w = WriteBuffer()
+        w = WriteBuffer(debug_tags=True)
         w.count_tag("BLOCK")
         w.count_tag("BLOCK")
         w.count_tag("REF")
         assert w.tag_counts == {"BLOCK": 2, "REF": 1}
+
+    def test_tag_accounting_off_by_default(self):
+        w = WriteBuffer()
+        w.count_tag("BLOCK")
+        assert not w.tag_counts
 
     def test_nbytes_tracks_writes(self):
         w = WriteBuffer()

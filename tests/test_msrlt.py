@@ -128,6 +128,100 @@ class TestAddressSearch:
                 assert found is block and o == off
 
 
+class TestLastHitCache:
+    """The lookup_addr last-hit cache must be invisible except in speed."""
+
+    def test_repeated_lookups_count_as_hits(self, msrlt):
+        msrlt.register_heap(0x2000, INT, 10)
+        msrlt.lookup_addr(0x2000)  # miss: populates the cache
+        before = msrlt.n_cache_hits
+        msrlt.lookup_addr(0x2004)
+        msrlt.lookup_addr(0x2024)
+        assert msrlt.n_cache_hits == before + 2
+        assert msrlt.n_searches >= 3
+
+    def test_one_past_end_bypasses_cache(self, msrlt):
+        """addr == cached.end must re-run the search so an adjacent block
+        starting exactly there wins (C's one-past-the-end rule)."""
+        b1 = msrlt.register_heap(0x2000, INT, 10)  # [0x2000, 0x2028)
+        b2 = msrlt.register_heap(0x2028, INT, 1)
+        assert msrlt.lookup_addr(0x2010)[0] is b1  # cache := b1
+        blk, off = msrlt.lookup_addr(0x2028)
+        assert blk is b2 and off == 0
+
+    def test_one_past_end_without_neighbor_still_resolves(self, msrlt):
+        b = msrlt.register_heap(0x2000, INT, 10)
+        assert msrlt.lookup_addr(0x2000)[0] is b  # cache := b
+        blk, off = msrlt.lookup_addr(0x2028)  # == end, no adjacent block
+        assert blk is b and off == 40
+
+    @pytest.mark.parametrize("victim", [0x2000, 0x3000, 0x4000])
+    def test_unregister_first_middle_last(self, msrlt, victim):
+        addrs = [0x2000, 0x3000, 0x4000]
+        blocks = {a: msrlt.register_heap(a, INT, 4) for a in addrs}
+        msrlt.unregister(victim)
+        with pytest.raises(MSRLTError):
+            msrlt.lookup_addr(victim)
+        for a in addrs:
+            if a != victim:
+                assert msrlt.lookup_addr(a + 4)[0] is blocks[a]
+
+    def test_stale_hit_never_resolves_freed_block(self, msrlt):
+        msrlt.register_heap(0x2000, INT, 4)
+        msrlt.lookup_addr(0x2004)  # cache := the block
+        msrlt.unregister(0x2000)
+        with pytest.raises(MSRLTError):
+            msrlt.lookup_addr(0x2004)
+
+    def test_freed_then_reallocated_address_gets_new_block(self, msrlt):
+        msrlt.register_heap(0x2000, INT, 4)
+        msrlt.lookup_addr(0x2008)  # warm the cache
+        msrlt.unregister(0x2000)
+        fresh = msrlt.register_heap(0x2000, DOUBLE, 2)
+        blk, off = msrlt.lookup_addr(0x2008)
+        assert blk is fresh and off == 8
+
+    def test_drop_stack_blocks_invalidates_cache(self, msrlt):
+        msrlt.register_stack(0, 0, 0x7000, INT)
+        msrlt.lookup_addr(0x7000)  # cache := the stack block
+        msrlt.drop_stack_blocks()
+        with pytest.raises(MSRLTError):
+            msrlt.lookup_addr(0x7000)
+
+    def test_logical_lookup_accepts_lists(self, msrlt):
+        b = msrlt.register_heap(0x2000, INT, 1)
+        assert msrlt.lookup_logical(list(b.logical)) is b
+        assert msrlt.has_logical(list(b.logical))
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 59), st.integers(0, 2)),
+            min_size=1,
+            max_size=80,
+        )
+    )
+    def test_cached_lookups_match_uncached(self, ops):
+        """Any interleaving of lookups and frees resolves exactly as a
+        cache-less binary search would."""
+        msrlt = MSRLT(TypeLayout(DEC5000))
+        live = {}
+        for slot, action in ops:
+            addr = 0x1_0000 + slot * 16
+            if action == 0 and slot not in live:
+                live[slot] = msrlt.register_heap(addr, INT, 2)
+            elif action == 1 and slot in live:
+                msrlt.unregister(addr)
+                del live[slot]
+            else:
+                for probe_slot, block in live.items():
+                    paddr = 0x1_0000 + probe_slot * 16
+                    found, off = msrlt.lookup_addr(paddr + 4)
+                    assert found is block and off == 4
+                if slot not in live:
+                    with pytest.raises(MSRLTError):
+                        msrlt.lookup_addr(addr + 4)
+
+
 class TestLogicalIdsAcrossArchs:
     def test_same_ids_different_sizes(self):
         """Logical ids are machine-independent even when sizes differ."""

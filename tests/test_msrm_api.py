@@ -112,7 +112,7 @@ class TestPaperInterface:
         src_addr = src.memory.load(
             "ptr", src.image.global_addrs[src.program.global_index("first")]
         )
-        buf = WriteBuffer()
+        buf = WriteBuffer(debug_tags=True)
         collector = Collector(src, buf)
         Save_pointer(collector, src_addr)
         assert buf.tag_counts["BLOCK"] == 1
