@@ -204,6 +204,12 @@ def cmd_migrate(args) -> int:
     result = dest.run()
     sys.stdout.write(dest.stdout)
     print(f"[{stats}]", file=sys.stderr)
+    if getattr(args, "trace", None) and stats.obs is not None:
+        stats.obs.write_trace(args.trace)
+        print(f"[trace written to {args.trace}]", file=sys.stderr)
+    if getattr(args, "metrics", False) and stats.obs is not None:
+        for name, value in stats.obs.metrics.iter_flat():
+            print(f"[metric] {name} = {value}", file=sys.stderr)
     if args.stream:
         print(
             f"[response time {stats.response_time * 1e3:.2f} ms pipelined "
@@ -323,6 +329,11 @@ def build_parser() -> argparse.ArgumentParser:
                         "channel, exponential backoff)")
     p.add_argument("--timeout", type=float, default=None,
                    help="per-attempt recv deadline in seconds")
+    p.add_argument("--trace", default=None, metavar="PATH",
+                   help="write the migration's JSONL trace (spans + events "
+                        "+ metrics) to PATH")
+    p.add_argument("--metrics", action="store_true",
+                   help="print the migration's metrics snapshot to stderr")
     p.add_argument("--fault", default=None, metavar="PLAN",
                    help="inject deterministic transport faults, e.g. "
                         "'bitflip@1:3,drop@2' or 'seed=42:count=2' "

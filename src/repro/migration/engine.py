@@ -32,8 +32,10 @@ import zlib
 from dataclasses import dataclass
 from typing import Callable, Iterable, Iterator, Optional
 
+from repro import obs
 from repro.arch.buffers import ReadBuffer, StreamReadBuffer, WriteBuffer
 from repro.migration.stats import MigrationStats
+from repro.obs import MigrationObservation
 from repro.migration.transport import Channel, ChannelError, LOOPBACK, Link
 from repro.msr.collect import Collector
 from repro.msr.msrlt import BlockKind
@@ -309,24 +311,36 @@ class RestoreInfo:
 
 class _TimedIter:
     """Iterator wrapper accumulating wall-clock time spent inside
-    ``__next__`` — how the engine attributes pipeline time to stages."""
+    ``__next__`` — how the engine attributes pipeline time to stages.
 
-    __slots__ = ("_it", "seconds", "count")
+    Every pull is one lap on the *span_name* trace span — including the
+    final StopIteration probe, whose wall time is real stage time even
+    though it yields no item (``count`` tallies items only).
+    ``last_seconds`` holds the most recent pull's duration so per-chunk
+    events can report it.
+    """
 
-    def __init__(self, iterable) -> None:
+    __slots__ = ("_it", "_span_name", "seconds", "count", "last_seconds")
+
+    def __init__(self, iterable, span_name: str) -> None:
         self._it = iter(iterable)
+        self._span_name = span_name
         self.seconds = 0.0
         self.count = 0
+        self.last_seconds = 0.0
 
     def __iter__(self):
         return self
 
     def __next__(self):
-        t0 = time.perf_counter()
+        handle = obs.lap(self._span_name)
+        handle.__enter__()
         try:
             item = next(self._it)
         finally:
-            self.seconds += time.perf_counter() - t0
+            handle.__exit__(None, None, None)
+            self.last_seconds = handle.seconds
+            self.seconds += handle.seconds
         self.count += 1
         return item
 
@@ -428,55 +442,118 @@ class MigrationEngine:
         use_streaming = streaming
         failed_streaming = 0
         scratch: Optional[Process] = None
-        for attempt in range(policy.max_attempts):
-            ch = channel_factory() if channel_factory is not None else channel
-            if attempt > 0 and channel_factory is None and hasattr(ch, "reset"):
-                ch.reset()
-            if policy.attempt_timeout_s is not None and hasattr(ch, "set_deadline"):
-                ch.set_deadline(policy.attempt_timeout_s)
-            sent_before = self._channel_bytes(ch)
-            # transactional restore: build the new process off to the side
-            # and only graft it onto *dest* once everything validated
-            scratch = Process(process.program, dest_arch, name=dest.name)
-            try:
-                if use_streaming:
-                    self._migrate_streaming(
-                        process, scratch, ch, chunk_size, stats, compress
+        obs_ = MigrationObservation()
+        stats.obs = obs_
+        # per-migration lookup-cost deltas (the tables' counters are
+        # cumulative over the process/program lifetime)
+        msrlt0 = (process.msrlt.n_searches, process.msrlt.n_cache_hits,
+                  process.msrlt.n_registrations)
+        ti_tables = {id(process.ti): process.ti}
+        ti0 = {tid: (t.n_info_hits, t.n_info_misses)
+               for tid, t in ti_tables.items()}
+        with obs_.activate():
+            obs.event(
+                "migration_begin",
+                source_arch=stats.source_arch,
+                dest_arch=stats.dest_arch,
+                streaming=bool(streaming),
+                compress=bool(compress),
+            )
+            for attempt in range(policy.max_attempts):
+                ch = channel_factory() if channel_factory is not None else channel
+                if attempt > 0 and channel_factory is None and hasattr(ch, "reset"):
+                    ch.reset()
+                if policy.attempt_timeout_s is not None and hasattr(ch, "set_deadline"):
+                    ch.set_deadline(policy.attempt_timeout_s)
+                sent_before = self._channel_bytes(ch)
+                # transactional restore: build the new process off to the side
+                # and only graft it onto *dest* once everything validated
+                scratch = Process(process.program, dest_arch, name=dest.name)
+                if id(scratch.ti) not in ti_tables:
+                    ti_tables[id(scratch.ti)] = scratch.ti
+                    ti0[id(scratch.ti)] = (scratch.ti.n_info_hits,
+                                           scratch.ti.n_info_misses)
+                obs.event(
+                    "attempt_begin", attempt=attempt + 1, streaming=use_streaming
+                )
+                try:
+                    with obs_.tracer.span("attempt", n=attempt + 1):
+                        if use_streaming:
+                            self._migrate_streaming(
+                                process, scratch, ch, chunk_size, stats, compress
+                            )
+                        else:
+                            self._migrate_monolithic(
+                                process, scratch, ch, stats, compress
+                            )
+                except RETRYABLE_ERRORS as exc:
+                    stats.attempts = attempt + 1
+                    stats.retries = attempt
+                    aborted = self._channel_bytes(ch) - sent_before
+                    stats.aborted_bytes += aborted
+                    obs.inc("engine.aborted_bytes", aborted)
+                    obs.event(
+                        "attempt_fail",
+                        attempt=attempt + 1,
+                        error_type=type(exc).__name__,
+                        error=str(exc),
                     )
-                else:
-                    self._migrate_monolithic(process, scratch, ch, stats, compress)
-            except RETRYABLE_ERRORS as exc:
+                    # a half-driven collection leaves stack blocks registered;
+                    # drop them so the source stays cleanly runnable and the
+                    # next attempt re-registers from scratch
+                    process.msrlt.drop_stack_blocks()
+                    if use_streaming:
+                        failed_streaming += 1
+                        if (
+                            policy.degrade_after is not None
+                            and failed_streaming >= policy.degrade_after
+                        ):
+                            use_streaming = False
+                            stats.degraded = True
+                            obs.inc("engine.degraded")
+                            obs.event(
+                                "degraded",
+                                after_failed_attempts=failed_streaming,
+                            )
+                    if attempt + 1 >= policy.max_attempts:
+                        self._finish_observation(
+                            obs_, stats, process, ti_tables, msrlt0, ti0,
+                            scratch=None,
+                        )
+                        raise MigrationAbortedError(
+                            f"migration aborted after {attempt + 1} attempt(s); "
+                            f"source still runnable, destination untouched "
+                            f"(last error: {exc})",
+                            attempts=attempt + 1,
+                            last_error=exc,
+                        ) from exc
+                    delay = policy.backoff_for(attempt)
+                    stats.time_in_backoff += delay
+                    obs.event(
+                        "backoff", attempt=attempt + 1, delay_s=round(delay, 9)
+                    )
+                    if delay > 0:
+                        policy.sleep(delay)
+                    continue
                 stats.attempts = attempt + 1
                 stats.retries = attempt
-                stats.aborted_bytes += self._channel_bytes(ch) - sent_before
-                # a half-driven collection leaves stack blocks registered;
-                # drop them so the source stays cleanly runnable and the
-                # next attempt re-registers from scratch
-                process.msrlt.drop_stack_blocks()
-                if use_streaming:
-                    failed_streaming += 1
-                    if (
-                        policy.degrade_after is not None
-                        and failed_streaming >= policy.degrade_after
-                    ):
-                        use_streaming = False
-                        stats.degraded = True
-                if attempt + 1 >= policy.max_attempts:
-                    raise MigrationAbortedError(
-                        f"migration aborted after {attempt + 1} attempt(s); "
-                        f"source still runnable, destination untouched "
-                        f"(last error: {exc})",
-                        attempts=attempt + 1,
-                        last_error=exc,
-                    ) from exc
-                delay = policy.backoff_for(attempt)
-                stats.time_in_backoff += delay
-                if delay > 0:
-                    policy.sleep(delay)
-                continue
-            stats.attempts = attempt + 1
-            stats.retries = attempt
-            break
+                break
+
+            if compress:
+                # *all* attempts' deflate + inflate seconds, read off the
+                # span tree — the per-attempt channel-ledger delta used to
+                # lose an aborted attempt's codec time to the reset() fold
+                stats.codec_time = obs_.tracer.total_prefix("codec.")
+            obs.event(
+                "migration_end",
+                collect_s=round(stats.collect_time, 9),
+                tx_s=round(stats.tx_time, 9),
+                restore_s=round(stats.restore_time, 9),
+                attempts=stats.attempts,
+            )
+            self._finish_observation(
+                obs_, stats, process, ti_tables, msrlt0, ti0, scratch=scratch
+            )
 
         self._adopt(dest, scratch)
         # the migrating process terminates after successful transmission
@@ -484,6 +561,44 @@ class MigrationEngine:
         process.exited = True
         process.migration_pending = False
         return dest, stats
+
+    @staticmethod
+    def _finish_observation(
+        obs_, stats, process, ti_tables, msrlt0, ti0, scratch
+    ) -> None:
+        """Fold the migration's outcome counters and the lookup-table
+        deltas into the metrics registry, then close the span tree."""
+        m = obs_.metrics
+        m.inc("engine.attempts", stats.attempts)
+        m.inc("engine.retries", stats.retries)
+        m.inc("engine.payload_bytes", stats.payload_bytes)
+        m.inc("engine.blocks", stats.n_blocks)
+        if stats.streamed:
+            m.inc("engine.chunks", stats.n_chunks)
+        if stats.compressed:
+            m.inc(
+                "codec.bytes_saved",
+                max(stats.payload_bytes - stats.compressed_bytes, 0),
+            )
+        searches = process.msrlt.n_searches - msrlt0[0]
+        hits = process.msrlt.n_cache_hits - msrlt0[1]
+        regs = process.msrlt.n_registrations - msrlt0[2]
+        if scratch is not None:
+            # the restored side's MSRLT was born for this migration
+            searches += scratch.msrlt.n_searches
+            hits += scratch.msrlt.n_cache_hits
+            regs += scratch.msrlt.n_registrations
+        m.inc("msrlt.searches", searches)
+        m.inc("msrlt.cache_hits", hits)
+        m.inc("msrlt.registrations", regs)
+        info_hits = info_misses = 0
+        for tid, table in ti_tables.items():
+            h0, m0 = ti0[tid]
+            info_hits += table.n_info_hits - h0
+            info_misses += table.n_info_misses - m0
+        m.inc("ti.info_hits", info_hits)
+        m.inc("ti.info_misses", info_misses)
+        obs_.tracer.finish()
 
     @staticmethod
     def _channel_bytes(channel) -> int:
@@ -508,22 +623,23 @@ class MigrationEngine:
     # -- the paper's serial discipline -------------------------------------
 
     def _migrate_monolithic(self, process, dest, channel, stats, compress=False) -> None:
-        t0 = time.perf_counter()
-        payload, cinfo = collect_state(process)
-        stats.collect_time = time.perf_counter() - t0
+        with obs.span("collect") as timed:
+            payload, cinfo = collect_state(process)
+        stats.collect_time = timed.seconds
         self._absorb_collect(stats, cinfo, len(payload))
 
         wire_payload = payload
         if compress:
-            t0 = time.perf_counter()
-            wire_payload = compress_payload(payload)
-            stats.codec_time = time.perf_counter() - t0
+            with obs.lap("codec.deflate") as timed:
+                wire_payload = compress_payload(payload)
+            stats.codec_time = timed.seconds
             stats.compressed = True
             stats.compressed_bytes = len(wire_payload)
             stats.compression_ratio = len(payload) / len(wire_payload)
 
         crc = zlib.crc32(wire_payload)
         stats.tx_time = channel.send(wire_payload)
+        obs.record("tx", stats.tx_time, modeled=True)
         received = channel.recv()
         # the monolithic wire format carries no checksum (it predates the
         # framed stream and must stay byte-identical), so integrity is
@@ -536,15 +652,15 @@ class MigrationEngine:
                 f"{len(received)} bytes (crc {zlib.crc32(received):#010x})"
             )
         if compress:
-            t0 = time.perf_counter()
-            received = expand_payload(received)
-            stats.codec_time += time.perf_counter() - t0
+            with obs.lap("codec.inflate") as timed:
+                received = expand_payload(received)
+            stats.codec_time += timed.seconds
 
-        t0 = time.perf_counter()
-        rinfo = self._validated_restore(
-            process.program, ReadBuffer(received), dest
-        )
-        stats.restore_time = time.perf_counter() - t0
+        with obs.span("restore") as timed:
+            rinfo = self._validated_restore(
+                process.program, ReadBuffer(received), dest
+            )
+        stats.restore_time = timed.seconds
         stats.restore = rinfo.stats
 
     @staticmethod
@@ -568,11 +684,11 @@ class MigrationEngine:
     ) -> None:
         info_slot: list = []
         collect_iter = _TimedIter(
-            collect_state_chunks(process, chunk_size, info_slot)
+            collect_state_chunks(process, chunk_size, info_slot), "collect"
         )
         if hasattr(channel, "compress_stream"):
             channel.compress_stream = compress
-        codec_before = getattr(channel, "codec_seconds", 0.0)
+        codec_before = getattr(channel, "total_codec_seconds", 0.0)
         stored_before = getattr(channel, "stored_chunk_bytes", 0)
 
         if getattr(channel, "concurrent_stream", False):
@@ -584,16 +700,16 @@ class MigrationEngine:
                 channel, collect_iter
             )
 
-        feed_timer = _TimedIter(feed)
-        t0 = time.perf_counter()
-        try:
-            rinfo = self._validated_restore(
-                process.program, StreamReadBuffer(feed_timer), dest
-            )
-        finally:
-            if producer is not None:
-                producer.join()
-        restore_wall = time.perf_counter() - t0
+        feed_timer = _TimedIter(feed, "feed")
+        with obs.span("pipeline") as pipeline:
+            try:
+                rinfo = self._validated_restore(
+                    process.program, StreamReadBuffer(feed_timer), dest
+                )
+            finally:
+                if producer is not None:
+                    producer.join()
+        restore_wall = pipeline.seconds
         if producer_error:
             raise producer_error[0]
 
@@ -611,7 +727,9 @@ class MigrationEngine:
         wire_payload_bytes = stats.payload_bytes
         if compress:
             stats.compressed = True
-            stats.codec_time = getattr(channel, "codec_seconds", 0.0) - codec_before
+            stats.codec_time = (
+                getattr(channel, "total_codec_seconds", 0.0) - codec_before
+            )
             stored = getattr(channel, "stored_chunk_bytes", 0) - stored_before
             stats.compressed_bytes = stored or stats.payload_bytes
             stats.compression_ratio = (
@@ -624,7 +742,24 @@ class MigrationEngine:
         link = channel.link
         framed_bytes = wire_payload_bytes + (stats.n_chunks + 1) * CHUNK_HEADER_SIZE
         stats.tx_time = link.pipelined_transfer_time(framed_bytes, stats.n_chunks)
+        obs.record("tx", stats.tx_time, modeled=True)
+        obs.record("restore", stats.restore_time, derived=True)
         stats.finish_pipeline(latency_s=link.latency_s)
+
+        # measured overlap: the producer thread's collection busy-time as
+        # a fraction of the pipeline wall clock.  The same-thread
+        # generator pipeline interleaves but cannot overlap wall-clock,
+        # so it honestly reports 0.0.
+        occupancy = 0.0
+        if producer is not None and restore_wall > 0:
+            occupancy = min(collect_iter.seconds / restore_wall, 1.0)
+        stats.pipeline_occupancy = occupancy
+        obs.event(
+            "pipeline",
+            wall_s=round(restore_wall, 9),
+            n_chunks=stats.n_chunks,
+            occupancy=round(occupancy, 9),
+        )
 
     @staticmethod
     def _inline_feed(channel, collect_iter):
@@ -635,6 +770,11 @@ class MigrationEngine:
         def feed():
             for chunk in collect_iter:
                 channel.send_chunk(chunk)
+                obs.event(
+                    "chunk",
+                    seq=collect_iter.count - 1,
+                    collect_busy_s=round(collect_iter.last_seconds, 9),
+                )
                 yield channel.recv_chunk()
             channel.end_stream()
             if channel.recv_chunk() is not None:  # pragma: no cover
@@ -646,14 +786,34 @@ class MigrationEngine:
     def _threaded_feed(channel, collect_iter):
         """Producer/consumer pipeline for channels whose chunk writes
         block until drained (the socket): collection + send run in a
-        producer thread while the caller restores from ``iter_chunks``."""
+        producer thread while the caller restores from ``iter_chunks``.
+
+        The producer thread does not inherit the spawning context's
+        ContextVars, so the engine's observation is re-activated inside
+        it explicitly, rooting the thread's spans (the ``collect`` laps)
+        under the attempt span that spawned it.
+        """
         error: list = []
+        obs_ = obs.current()
+        parent = obs_.tracer.current() if obs_ is not None else None
+
+        def pump():
+            for chunk in collect_iter:
+                channel.send_chunk(chunk)
+                obs.event(
+                    "chunk",
+                    seq=collect_iter.count - 1,
+                    collect_busy_s=round(collect_iter.last_seconds, 9),
+                )
+            channel.end_stream()
 
         def produce():
             try:
-                for chunk in collect_iter:
-                    channel.send_chunk(chunk)
-                channel.end_stream()
+                if obs_ is not None:
+                    with obs_.activate_in_thread(parent):
+                        pump()
+                else:
+                    pump()
             except BaseException as exc:  # noqa: BLE001 - repropagated by caller
                 error.append(exc)
                 # unblock the consumer: an aborted tx side turns its next

@@ -21,6 +21,7 @@ from repro.migration.engine import MigrationEngine, MigrationError, RetryPolicy
 from repro.migration.scheduler import Cluster, Host
 from repro.migration.stats import MigrationStats
 from repro.migration.transport import Channel, Link
+from repro.obs.metrics import MetricsRegistry
 from repro.vm.process import Process
 
 __all__ = ["BalancerResult", "FailedMigration", "LoadBalancer"]
@@ -49,6 +50,8 @@ class BalancerResult:
     failed: list[FailedMigration] = field(default_factory=list)
     #: scheduling epochs executed
     epochs: int = 0
+    #: cluster-level metrics roll-up of every conducted migration
+    metrics: Optional[MetricsRegistry] = None
 
     def host_history(self) -> list[tuple[str, str]]:
         """(source, destination) host names of each migration."""
@@ -91,6 +94,8 @@ class LoadBalancer:
         self.channel_factory = channel_factory or (lambda link: Channel(link))
         self._placement: dict[int, Host] = {}
         self._procs: list[Process] = []
+        #: cluster-level aggregation across every migration conducted
+        self.metrics = MetricsRegistry()
 
     # -- population -------------------------------------------------------------
 
@@ -128,7 +133,7 @@ class LoadBalancer:
 
     def run(self, max_epochs: int = 10_000) -> BalancerResult:
         """Run every submitted process to completion, rebalancing."""
-        result = BalancerResult()
+        result = BalancerResult(metrics=self.metrics)
         pending_dest: dict[int, Host] = {}
 
         for _epoch in range(max_epochs):
@@ -181,6 +186,9 @@ class LoadBalancer:
                     stats.source_arch = src_host.name
                     stats.dest_arch = dest.name
                     result.migrations.append(stats)
+                    if stats.obs is not None:
+                        self.metrics.inc("balancer.migrations")
+                        self.metrics.merge(stats.obs.metrics.snapshot())
                     self._procs[i] = new_proc
                     self._placement.pop(id(proc), None)
                     self._placement[id(new_proc)] = dest

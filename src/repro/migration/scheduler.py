@@ -21,6 +21,7 @@ from repro.arch.machine import MachineArch
 from repro.migration.engine import MigrationEngine, MigrationError
 from repro.migration.stats import MigrationStats
 from repro.migration.transport import Channel, LOOPBACK, Link
+from repro.obs.metrics import MetricsRegistry
 from repro.vm.process import Process
 
 __all__ = ["Host", "Cluster", "Scheduler", "SchedulerResult"]
@@ -99,6 +100,8 @@ class SchedulerResult:
     process: Process
     exit_code: int
     migrations: list[MigrationStats] = field(default_factory=list)
+    #: cluster-level metrics roll-up of every migration conducted
+    metrics: Optional[MetricsRegistry] = None
 
     @property
     def stdout(self) -> str:
@@ -114,6 +117,9 @@ class Scheduler:
         self.engine = engine or MigrationEngine()
         self._requests: dict[int, list[PendingRequest]] = {}
         self._homes: dict[int, Host] = {}
+        #: cluster-level aggregation: every migration this scheduler
+        #: conducts folds its per-migration metrics snapshot in here
+        self.metrics = MetricsRegistry()
 
     def register(self, process: Process, host: Host) -> None:
         """Record which host a process runs on (``Host.spawn`` callers that
@@ -157,7 +163,10 @@ class Scheduler:
             result = current.run(max_steps)
             if result.status == "exit":
                 return SchedulerResult(
-                    process=current, exit_code=result.exit_code, migrations=migrations
+                    process=current,
+                    exit_code=result.exit_code,
+                    migrations=migrations,
+                    metrics=self.metrics,
                 )
             if result.status == "steps":
                 raise MigrationError("step budget exhausted before completion")
@@ -175,6 +184,9 @@ class Scheduler:
                 current, req.dest.arch, channel=channel
             )
             migrations.append(stats)
+            if stats.obs is not None:
+                self.metrics.inc("scheduler.migrations")
+                self.metrics.merge(stats.obs.metrics.snapshot())
             # re-home bookkeeping and re-arm remaining requests
             self._requests[id(new_proc)] = self._requests.pop(id(current), [])
             self._homes.pop(id(current), None)

@@ -22,6 +22,11 @@ from repro.msr.restore import RestoreStats
 
 __all__ = ["MigrationStats", "pipelined_response_time"]
 
+#: span names whose per-phase totals :meth:`MigrationStats.span_totals`
+#: reads out of the trace tree (codec spans are matched by prefix)
+PHASE_SPANS = ("collect", "tx", "restore")
+CODEC_SPAN_PREFIX = "codec."
+
 
 def pipelined_response_time(
     collect_time: float,
@@ -107,6 +112,13 @@ class MigrationStats:
     time_in_backoff: float = 0.0
     #: whether the engine fell back from streaming to monolithic
     degraded: bool = False
+    #: *measured* producer-thread busy fraction of the pipeline wall
+    #: clock (socket pipeline only; the same-thread generator pipeline
+    #: interleaves but cannot overlap wall-clock, so it reports 0.0)
+    pipeline_occupancy: float = 0.0
+    #: the migration's observation (span tree + metrics + event log);
+    #: set by the engine, ``None`` for hand-built stats
+    obs: Optional[object] = field(default=None, repr=False, compare=False)
 
     @property
     def migration_time(self) -> float:
@@ -121,7 +133,16 @@ class MigrationStats:
 
     def finish_pipeline(self, latency_s: float = 0.0) -> None:
         """Derive :attr:`pipeline_time` / :attr:`overlap_ratio` from the
-        stage totals once they are all known."""
+        stage totals once they are all known.
+
+        The overlap ratio compares against the *full* serial baseline —
+        Collect + Tx + Restore **plus** codec time.  Codec work is real
+        serial work on a compressed stream, and the model does not
+        pipeline it away, so excluding it from the denominator (while
+        the numerator's pipeline model never saw it either) overstated
+        the overlap on every compressed migration.  The ratio is clamped
+        to ``[0, 1)``: overlap can hide work, not create negative time.
+        """
         self.pipeline_time = pipelined_response_time(
             self.collect_time,
             self.tx_time,
@@ -129,8 +150,26 @@ class MigrationStats:
             self.n_chunks,
             latency_s=latency_s,
         )
-        serial = self.migration_time
-        self.overlap_ratio = 1.0 - self.pipeline_time / serial if serial > 0 else 0.0
+        serial = self.migration_time + self.codec_time
+        if serial <= 0:
+            self.overlap_ratio = 0.0
+            return
+        pipelined = self.pipeline_time + self.codec_time
+        ratio = 1.0 - pipelined / serial
+        # a real pipelined transfer always has pipelined > 0, so the
+        # mathematical ratio is < 1; the clamp guards degenerate inputs
+        self.overlap_ratio = min(max(ratio, 0.0), 1.0 - 1e-12)
+
+    def span_totals(self) -> dict:
+        """Per-phase second totals read out of the span tree (empty when
+        the stats were not produced under an observation).  ``codec``
+        sums every ``codec.*`` span (deflate + inflate, all attempts)."""
+        if self.obs is None:
+            return {}
+        tracer = self.obs.tracer
+        out = {name: tracer.total(name) for name in PHASE_SPANS}
+        out["codec"] = tracer.total_prefix(CODEC_SPAN_PREFIX)
+        return out
 
     def row(self) -> dict:
         """A Table 1-shaped row."""
@@ -154,6 +193,10 @@ class MigrationStats:
             out["Attempts"] = self.attempts
             out["AbortedBytes"] = self.aborted_bytes
             out["Backoff"] = self.time_in_backoff
+        # unconditional: a degraded migration must say so even when its
+        # post-degradation attempt succeeded without further retries
+        if self.degraded:
+            out["Degraded"] = True
         return out
 
     def __str__(self) -> str:
@@ -184,4 +227,6 @@ class MigrationStats:
                 f"backoff {self.time_in_backoff * 1e3:.1f} ms"
                 f"{', degraded to monolithic' if self.degraded else ''}]"
             )
+        elif self.degraded:
+            base += " [degraded to monolithic]"
         return base

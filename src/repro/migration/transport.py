@@ -44,10 +44,10 @@ from __future__ import annotations
 
 import random
 import struct
-import time
 from collections import deque
 from dataclasses import dataclass
 
+from repro import obs
 from repro.msr.wire import (
     CHUNK_HEADER_SIZE,
     ChunkDecoder,
@@ -161,10 +161,26 @@ class _ChunkStreamMixin:
 
     def _reset_stream_protocol(self) -> None:
         """Abandon any half-spoken stream (sequence numbers, decoder);
-        cumulative byte/chunk counters are preserved for accounting."""
+        cumulative byte/chunk counters are preserved for accounting.
+
+        The dying decoder's unfolded inflate seconds are folded into the
+        channel ledger here — exactly once, because ``recv_chunk``'s
+        end-of-stream path replaced the decoder with a fresh one after
+        its own fold, so a reset after a *completed* stream folds a
+        zero.  :attr:`total_codec_seconds` is invariant across both
+        folds, which is what the accounting tests pin.
+        """
         self._send_seq = 0
         self.codec_seconds += self._decoder.codec_seconds
         self._decoder = ChunkDecoder()
+
+    @property
+    def total_codec_seconds(self) -> float:
+        """Codec seconds including the live decoder's not-yet-folded
+        share — the fold-order-independent read the engine and the
+        accounting tests use (an aborted stream's inflate time is in
+        the decoder until ``reset()`` folds it)."""
+        return self.codec_seconds + self._decoder.codec_seconds
 
     def set_deadline(self, seconds: float | None) -> None:
         """Install a recv deadline.  The modeled channels cannot block, so
@@ -182,15 +198,17 @@ class _ChunkStreamMixin:
         wire time (the engine amortizes latency across the whole train
         via :meth:`Link.pipelined_transfer_time`)."""
         if self.compress_stream:
-            t0 = time.perf_counter()
-            frame = encode_chunk(self._send_seq, payload, compress=True)
-            self.codec_seconds += time.perf_counter() - t0
+            with obs.lap("codec.deflate") as timed:
+                frame = encode_chunk(self._send_seq, payload, compress=True)
+            self.codec_seconds += timed.seconds
         else:
             frame = encode_chunk(self._send_seq, payload)
         self._send_seq += 1
         self.chunks_sent += 1
         self.framed_bytes_sent += len(frame)
         self.stored_chunk_bytes += len(frame) - CHUNK_HEADER_SIZE
+        obs.inc("wire.chunks_sent")
+        obs.inc("wire.framed_bytes_sent", len(frame))
         return self._send_frame(frame)
 
     def end_stream(self) -> float:
@@ -210,8 +228,13 @@ class _ChunkStreamMixin:
         """
         payload = self._decoder.decode(self._recv_frame())
         if payload is None:
+            # end-of-stream: fold the finished decoder's inflate seconds
+            # and replace it, so a later reset() folds a fresh zero
+            # instead of double-counting this stream
             self.codec_seconds += self._decoder.codec_seconds
             self._decoder = ChunkDecoder()
+        else:
+            obs.inc("wire.chunks_received")
         return payload
 
     def iter_chunks(self):
@@ -251,6 +274,8 @@ class Channel(_ChunkStreamMixin):
         self._queue.append(payload)
         self.bytes_sent += len(payload)
         self.messages_sent += 1
+        obs.inc("wire.messages_sent")
+        obs.inc("wire.bytes_sent", len(payload))
         return self.link.transfer_time(len(payload))
 
     def recv(self) -> bytes:
@@ -304,6 +329,8 @@ class FileChannel(_ChunkStreamMixin):
             fh.write(payload)
         self.bytes_sent += len(payload)
         self.messages_sent += 1
+        obs.inc("wire.messages_sent")
+        obs.inc("wire.bytes_sent", len(payload))
         return self.link.transfer_time(len(payload))
 
     def recv(self) -> bytes:
@@ -395,6 +422,8 @@ class SocketChannel(_ChunkStreamMixin):
         self._outgoing.append(bytes(payload))
         self.bytes_sent += len(payload)
         self.messages_sent += 1
+        obs.inc("wire.messages_sent")
+        obs.inc("wire.bytes_sent", len(payload))
         return self.link.transfer_time(len(payload))
 
     def recv(self) -> bytes:
@@ -667,6 +696,9 @@ class FaultyChannel(_ChunkStreamMixin):
         if fault is None:
             return payload
         self.faults_fired.append(fault)
+        obs.inc("faults.injected")
+        obs.inc(f"faults.{fault.kind}")
+        obs.event("fault", kind=fault.kind, index=index)
         if fault.kind == "drop":
             return None
         if fault.kind == "truncate":

@@ -110,6 +110,12 @@ class MSRLT:
     def _insert(self, block: MemoryBlock) -> MemoryBlock:
         if block.logical in self._by_logical:
             raise MSRLTError(f"duplicate registration of {block.logical}")
+        # defensive: a registration over the cached interval (e.g. realloc
+        # reusing a just-freed address) must evict the cache — unregister
+        # already clears it, but no stale hit may survive either path
+        last = self._last_hit
+        if last is not None and block.addr < last.end and last.addr < block.end:
+            self._last_hit = None
         self._by_logical[block.logical] = block
         if self._starts and block.addr > self._starts[-1]:
             self._starts.append(block.addr)  # common fast path (bump allocator)

@@ -82,10 +82,10 @@ compression off the bytes are identical to PR 2.
 from __future__ import annotations
 
 import struct
-import time
 import zlib
 from dataclasses import dataclass
 
+from repro import obs
 from repro.arch.buffers import ReadBuffer, WriteBuffer
 
 __all__ = [
@@ -295,9 +295,9 @@ class ChunkDecoder:
         if self.finished:
             raise FrameOrderError("chunk frame arrived after end-of-stream")
         if bytes(memoryview(frame)[:4]) == b"MCHZ":
-            t0 = time.perf_counter()
-            seq, payload = decode_chunk(frame)
-            self.codec_seconds += time.perf_counter() - t0
+            with obs.lap("codec.inflate") as timed:
+                seq, payload = decode_chunk(frame)
+            self.codec_seconds += timed.seconds
         else:
             seq, payload = decode_chunk(frame)
         if seq != self.expected_seq:

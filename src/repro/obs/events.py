@@ -1,0 +1,172 @@
+"""The structured event log and the JSONL trace file format.
+
+Every migration appends typed events (attempts, observed faults,
+degradation, backoff, per-chunk pipeline occupancy) to an in-memory
+:class:`EventLog`; ``repro migrate --trace out.jsonl`` exports the log
+plus the span tree and the metrics snapshot as JSON-lines.
+
+Trace file format (one JSON object per line, schema version 1):
+
+- line 1 is always ``{"event": "trace_header", "schema": 1, ...}``;
+- every line has an ``"event"`` string and a non-negative ``"ts"``
+  number (seconds since the migration's observation began);
+- ``span`` lines carry the flattened span tree (``path`` is the
+  '/'-joined location in the tree, ``seconds``/``count``/``thread``
+  the measurement);
+- the final ``metrics`` line carries the registry snapshot.
+
+Validation (:func:`validate_trace_lines`) is stdlib-only — ``json`` +
+hand-rolled field checks — so the CI tier-1 job can assert schema
+validity without adding a jsonschema dependency.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+__all__ = [
+    "TRACE_SCHEMA_VERSION",
+    "EVENT_REQUIRED_FIELDS",
+    "EventLog",
+    "NullEventLog",
+    "NULL_EVENTS",
+    "validate_trace_obj",
+    "validate_trace_lines",
+    "validate_trace_file",
+]
+
+TRACE_SCHEMA_VERSION = 1
+
+#: required (field, type) pairs per event type; unknown event types are
+#: rejected so a typo'd emitter fails CI rather than shipping dark data
+EVENT_REQUIRED_FIELDS: dict[str, tuple[tuple[str, type], ...]] = {
+    "trace_header": (("schema", int), ("tool", str)),
+    "migration_begin": (("source_arch", str), ("dest_arch", str),
+                        ("streaming", bool), ("compress", bool)),
+    "attempt_begin": (("attempt", int), ("streaming", bool)),
+    "attempt_fail": (("attempt", int), ("error_type", str), ("error", str)),
+    "fault": (("kind", str), ("index", int)),
+    "backoff": (("attempt", int), ("delay_s", (int, float))),
+    "degraded": (("after_failed_attempts", int),),
+    "chunk": (("seq", int), ("collect_busy_s", (int, float))),
+    "pipeline": (("wall_s", (int, float)), ("n_chunks", int),
+                 ("occupancy", (int, float))),
+    "migration_end": (("collect_s", (int, float)), ("tx_s", (int, float)),
+                      ("restore_s", (int, float)), ("attempts", int)),
+    "span": (("name", str), ("path", str), ("seconds", (int, float)),
+             ("count", int), ("thread", str)),
+    "metrics": (("counters", dict), ("gauges", dict), ("histograms", dict)),
+}
+
+
+class EventLog:
+    """Append-only, thread-safe, monotonic-stamped structured events."""
+
+    def __init__(self, clock=time.perf_counter) -> None:
+        self._clock = clock
+        self._t0 = clock()
+        self._lock = threading.Lock()
+        self.events: list[dict] = []
+
+    def emit(self, event: str, **fields) -> dict:
+        """Record one event; ``ts`` is seconds since the log was opened."""
+        entry = {"event": event, "ts": round(self._clock() - self._t0, 9)}
+        entry.update(fields)
+        with self._lock:
+            self.events.append(entry)
+        return entry
+
+    def of_type(self, event: str) -> list[dict]:
+        """All recorded events of one type, in emission order."""
+        with self._lock:
+            return [e for e in self.events if e["event"] == event]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+class NullEventLog:
+    """Drop-in no-op log (the ambient default outside a migration)."""
+
+    events: list[dict] = []
+
+    def emit(self, event: str, **fields) -> dict:
+        return {}
+
+    def of_type(self, event: str) -> list[dict]:
+        return []
+
+    def __len__(self) -> int:
+        return 0
+
+
+NULL_EVENTS = NullEventLog()
+
+
+# -- stdlib-only schema validation --------------------------------------------
+
+
+def validate_trace_obj(obj, lineno: int = 0) -> list[str]:
+    """Schema errors for one decoded trace line (empty list = valid)."""
+    where = f"line {lineno}: " if lineno else ""
+    if not isinstance(obj, dict):
+        return [f"{where}not a JSON object"]
+    errors: list[str] = []
+    event = obj.get("event")
+    if not isinstance(event, str):
+        return [f"{where}missing or non-string 'event' field"]
+    ts = obj.get("ts")
+    if not isinstance(ts, (int, float)) or isinstance(ts, bool) or ts < 0:
+        errors.append(f"{where}event {event!r}: 'ts' must be a number >= 0")
+    required = EVENT_REQUIRED_FIELDS.get(event)
+    if required is None:
+        errors.append(f"{where}unknown event type {event!r}")
+        return errors
+    for field, ftype in required:
+        value = obj.get(field, _MISSING)
+        if value is _MISSING:
+            errors.append(f"{where}event {event!r}: missing field {field!r}")
+        elif not isinstance(value, ftype) or (
+            isinstance(value, bool) and ftype in ((int, float), int)
+        ):
+            errors.append(
+                f"{where}event {event!r}: field {field!r} has wrong type "
+                f"{type(value).__name__}"
+            )
+    return errors
+
+
+_MISSING = object()
+
+
+def validate_trace_lines(text: str) -> list[str]:
+    """Schema errors for a whole JSONL trace document."""
+    errors: list[str] = []
+    lines = [ln for ln in text.splitlines() if ln.strip()]
+    if not lines:
+        return ["trace is empty"]
+    for lineno, line in enumerate(lines, start=1):
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as exc:
+            errors.append(f"line {lineno}: not valid JSON ({exc})")
+            continue
+        errors.extend(validate_trace_obj(obj, lineno))
+        if lineno == 1:
+            if not isinstance(obj, dict) or obj.get("event") != "trace_header":
+                errors.append("line 1: first line must be a trace_header event")
+            elif obj.get("schema") != TRACE_SCHEMA_VERSION:
+                errors.append(
+                    f"line 1: schema {obj.get('schema')!r} != "
+                    f"{TRACE_SCHEMA_VERSION}"
+                )
+    return errors
+
+
+def validate_trace_file(path) -> list[str]:
+    """Schema errors for the JSONL trace file at *path*."""
+    from pathlib import Path
+
+    return validate_trace_lines(Path(path).read_text())

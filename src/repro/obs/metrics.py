@@ -1,0 +1,132 @@
+"""The metrics registry: counters, gauges, and histograms.
+
+Metric values are deliberately *counts, bytes, and ratios* — never
+wall-clock seconds (those belong to the span tree), which is what makes
+a snapshot deterministic: two migrations driven by the same fault plan
+over the same payload produce byte-identical ``snapshot()`` counter
+sections, a property the test suite pins.
+
+A :class:`MetricsRegistry` is per-migration (one lives on each
+``MigrationObservation``); :meth:`merge` folds one snapshot into
+another, which is how ``Scheduler`` and ``LoadBalancer`` aggregate
+cluster-level totals across every migration they conducted.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["MetricsRegistry", "NullMetrics", "NULL_METRICS"]
+
+
+class MetricsRegistry:
+    """Thread-safe named counters / gauges / histograms."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, int] = {}
+        self._gauges: dict[str, float] = {}
+        self._hists: dict[str, dict] = {}
+
+    # -- instruments -------------------------------------------------------
+
+    def inc(self, name: str, n: int = 1) -> None:
+        """Increment counter *name* by *n* (created at 0)."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + n
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set gauge *name* (last write wins)."""
+        with self._lock:
+            self._gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        """Add one observation to histogram *name* (count/total/min/max)."""
+        with self._lock:
+            h = self._hists.get(name)
+            if h is None:
+                self._hists[name] = {
+                    "count": 1, "total": value, "min": value, "max": value,
+                }
+            else:
+                h["count"] += 1
+                h["total"] += value
+                h["min"] = min(h["min"], value)
+                h["max"] = max(h["max"], value)
+
+    def counter(self, name: str) -> int:
+        """Current value of counter *name* (0 if never incremented)."""
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    # -- read-out / aggregation --------------------------------------------
+
+    def snapshot(self) -> dict:
+        """A deterministic, sorted, copy-safe view of every instrument."""
+        with self._lock:
+            return {
+                "counters": dict(sorted(self._counters.items())),
+                "gauges": dict(sorted(self._gauges.items())),
+                "histograms": {
+                    k: dict(v) for k, v in sorted(self._hists.items())
+                },
+            }
+
+    def merge(self, snapshot: dict) -> None:
+        """Fold a :meth:`snapshot` into this registry (cluster roll-up):
+        counters add, gauges take the incoming value, histograms merge."""
+        with self._lock:
+            for name, value in snapshot.get("counters", {}).items():
+                self._counters[name] = self._counters.get(name, 0) + value
+            for name, value in snapshot.get("gauges", {}).items():
+                self._gauges[name] = value
+            for name, h in snapshot.get("histograms", {}).items():
+                mine = self._hists.get(name)
+                if mine is None:
+                    self._hists[name] = dict(h)
+                else:
+                    mine["count"] += h["count"]
+                    mine["total"] += h["total"]
+                    mine["min"] = min(mine["min"], h["min"])
+                    mine["max"] = max(mine["max"], h["max"])
+
+    def iter_flat(self):
+        """Yield ``(name, value)`` pairs in sorted order — the
+        ``repro migrate --metrics`` report format.  Histograms expand to
+        ``name.count`` / ``name.total`` / ``name.min`` / ``name.max``."""
+        snap = self.snapshot()
+        flat: dict[str, float] = {}
+        flat.update(snap["counters"])
+        flat.update(snap["gauges"])
+        for name, h in snap["histograms"].items():
+            for stat in ("count", "total", "min", "max"):
+                flat[f"{name}.{stat}"] = h[stat]
+        yield from sorted(flat.items())
+
+
+class NullMetrics:
+    """Drop-in no-op registry (the ambient default outside a migration)."""
+
+    def inc(self, name: str, n: int = 1) -> None:
+        return None
+
+    def set_gauge(self, name: str, value: float) -> None:
+        return None
+
+    def observe(self, name: str, value: float) -> None:
+        return None
+
+    def counter(self, name: str) -> int:
+        return 0
+
+    def snapshot(self) -> dict:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def merge(self, snapshot: dict) -> None:
+        return None
+
+    def iter_flat(self):
+        return iter(())
+
+
+NULL_METRICS = NullMetrics()

@@ -1,0 +1,286 @@
+"""Trace spans: the one clock the migration pipeline tells time by.
+
+A :class:`Span` is a named, monotonic-clocked (``time.perf_counter``)
+timed region.  Spans nest: the tracer keeps a *per-thread* stack, so the
+engine's restore driver and the socket pipeline's producer thread each
+grow their own branch of one shared tree without locking each other out
+of it (children lists are appended under a single tracer lock, which is
+the only shared mutable state).
+
+Three ways to put time on the tree:
+
+- ``tracer.span(name)`` — a context manager that opens a fresh span
+  under the current thread's innermost open span (one span per entry);
+- ``tracer.lap(name)`` — an *accumulating* span: every ``with`` entry
+  adds one lap to a single span keyed by ``(parent, name)``.  This is
+  what per-chunk hot paths use (a 128-chunk stream makes one
+  ``codec.deflate`` span with ``count == 128``, not 128 span objects);
+- ``tracer.record(name, seconds)`` — a span with an externally supplied
+  duration, for *modeled* quantities (the link-model Tx time) so that
+  the span tree sums to exactly what :class:`MigrationStats` reports.
+
+Every handle exposes ``.seconds`` for the interval just closed, so call
+sites that also keep their own ledgers (a channel's ``codec_seconds``)
+read the same measurement the tree recorded — one clock, two read-outs.
+
+:data:`NULL_TRACER` is the ambient default when no migration is being
+observed: its handles still *time* (call sites rely on ``.seconds``)
+but record nothing.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Optional
+
+__all__ = ["Span", "SpanHandle", "Tracer", "NullTracer", "NULL_TRACER"]
+
+
+class Span:
+    """One node of the trace tree.
+
+    ``seconds`` accumulates across laps (ordinary spans have exactly one
+    lap); ``start_s``/``end_s`` are relative to the tracer's epoch so a
+    trace file's timeline starts at 0.
+    """
+
+    __slots__ = ("name", "attrs", "children", "thread", "start_s", "end_s",
+                 "seconds", "count")
+
+    def __init__(self, name: str, attrs: Optional[dict] = None) -> None:
+        self.name = name
+        self.attrs = attrs or {}
+        self.children: list[Span] = []
+        self.thread = threading.current_thread().name
+        self.start_s: Optional[float] = None
+        self.end_s: Optional[float] = None
+        self.seconds = 0.0
+        self.count = 0
+
+    def to_dict(self) -> dict:
+        out: dict = {
+            "name": self.name,
+            "seconds": round(self.seconds, 9),
+            "count": self.count,
+            "thread": self.thread,
+        }
+        if self.start_s is not None:
+            out["start_s"] = round(self.start_s, 9)
+        if self.end_s is not None:
+            out["end_s"] = round(self.end_s, 9)
+        if self.attrs:
+            out["attrs"] = self.attrs
+        if self.children:
+            out["children"] = [c.to_dict() for c in self.children]
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics only
+        return (f"<span {self.name} {self.seconds * 1e3:.3f} ms "
+                f"x{self.count} ({len(self.children)} children)>")
+
+
+class SpanHandle:
+    """Context manager for one timed interval on one span."""
+
+    __slots__ = ("span", "seconds", "_tracer", "_t0", "_push")
+
+    def __init__(self, tracer: "Tracer", span: Span, push: bool) -> None:
+        self.span = span
+        self.seconds = 0.0
+        self._tracer = tracer
+        self._push = push
+
+    def __enter__(self) -> "SpanHandle":
+        if self._push:
+            self._tracer._stack().append(self.span)
+        t = self._tracer._clock()
+        if self.span.start_s is None:
+            self.span.start_s = t - self._tracer.epoch
+        self._t0 = t
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        t = self._tracer._clock()
+        self.seconds = t - self._t0
+        self.span.seconds += self.seconds
+        self.span.count += 1
+        self.span.end_s = t - self._tracer.epoch
+        if self._push:
+            self._tracer._stack().pop()
+        return False
+
+
+class Tracer:
+    """A per-migration trace-span tree, safe to grow from several threads."""
+
+    def __init__(self, name: str = "migration",
+                 clock=time.perf_counter) -> None:
+        self._clock = clock
+        self.epoch = clock()
+        self.root = Span(name)
+        self.root.start_s = 0.0
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        # (id(parent), name) -> accumulating span, for lap()
+        self._laps: dict[tuple[int, str], Span] = {}
+
+    # -- thread-local span stack -------------------------------------------
+
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = [self.root]
+            self._local.stack = stack
+        return stack
+
+    def current(self) -> Span:
+        """The innermost open span on this thread (the root if none)."""
+        return self._stack()[-1]
+
+    def bind(self, parent: Span):
+        """Context manager rooting *this thread's* spans under *parent* —
+        how the engine attaches the socket producer thread's collection
+        spans beneath the attempt span that spawned it."""
+        return _Bind(self, parent)
+
+    # -- span creation -----------------------------------------------------
+
+    def span(self, name: str, **attrs) -> SpanHandle:
+        """Open a fresh nested span (one per entry)."""
+        span = Span(name, attrs or None)
+        with self._lock:
+            self.current().children.append(span)
+        return SpanHandle(self, span, push=True)
+
+    def lap(self, name: str, **attrs) -> SpanHandle:
+        """One lap on the accumulating span *name* under the current span."""
+        parent = self.current()
+        key = (id(parent), name)
+        with self._lock:
+            span = self._laps.get(key)
+            if span is None:
+                span = Span(name, attrs or None)
+                self._laps[key] = span
+                parent.children.append(span)
+        return SpanHandle(self, span, push=False)
+
+    def record(self, name: str, seconds: float, **attrs) -> Span:
+        """Append a span with an externally supplied duration (modeled
+        quantities — e.g. the link-model Tx time)."""
+        span = Span(name, attrs or None)
+        now = self._clock() - self.epoch
+        span.start_s = max(now - seconds, 0.0)
+        span.end_s = now
+        span.seconds = seconds
+        span.count = 1
+        with self._lock:
+            self.current().children.append(span)
+        return span
+
+    def finish(self) -> Span:
+        """Close the root span; returns it."""
+        if self.root.end_s is None:
+            self.root.end_s = self._clock() - self.epoch
+            self.root.seconds = self.root.end_s
+            self.root.count = 1
+        return self.root
+
+    # -- read-out ----------------------------------------------------------
+
+    def iter_spans(self):
+        """Yield ``(path, span)`` depth-first; ``path`` is '/'-joined."""
+        def walk(span: Span, prefix: str):
+            path = f"{prefix}/{span.name}" if prefix else span.name
+            yield path, span
+            for child in list(span.children):
+                yield from walk(child, path)
+        yield from walk(self.root, "")
+
+    def total(self, name: str) -> float:
+        """Summed seconds of every span named exactly *name*."""
+        return sum(s.seconds for _, s in self.iter_spans() if s.name == name)
+
+    def total_prefix(self, prefix: str) -> float:
+        """Summed seconds of every span whose name starts with *prefix*."""
+        return sum(
+            s.seconds for _, s in self.iter_spans() if s.name.startswith(prefix)
+        )
+
+    def find(self, name: str) -> list[Span]:
+        """All spans named *name*, depth-first order."""
+        return [s for _, s in self.iter_spans() if s.name == name]
+
+    def to_dict(self) -> dict:
+        return self.root.to_dict()
+
+
+class _Bind:
+    __slots__ = ("_tracer", "_parent", "_saved")
+
+    def __init__(self, tracer: Tracer, parent: Span) -> None:
+        self._tracer = tracer
+        self._parent = parent
+
+    def __enter__(self):
+        self._saved = getattr(self._tracer._local, "stack", None)
+        self._tracer._local.stack = [self._parent]
+        return self._parent
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if self._saved is None:
+            del self._tracer._local.stack
+        else:
+            self._tracer._local.stack = self._saved
+        return False
+
+
+class _NullHandle:
+    """Times the interval (call sites read ``.seconds``) but records
+    nothing — the ambient no-tracer behavior."""
+
+    __slots__ = ("seconds", "_t0")
+    span = None
+
+    def __enter__(self) -> "_NullHandle":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.seconds = time.perf_counter() - self._t0
+        return False
+
+
+class NullTracer:
+    """Drop-in tracer that keeps call sites timed but unrecorded."""
+
+    def span(self, name: str, **attrs) -> _NullHandle:
+        return _NullHandle()
+
+    def lap(self, name: str, **attrs) -> _NullHandle:
+        return _NullHandle()
+
+    def record(self, name: str, seconds: float, **attrs) -> None:
+        return None
+
+    def bind(self, parent):
+        return _NullBind()
+
+    def total(self, name: str) -> float:
+        return 0.0
+
+    def total_prefix(self, prefix: str) -> float:
+        return 0.0
+
+
+class _NullBind:
+    __slots__ = ()
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+NULL_TRACER = NullTracer()

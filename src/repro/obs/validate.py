@@ -1,0 +1,51 @@
+"""Trace-file schema validator (stdlib-only), usable from CI:
+
+    python -m repro.obs.validate trace.jsonl [more.jsonl ...]
+
+Exits 0 when every file is schema-valid JSONL (printing a one-line
+summary per file), 1 otherwise (printing each schema error).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+from repro.obs.events import validate_trace_file
+
+__all__ = ["main"]
+
+
+def main(argv=None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    if not args:
+        print("usage: python -m repro.obs.validate TRACE.jsonl ...",
+              file=sys.stderr)
+        return 2
+    status = 0
+    for path in args:
+        try:
+            errors = validate_trace_file(path)
+        except OSError as exc:
+            print(f"{path}: unreadable ({exc})", file=sys.stderr)
+            status = 1
+            continue
+        if errors:
+            for err in errors:
+                print(f"{path}: {err}", file=sys.stderr)
+            status = 1
+        else:
+            n_lines = len([
+                ln for ln in Path(path).read_text().splitlines() if ln.strip()
+            ])
+            n_spans = sum(
+                1 for ln in Path(path).read_text().splitlines()
+                if ln.strip() and json.loads(ln).get("event") == "span"
+            )
+            print(f"{path}: schema-valid ({n_lines} lines, {n_spans} spans)")
+    return status
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -89,6 +89,11 @@ def _calloc(proc, args, extra):
     return addr
 
 
+@_b("realloc", VOIDP, (VOIDP, ULONG))
+def _realloc(proc, args, extra):
+    return proc.typed_realloc(int(args[0]), int(args[1]), extra)
+
+
 @_b("free", VOID, (VOIDP,))
 def _free(proc, args, extra):
     proc.typed_free(int(args[0]))

@@ -181,6 +181,41 @@ class Process:
         self.msrlt.unregister(addr)
         self.memory.heap_free(addr)
 
+    def typed_realloc(self, addr: int, nbytes: int, type_id: Optional[int]) -> int:
+        """``realloc`` with the pre-compiler's element-type annotation.
+
+        C semantics: ``realloc(NULL, n)`` is ``malloc(n)``;
+        ``realloc(p, 0)`` frees and returns NULL.  When the padded
+        capacity of the existing allocation already covers *nbytes* the
+        block is resized in place (same address, re-registered in the
+        MSRLT with the new element count); otherwise the contents move
+        to a fresh allocation and the old one is freed — which may hand
+        the *same* address back through the allocator's free list, the
+        scenario the MSRLT's last-hit cache must survive.
+        """
+        if addr == 0:
+            return self.typed_malloc(nbytes, type_id)
+        if nbytes <= 0:
+            self.typed_free(addr)
+            return 0
+        old_size = self.memory.heap_size_of(addr)
+        elem: CType = UCHAR if type_id is None else self.program.type_by_id(type_id)
+        esize = self.layout.sizeof(elem)
+        if nbytes % esize != 0:
+            elem, esize = UCHAR, 1
+        if nbytes <= old_size:
+            # in place: the padded capacity is retained, only the MSR
+            # block's shape (element count) follows the new size
+            self.msrlt.unregister(addr)
+            self.msrlt.register_heap(addr, elem, nbytes // esize)
+            return addr
+        new_addr = self.typed_malloc(nbytes, type_id)
+        self.memory.write_bytes(
+            new_addr, self.memory.read_bytes(addr, min(old_size, nbytes))
+        )
+        self.typed_free(addr)
+        return new_addr
+
     def restore_heap_block(self, elem: CType, count: int, serial: int) -> MemoryBlock:
         """Allocate + register a heap block during restoration, keeping the
         source host's serial so logical ids stay stable across re-migration."""

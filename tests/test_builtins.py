@@ -108,6 +108,84 @@ class TestMemory:
         )
         assert out == "1 2 1"
 
+    # -- realloc (regression: the pre-compiler annotated realloc as part
+    # -- of the malloc family, but no builtin existed — any realloc call
+    # -- failed to compile) -------------------------------------------------
+
+    def test_realloc_grow_preserves_contents(self):
+        src = """
+        int main() {
+            int i; int *a = (int *) malloc(4 * sizeof(int));
+            for (i = 0; i < 4; i++) a[i] = i + 1;
+            a = (int *) realloc(a, 16 * sizeof(int));
+            for (i = 4; i < 16; i++) a[i] = i + 1;
+            { int s = 0; for (i = 0; i < 16; i++) s += a[i];
+              printf("%d", s); }
+            free(a);
+            return 0;
+        }
+        """
+        assert run_c(src)[1] == "136"
+
+    def test_realloc_null_is_malloc(self):
+        out = run_main(
+            "double *p = (double *) realloc(0, 2 * sizeof(double));"
+            'p[1] = 2.5; printf("%g", p[1]); free(p);'
+        )
+        assert out == "2.5"
+
+    def test_realloc_zero_frees(self):
+        out = run_main(
+            "int *p = (int *) malloc(4 * sizeof(int));"
+            "p = (int *) realloc(p, 0);"
+            'printf("%d", p == 0);'
+        )
+        assert out == "1"
+
+    def test_realloc_shrink_in_place_keeps_address(self):
+        out = run_main(
+            "int *p = (int *) malloc(8 * sizeof(int)); int *q;"
+            "p[0] = 9; q = (int *) realloc(p, 2 * sizeof(int));"
+            'printf("%d %d", p == q, q[0]); free(q);'
+        )
+        assert out == "1 9"
+
+    def test_reallocated_block_migrates(self):
+        """The realloc'd heap block's MSRLT shape (element count) must be
+        the one collection sees — migrate after a grow-and-refill."""
+        src = """
+        double *data;
+        int n;
+        int main() {
+            int i;
+            n = 3;
+            data = (double *) malloc(n * sizeof(double));
+            for (i = 0; i < n; i++) data[i] = i + 0.5;
+            data = (double *) realloc(data, 9 * sizeof(double));
+            for (i = n; i < 9; i++) data[i] = i + 0.5;
+            n = 9;
+            migrate_here();
+            { double s = 0.0; for (i = 0; i < n; i++) s += data[i];
+              printf("%g", s); }
+            return 0;
+        }
+        """
+        from repro.arch import DEC5000, SPARC20
+        from repro.migration.engine import MigrationEngine
+        from repro.vm.process import Process
+        from repro.vm.program import compile_program
+
+        prog = compile_program(src, poll_strategy="user")
+        base = Process(prog, DEC5000)
+        base.run_to_completion()
+        proc = Process(prog, DEC5000)
+        proc.start()
+        proc.migration_pending = True
+        assert proc.run().status == "poll"
+        dest, _ = MigrationEngine().migrate(proc, SPARC20)
+        dest.run()
+        assert dest.stdout == base.stdout == "40.5"
+
 
 class TestMath:
     def test_sqrt_pow_exp_log(self):

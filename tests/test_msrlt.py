@@ -188,6 +188,36 @@ class TestLastHitCache:
         with pytest.raises(MSRLTError):
             msrlt.lookup_addr(0x7000)
 
+    def test_realloc_in_place_reshapes_block(self, msrlt):
+        """realloc's in-place path: unregister + re-register at the SAME
+        address with a new element count; a warmed cache must resolve the
+        new block, not replay the old shape."""
+        msrlt.register_heap(0x3000, INT, 8)
+        msrlt.lookup_addr(0x3010)  # cache := the 8-int block, interior hit
+        msrlt.unregister(0x3000)
+        grown = msrlt.register_heap(0x3000, INT, 2)
+        blk, off = msrlt.lookup_addr(0x3004)
+        assert blk is grown and off == 4 and blk.count == 2
+        # the shrunk block no longer covers the once-cached interior addr
+        with pytest.raises(MSRLTError):
+            msrlt.lookup_addr(0x3010)
+
+    def test_insert_over_cached_interval_evicts_cache(self, msrlt):
+        """Defensive eviction in _insert: even with the cache artificially
+        holding a block over the new registration's interval, the fresh
+        block wins the next lookup."""
+        old = msrlt.register_heap(0x4000, INT, 4)
+        msrlt.lookup_addr(0x4008)
+        assert msrlt._last_hit is old
+        # simulate a stale cache surviving an out-of-band removal
+        msrlt._blocks.remove(old)
+        msrlt._starts.remove(old.addr)
+        del msrlt._by_logical[old.logical]
+        fresh = msrlt.register_heap(0x4000, DOUBLE, 2)
+        assert msrlt._last_hit is None
+        blk, off = msrlt.lookup_addr(0x4008)
+        assert blk is fresh and off == 8
+
     def test_logical_lookup_accepts_lists(self, msrlt):
         b = msrlt.register_heap(0x2000, INT, 1)
         assert msrlt.lookup_logical(list(b.logical)) is b

@@ -1,0 +1,614 @@
+"""Tests for the observability layer (spans, metrics, event log) and the
+stats/cache bugfix sweep it landed with.
+
+Covers: span nesting (including under the threaded socket feeder),
+metrics snapshot determinism under retries, JSONL trace schema
+round-trip, and regressions for the overlap-ratio codec fold, the
+unconditional Degraded surfacing, and aborted-attempt codec accounting.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.arch import DEC5000, SPARC20
+from repro.migration import Cluster, ETHERNET_100M, Scheduler
+from repro.migration.engine import MigrationEngine, RetryPolicy
+from repro.migration.policies import LoadBalancer
+from repro.migration.stats import MigrationStats
+from repro.migration.transport import (
+    Channel,
+    Fault,
+    FaultPlan,
+    FaultyChannel,
+    LOOPBACK,
+    SocketChannel,
+)
+from repro.obs import (
+    MigrationObservation,
+    TRACE_SCHEMA_VERSION,
+    validate_trace_file,
+    validate_trace_lines,
+    validate_trace_obj,
+)
+from repro.obs.events import EventLog
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import NULL_TRACER, Tracer
+from repro.vm.process import Process
+from repro.vm.program import compile_program
+from repro.workloads import bitonic_source, linpack_source, structgrid_source
+from repro.workloads import test_pointer_source as pointer_source
+
+# same shape as the fault-suite program: a pointer ring plus a large,
+# highly compressible double table (so compressed streams have real
+# codec work to account for)
+PROGRAM = """
+struct node { double w; struct node *next; };
+struct node *ring;
+double table[300];
+int main() {
+    int i;
+    for (i = 0; i < 40; i++) {
+        struct node *e = (struct node *) malloc(sizeof(struct node));
+        e->w = i * 0.5; e->next = ring; ring = e;
+    }
+    for (i = 0; i < 300; i++) table[i] = i * 1.25;
+    migrate_here();
+    { struct node *p; double s = 0.0;
+      for (p = ring; p != NULL; p = p->next) s += p->w;
+      for (i = 0; i < 300; i++) s += table[i];
+      printf("%d", (int) s); }
+    return 0;
+}
+"""
+
+NO_SLEEP = dict(sleep=lambda _s: None)
+
+
+@pytest.fixture(scope="module")
+def prog():
+    return compile_program(PROGRAM, poll_strategy="user")
+
+
+@pytest.fixture(scope="module")
+def expected(prog):
+    p = Process(prog, DEC5000)
+    p.run_to_completion()
+    return p.stdout
+
+
+def stopped(prog, arch=DEC5000):
+    proc = Process(prog, arch)
+    proc.start()
+    proc.migration_pending = True
+    assert proc.run().status == "poll"
+    return proc
+
+
+def subtree(span):
+    """All spans under (and including) *span*, depth-first."""
+    out = [span]
+    for child in span.children:
+        out.extend(subtree(child))
+    return out
+
+
+# -- span tree ----------------------------------------------------------------
+
+
+class TestTracer:
+    def test_spans_nest(self):
+        tr = Tracer()
+        with tr.span("outer"):
+            with tr.span("inner", k=1):
+                pass
+        outer = tr.root.children[0]
+        assert outer.name == "outer"
+        assert [c.name for c in outer.children] == ["inner"]
+        assert outer.children[0].attrs == {"k": 1}
+        assert outer.seconds >= outer.children[0].seconds >= 0.0
+
+    def test_lap_accumulates_one_span(self):
+        tr = Tracer()
+        for _ in range(5):
+            with tr.lap("codec.deflate"):
+                pass
+        spans = tr.find("codec.deflate")
+        assert len(spans) == 1
+        assert spans[0].count == 5
+
+    def test_lap_keyed_by_parent(self):
+        tr = Tracer()
+        for _ in range(2):
+            with tr.span("attempt"):
+                with tr.lap("codec.deflate"):
+                    pass
+        # one accumulating span per attempt, not one global one
+        assert len(tr.find("codec.deflate")) == 2
+
+    def test_record_uses_supplied_duration(self):
+        tr = Tracer()
+        tr.record("tx", 0.25, modeled=True)
+        (tx,) = tr.find("tx")
+        assert tx.seconds == 0.25 and tx.count == 1
+        assert tx.attrs == {"modeled": True}
+
+    def test_total_and_prefix(self):
+        tr = Tracer()
+        tr.record("codec.deflate", 0.5)
+        tr.record("codec.inflate", 0.25)
+        tr.record("collect", 1.0)
+        assert tr.total("collect") == 1.0
+        assert tr.total_prefix("codec.") == 0.75
+
+    def test_iter_spans_paths(self):
+        tr = Tracer()
+        with tr.span("attempt"):
+            with tr.span("collect"):
+                pass
+        paths = [p for p, _ in tr.iter_spans()]
+        assert paths == ["migration", "migration/attempt",
+                         "migration/attempt/collect"]
+
+    def test_bind_roots_worker_thread_under_parent(self):
+        tr = Tracer()
+        with tr.span("attempt") as handle:
+            parent = handle.span
+
+            def work():
+                with tr.bind(parent):
+                    with tr.span("collect"):
+                        pass
+
+            t = threading.Thread(target=work, name="worker-1")
+            t.start()
+            t.join()
+        (collect,) = tr.find("collect")
+        assert collect.thread == "worker-1"
+        assert collect in parent.children
+
+    def test_finish_closes_root_once(self):
+        tr = Tracer()
+        root = tr.finish()
+        end = root.end_s
+        assert end is not None and root.seconds == end
+        tr.finish()
+        assert root.end_s == end  # idempotent
+
+    def test_null_tracer_handles_still_time(self):
+        with NULL_TRACER.lap("codec.deflate") as timed:
+            sum(range(1000))
+        assert timed.seconds >= 0.0
+        assert NULL_TRACER.record("tx", 1.0) is None
+        assert NULL_TRACER.total_prefix("codec.") == 0.0
+
+
+# -- metrics ------------------------------------------------------------------
+
+
+class TestMetricsRegistry:
+    def test_counters(self):
+        m = MetricsRegistry()
+        m.inc("a")
+        m.inc("a", 4)
+        assert m.counter("a") == 5
+        assert m.counter("never") == 0
+
+    def test_snapshot_is_sorted_and_detached(self):
+        m = MetricsRegistry()
+        m.inc("z")
+        m.inc("a")
+        m.set_gauge("g", 0.5)
+        snap = m.snapshot()
+        assert list(snap["counters"]) == ["a", "z"]
+        snap["counters"]["a"] = 99
+        assert m.counter("a") == 1
+
+    def test_histograms(self):
+        m = MetricsRegistry()
+        for v in (2.0, 1.0, 4.0):
+            m.observe("h", v)
+        h = m.snapshot()["histograms"]["h"]
+        assert h == {"count": 3, "total": 7.0, "min": 1.0, "max": 4.0}
+
+    def test_merge_adds_counters_and_merges_histograms(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.inc("n", 2)
+        a.observe("h", 1.0)
+        b.inc("n", 3)
+        b.inc("only_b")
+        b.observe("h", 9.0)
+        a.merge(b.snapshot())
+        assert a.counter("n") == 5 and a.counter("only_b") == 1
+        h = a.snapshot()["histograms"]["h"]
+        assert h["count"] == 2 and h["min"] == 1.0 and h["max"] == 9.0
+
+    def test_iter_flat_expands_histograms(self):
+        m = MetricsRegistry()
+        m.inc("c", 7)
+        m.observe("h", 2.0)
+        flat = dict(m.iter_flat())
+        assert flat["c"] == 7
+        assert flat["h.count"] == 1 and flat["h.total"] == 2.0
+        assert list(flat) == sorted(flat)
+
+
+# -- event log + trace schema -------------------------------------------------
+
+
+class TestEventLogAndSchema:
+    def test_emit_stamps_relative_monotonic_ts(self):
+        log = EventLog()
+        e1 = log.emit("attempt_begin", attempt=1, streaming=False)
+        e2 = log.emit("attempt_begin", attempt=2, streaming=False)
+        assert 0.0 <= e1["ts"] <= e2["ts"]
+        assert [e["attempt"] for e in log.of_type("attempt_begin")] == [1, 2]
+
+    def test_unknown_event_type_rejected(self):
+        errs = validate_trace_obj({"event": "chnuk", "ts": 0.0})
+        assert any("unknown event" in e for e in errs)
+
+    def test_missing_field_rejected(self):
+        errs = validate_trace_obj({"event": "chunk", "ts": 0.0, "seq": 1})
+        assert any("collect_busy_s" in e for e in errs)
+
+    def test_bool_is_not_a_number(self):
+        errs = validate_trace_obj(
+            {"event": "chunk", "ts": 0.0, "seq": 1, "collect_busy_s": True}
+        )
+        assert any("wrong type" in e for e in errs)
+
+    def test_negative_ts_rejected(self):
+        errs = validate_trace_obj(
+            {"event": "fault", "ts": -0.5, "kind": "drop", "index": 2}
+        )
+        assert any("'ts'" in e for e in errs)
+
+    def test_document_must_open_with_header(self):
+        doc = json.dumps({"event": "degraded", "ts": 0.0,
+                          "after_failed_attempts": 2})
+        assert any("trace_header" in e for e in validate_trace_lines(doc))
+
+    def test_schema_version_checked(self):
+        doc = json.dumps({"event": "trace_header", "ts": 0.0,
+                          "schema": 999, "tool": "repro"})
+        assert any("schema" in e for e in validate_trace_lines(doc))
+
+    def test_garbage_lines_and_empty_docs_reported(self):
+        assert validate_trace_lines("") == ["trace is empty"]
+        assert any("not valid JSON" in e for e in validate_trace_lines("{nope"))
+
+
+# -- bugfix regressions -------------------------------------------------------
+
+
+class TestOverlapRatioCodecFold:
+    """finish_pipeline must fold codec time into the serial baseline
+    (pre-fix it compared pipeline_time against Collect+Tx+Restore only,
+    overstating the overlap of every compressed stream)."""
+
+    def test_codec_time_dampens_overlap_ratio(self):
+        s = MigrationStats(collect_time=1.0, tx_time=4.0, restore_time=1.0,
+                           n_chunks=10, codec_time=2.0, streamed=True)
+        s.finish_pipeline()
+        assert s.pipeline_time == pytest.approx(4.2)
+        # 1 - (4.2 + 2) / (6 + 2); the pre-fix value was 1 - 4.2/6 = 0.3
+        assert s.overlap_ratio == pytest.approx(0.225)
+
+    def test_without_codec_unchanged(self):
+        s = MigrationStats(collect_time=1.0, tx_time=4.0, restore_time=1.0,
+                           n_chunks=10, streamed=True)
+        s.finish_pipeline()
+        assert s.overlap_ratio == pytest.approx(0.3)
+
+    def test_clamped_to_unit_interval(self):
+        degenerate = MigrationStats(n_chunks=10)
+        degenerate.finish_pipeline()
+        assert degenerate.overlap_ratio == 0.0
+        single = MigrationStats(collect_time=1.0, tx_time=1.0,
+                                restore_time=1.0, n_chunks=1, codec_time=0.5)
+        single.finish_pipeline()  # nothing to overlap
+        assert 0.0 <= single.overlap_ratio < 1.0
+
+
+class TestDegradedSurfacing:
+    """row()/__str__ must report degradation unconditionally, not only
+    when retries > 0 (a degraded migration whose monolithic fallback
+    succeeded first try used to vanish from both reports)."""
+
+    def test_row_reports_degraded_without_retries(self):
+        s = MigrationStats(degraded=True)
+        assert s.retries == 0
+        assert s.row()["Degraded"] is True
+
+    def test_str_reports_degraded_without_retries(self):
+        s = MigrationStats(degraded=True)
+        assert "degraded to monolithic" in str(s)
+
+    def test_row_reports_degraded_with_retries_too(self):
+        s = MigrationStats(degraded=True, retries=2, attempts=3)
+        assert s.row()["Degraded"] is True
+        assert "degraded to monolithic" in str(s)
+
+    def test_clean_migration_has_no_degraded_key(self):
+        assert "Degraded" not in MigrationStats().row()
+
+
+class TestCodecAccounting:
+    """An aborted-then-retried compressed stream must neither lose nor
+    double-count codec seconds."""
+
+    def test_channel_fold_is_invariant_across_reset(self):
+        ch = Channel(LOOPBACK)
+        ch.compress_stream = True
+        for _ in range(3):
+            ch.send_chunk(b"x" * 400)
+        assert ch.recv_chunk() == b"x" * 400  # decoder now holds inflate time
+        mid_stream_total = ch.total_codec_seconds
+        assert mid_stream_total > ch.codec_seconds  # unfolded share exists
+        ch.reset()  # abort: folds the dying decoder exactly once
+        assert ch.total_codec_seconds == mid_stream_total
+
+    def test_completed_stream_does_not_double_fold(self):
+        ch = Channel(LOOPBACK)
+        ch.compress_stream = True
+        for _ in range(2):
+            ch.send_chunk(b"y" * 400)
+        ch.end_stream()
+        assert list(ch.iter_chunks()) == [b"y" * 400] * 2
+        total = ch.total_codec_seconds
+        assert total == ch.codec_seconds > 0.0  # end-of-stream already folded
+        ch.reset()  # must fold a fresh zero, not this stream again
+        assert ch.total_codec_seconds == total
+
+    def test_aborted_attempt_codec_time_is_not_lost(self, prog, expected):
+        proc = stopped(prog)
+        channel = FaultyChannel(Channel(LOOPBACK),
+                                FaultPlan([Fault("drop", 2)]))
+        dest, stats = MigrationEngine().migrate(
+            proc, SPARC20, channel=channel, streaming=True, chunk_size=512,
+            compress=True, retry=RetryPolicy(max_attempts=3, **NO_SLEEP),
+        )
+        assert stats.retries >= 1
+        # the aborted first attempt really did codec work...
+        attempts = stats.obs.tracer.find("attempt")
+        assert len(attempts) >= 2
+        first_attempt_codec = sum(
+            s.seconds for s in subtree(attempts[0])
+            if s.name.startswith("codec.")
+        )
+        assert first_attempt_codec > 0.0
+        # ...and the reported total covers every attempt, matching the
+        # channel's own fold-order-invariant ledger
+        assert stats.codec_time == pytest.approx(
+            channel.total_codec_seconds, rel=1e-9)
+        assert stats.codec_time > first_attempt_codec
+        dest.run()
+        assert dest.stdout == expected
+
+
+# -- spans / metrics / events on real migrations ------------------------------
+
+
+class TestMigrationObservability:
+    def test_collect_spans_ride_the_producer_thread(self, prog, expected):
+        """The socket pipeline's collection runs on the producer thread;
+        its spans must still land nested under the attempt span."""
+        proc = stopped(prog)
+        dest, stats = MigrationEngine().migrate(
+            proc, SPARC20, channel=SocketChannel(link=LOOPBACK),
+            streaming=True, chunk_size=512,
+        )
+        tr = stats.obs.tracer
+        collects = tr.find("collect")
+        assert collects
+        assert all(c.thread == "migration-collector" for c in collects)
+        for path, span in tr.iter_spans():
+            if span.name == "collect":
+                assert "/attempt" in path
+        pipelines = tr.find("pipeline")
+        assert pipelines
+        assert all(p.thread == threading.main_thread().name
+                   for p in pipelines)
+        assert 0.0 <= stats.pipeline_occupancy <= 1.0
+        dest.run()
+        assert dest.stdout == expected
+
+    def test_metrics_snapshot_deterministic_under_retries(self, prog):
+        """Counters hold counts/bytes only — two migrations driven by the
+        same fault plan over the same payload snapshot identically."""
+
+        def run_once():
+            proc = stopped(prog)
+            channel = FaultyChannel(Channel(LOOPBACK),
+                                    FaultPlan([Fault("drop", 2)]))
+            _, stats = MigrationEngine().migrate(
+                proc, SPARC20, channel=channel, streaming=True,
+                chunk_size=512, compress=True,
+                retry=RetryPolicy(max_attempts=3, **NO_SLEEP),
+            )
+            return stats.obs.metrics.snapshot()
+
+        first, second = run_once(), run_once()
+        assert first["counters"] == second["counters"]
+        c = first["counters"]
+        assert c["engine.attempts"] == 2 and c["engine.retries"] == 1
+        assert c["faults.injected"] == 1 and c["faults.drop"] == 1
+        assert c["engine.aborted_bytes"] > 0
+        assert c["wire.chunks_sent"] > c["wire.chunks_received"] > 0
+        assert c["codec.bytes_saved"] > 0
+        assert c["msrlt.searches"] > 0 and c["msrlt.registrations"] > 0
+
+    def test_events_tell_the_retry_story(self, prog):
+        proc = stopped(prog)
+        channel = FaultyChannel(Channel(LOOPBACK),
+                                FaultPlan([Fault("drop", 2)]))
+        _, stats = MigrationEngine().migrate(
+            proc, SPARC20, channel=channel, streaming=True, chunk_size=512,
+            retry=RetryPolicy(max_attempts=3, **NO_SLEEP),
+        )
+        events = stats.obs.events
+        assert len(events.of_type("migration_begin")) == 1
+        assert [e["attempt"] for e in events.of_type("attempt_begin")] == [1, 2]
+        assert len(events.of_type("attempt_fail")) == 1
+        assert events.of_type("fault")[0]["kind"] == "drop"
+        assert len(events.of_type("backoff")) == 1
+        chunks = events.of_type("chunk")
+        assert [c["seq"] for c in chunks[-stats.n_chunks:]] == list(
+            range(stats.n_chunks))
+        (end,) = events.of_type("migration_end")
+        assert end["attempts"] == 2
+
+    def test_trace_jsonl_round_trips(self, prog, tmp_path):
+        proc = stopped(prog)
+        _, stats = MigrationEngine().migrate(
+            proc, SPARC20, streaming=True, chunk_size=512, compress=True)
+        text = stats.obs.to_jsonl()
+        assert validate_trace_lines(text) == []
+        lines = [json.loads(ln) for ln in text.splitlines()]
+        header = lines[0]
+        assert header["event"] == "trace_header"
+        assert header["schema"] == TRACE_SCHEMA_VERSION
+        kinds = {ln["event"] for ln in lines}
+        assert {"migration_begin", "attempt_begin", "pipeline",
+                "migration_end", "span", "metrics"} <= kinds
+        span_paths = {ln["path"] for ln in lines if ln["event"] == "span"}
+        assert "migration" in span_paths
+        assert any(p.endswith("/collect") for p in span_paths)
+        # file export validates identically
+        out = tmp_path / "trace.jsonl"
+        stats.obs.write_trace(out)
+        assert validate_trace_file(out) == []
+
+    def test_stats_without_observation_are_inert(self):
+        s = MigrationStats(collect_time=1.0)
+        assert s.obs is None and s.span_totals() == {}
+
+
+# -- span sums reconcile with MigrationStats across the paper's matrix --------
+
+WORKLOADS = {
+    "linpack": lambda: linpack_source(n=24),
+    "bitonic": lambda: bitonic_source(n=48, seed=3),
+    "test_pointer": lambda: pointer_source(),
+    "structgrid": lambda: structgrid_source(n_cells=24, n_probes=6, seed=3),
+}
+
+_workload_progs = {}
+
+
+def workload_prog(name):
+    if name not in _workload_progs:
+        _workload_progs[name] = compile_program(
+            WORKLOADS[name](), poll_strategy="user")
+    return _workload_progs[name]
+
+
+@pytest.mark.parametrize("src,dst", [(DEC5000, SPARC20), (SPARC20, DEC5000)],
+                         ids=["dec-to-sparc", "sparc-to-dec"])
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+class TestSpanReconciliation:
+    """MigrationStats is a read-out of the span tree: per-phase span
+    totals must reconcile with the reported timings (within 1%) for the
+    paper's workloads in both architecture directions."""
+
+    def test_span_sums_match_stats(self, name, src, dst):
+        prog = workload_prog(name)
+        proc = stopped(prog, src)
+        streaming = name in ("linpack", "structgrid")
+        dest, stats = MigrationEngine().migrate(
+            proc, dst, streaming=streaming, chunk_size=1024,
+            compress=(name == "bitonic"),
+        )
+        totals = stats.span_totals()
+        phase_sum = totals["collect"] + totals["tx"] + totals["restore"]
+        assert phase_sum == pytest.approx(stats.migration_time, rel=0.01)
+        assert totals["codec"] == pytest.approx(
+            stats.codec_time, rel=1e-9, abs=1e-12)
+        base = Process(prog, src)
+        base.run_to_completion()
+        dest.run()
+        assert dest.stdout == base.stdout
+
+
+# -- cluster-level aggregation ------------------------------------------------
+
+
+class TestClusterAggregation:
+    def test_scheduler_rolls_up_metrics(self, prog, expected):
+        cluster = Cluster()
+        a = cluster.add_host("a", DEC5000)
+        b = cluster.add_host("b", SPARC20)
+        cluster.connect(a, b, ETHERNET_100M)
+        sched = Scheduler(cluster)
+        proc = sched.spawn(prog, a)
+        sched.request_migration(proc, b)
+        result = sched.run(proc)
+        assert result.stdout == expected
+        assert result.metrics is sched.metrics
+        assert result.metrics.counter("scheduler.migrations") == 1
+        assert result.metrics.counter("engine.attempts") == 1
+        assert result.metrics.counter("engine.payload_bytes") > 0
+
+    def test_balancer_rolls_up_metrics(self):
+        worker = compile_program(
+            """
+            int main() {
+                int i; long acc = 0;
+                for (i = 0; i < 400; i++) { migrate_here(); acc = acc * 3 + i; }
+                printf("%d", (int) acc);
+                return 0;
+            }
+            """,
+            poll_strategy="user",
+        )
+        cluster = Cluster()
+        hot = cluster.add_host("hot", DEC5000)
+        cold = cluster.add_host("cold", SPARC20)
+        cluster.connect(hot, cold, ETHERNET_100M)
+        balancer = LoadBalancer(cluster, quantum=2000)
+        for i in range(4):
+            balancer.submit(worker, hot, name=f"w{i}")
+        result = balancer.run()
+        assert len(result.finished) == 4
+        assert result.migrations
+        assert result.metrics is balancer.metrics
+        assert (result.metrics.counter("balancer.migrations")
+                == len(result.migrations))
+        assert (result.metrics.counter("engine.attempts")
+                >= len(result.migrations))
+
+
+# -- CLI ----------------------------------------------------------------------
+
+
+class TestCli:
+    def test_migrate_trace_and_metrics_flags(self, tmp_path, capsys):
+        from repro.cli import main
+
+        src_file = tmp_path / "prog.c"
+        src_file.write_text(PROGRAM)
+        trace = tmp_path / "trace.jsonl"
+        rc = main(["migrate", str(src_file), "--stream", "--compress",
+                   "--trace", str(trace), "--metrics"])
+        assert rc == 0
+        assert validate_trace_file(trace) == []
+        err = capsys.readouterr().err
+        assert f"[trace written to {trace}]" in err
+        assert "[metric] engine.attempts = 1" in err
+
+    def test_validator_cli(self, tmp_path, capsys):
+        from repro.obs.validate import main as validate_main
+
+        proc = stopped(compile_program(PROGRAM, poll_strategy="user"))
+        _, stats = MigrationEngine().migrate(proc, SPARC20)
+        good = tmp_path / "good.jsonl"
+        stats.obs.write_trace(good)
+        assert validate_main([str(good)]) == 0
+        assert "schema-valid" in capsys.readouterr().out
+
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"event": "mystery", "ts": 0.0}\n')
+        assert validate_main([str(bad)]) == 1
+        assert validate_main([]) == 2
