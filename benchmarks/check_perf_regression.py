@@ -1,0 +1,141 @@
+"""CI perf-regression gate: compare a fresh bench run against the
+committed baseline.
+
+    python benchmarks/check_perf_regression.py BENCH_SMOKE.json \
+        --baseline BENCH_PR3.json [--threshold 0.20] [--floor-ms 5]
+
+Compares the ``codec`` section row-by-row (keyed on workload + size):
+a row regresses when its measured collect+restore time exceeds the
+baseline by more than ``--threshold`` (relative) AND ``--floor-ms``
+(absolute — sub-floor deltas on millisecond-scale smoke rows are timer
+noise, not regressions).  Sections or rows present on only one side are
+reported and skipped, never failed: the gate judges comparable work
+only.  Exits 1 when any comparable row regresses, else 0.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def _load(path: str) -> dict:
+    try:
+        data = json.loads(Path(path).read_text())
+    except OSError as exc:
+        raise SystemExit(f"{path}: cannot read bench file ({exc})")
+    except json.JSONDecodeError as exc:
+        raise SystemExit(f"{path}: not valid JSON ({exc})")
+    if not isinstance(data, dict):
+        raise SystemExit(f"{path}: bench file is not a JSON object")
+    return data
+
+
+def _size_key(size) -> str:
+    return json.dumps(size)  # sizes are ints or [rows, cols] lists
+
+
+def _codec_rows(data: dict) -> dict[tuple, dict]:
+    section = data.get("codec")
+    if not isinstance(section, dict):
+        return {}
+    out = {}
+    for row in section.get("rows", []):
+        if isinstance(row, dict) and "workload" in row:
+            out[(row["workload"], _size_key(row.get("size")))] = row
+    return out
+
+
+def _total_s(row: dict) -> float | None:
+    collect = row.get("collect_codec_s")
+    restore = row.get("restore_codec_s")
+    if not isinstance(collect, (int, float)) or not isinstance(
+        restore, (int, float)
+    ):
+        return None
+    return float(collect) + float(restore)
+
+
+def check(candidate: dict, baseline: dict, threshold: float,
+          floor_s: float) -> tuple[list[str], list[str]]:
+    """Returns (failures, notes)."""
+    failures: list[str] = []
+    notes: list[str] = []
+    cand_rows = _codec_rows(candidate)
+    base_rows = _codec_rows(baseline)
+    if not base_rows:
+        notes.append("baseline has no codec section - nothing to gate")
+        return failures, notes
+    if not cand_rows:
+        failures.append(
+            "candidate has no codec section - did bench_codec run?"
+        )
+        return failures, notes
+
+    cand_mode = candidate.get("codec", {}).get("mode")
+    base_mode = baseline.get("codec", {}).get("mode")
+    if cand_mode != base_mode:
+        notes.append(
+            f"mode mismatch (candidate {cand_mode!r} vs baseline "
+            f"{base_mode!r}) - sizes differ, skipping the gate"
+        )
+        return failures, notes
+
+    for key in sorted(base_rows):
+        workload, size = key
+        cand = cand_rows.get(key)
+        if cand is None:
+            notes.append(f"{workload} {size}: missing from candidate, skipped")
+            continue
+        base_t, cand_t = _total_s(base_rows[key]), _total_s(cand)
+        if base_t is None or cand_t is None or base_t <= 0.0:
+            notes.append(f"{workload} {size}: not comparable, skipped")
+            continue
+        ratio = cand_t / base_t
+        delta = cand_t - base_t
+        line = (
+            f"{workload:10s} {size:>12s}  collect+restore "
+            f"{base_t * 1e3:8.2f} -> {cand_t * 1e3:8.2f} ms "
+            f"({ratio:5.2f}x)"
+        )
+        if ratio > 1.0 + threshold and delta > floor_s:
+            failures.append(
+                f"{line}  REGRESSION (> {threshold:.0%} and "
+                f"> {floor_s * 1e3:.0f} ms over baseline)"
+            )
+        else:
+            notes.append(f"{line}  ok")
+    return failures, notes
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("candidate", help="fresh bench JSON (BENCH_SMOKE.json)")
+    parser.add_argument("--baseline", default="BENCH_PR3.json",
+                        help="committed baseline bench JSON")
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="relative regression threshold (default 0.20)")
+    parser.add_argument("--floor-ms", type=float, default=5.0,
+                        help="absolute noise floor in ms (default 5)")
+    args = parser.parse_args(argv)
+
+    failures, notes = check(
+        _load(args.candidate), _load(args.baseline),
+        threshold=args.threshold, floor_s=args.floor_ms / 1e3,
+    )
+    for note in notes:
+        print(note)
+    for failure in failures:
+        print(failure, file=sys.stderr)
+    if failures:
+        print(f"{len(failures)} perf regression(s) vs {args.baseline}",
+              file=sys.stderr)
+        return 1
+    print(f"perf gate passed vs {args.baseline}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -12,6 +12,10 @@ Usage (after ``pip install -e .`` the ``repro`` entry point exists; or use
     repro checkpoint prog.c --arch dec5000 --after-polls 5 -o snap.ckpt
     repro restart prog.c snap.ckpt --arch alpha
     repro graph prog.c --after-polls 5
+    repro obs report trace.jsonl
+    repro obs top trace.jsonl --by type
+    repro obs diff baseline.jsonl current.jsonl
+    repro obs export trace.jsonl --prometheus
 """
 
 from __future__ import annotations
@@ -173,6 +177,11 @@ def cmd_migrate(args) -> int:
             sleep=lambda _s: None,  # don't wall-clock-wait in a CLI demo
         )
 
+    # the attribution table is part of what a trace is *for*, so --trace
+    # implies profiling unless it was explicitly configured
+    attribution = bool(getattr(args, "attribution", False) or
+                       getattr(args, "trace", None))
+
     try:
         dest, stats = engine.migrate(
             proc,
@@ -182,6 +191,7 @@ def cmd_migrate(args) -> int:
             chunk_size=args.chunk_size,
             compress=args.compress,
             retry=retry,
+            attribution=attribution,
         )
     except MigrationError as exc:
         print(f"[migration failed: {exc}]", file=sys.stderr)
@@ -204,12 +214,19 @@ def cmd_migrate(args) -> int:
     result = dest.run()
     sys.stdout.write(dest.stdout)
     print(f"[{stats}]", file=sys.stderr)
-    if getattr(args, "trace", None) and stats.obs is not None:
+    if getattr(args, "trace", None):
+        # failing loudly beats silently producing no file: a user who
+        # asked for a trace must never discover at analysis time that
+        # the migration ran unobserved
+        if stats.obs is None:
+            raise SystemExit(
+                f"--trace {args.trace}: this migration produced no "
+                f"observation (stats.obs is None), so there is no trace "
+                f"to write"
+            )
         stats.obs.write_trace(args.trace)
         print(f"[trace written to {args.trace}]", file=sys.stderr)
-    if getattr(args, "metrics", False) and stats.obs is not None:
-        for name, value in stats.obs.metrics.iter_flat():
-            print(f"[metric] {name} = {value}", file=sys.stderr)
+    _emit_metrics(args, stats)
     if args.stream:
         print(
             f"[response time {stats.response_time * 1e3:.2f} ms pipelined "
@@ -222,6 +239,62 @@ def cmd_migrate(args) -> int:
         file=sys.stderr,
     )
     return 0 if ok else 1
+
+
+def _emit_metrics(args, stats) -> None:
+    """Write the metrics snapshot where the flags ask: ``--metrics-out
+    PATH`` (``-`` = stdout), with ``--metrics`` kept as the alias that
+    writes ``[metric]``-prefixed lines to stderr."""
+    want_alias = getattr(args, "metrics", False)
+    out_path = getattr(args, "metrics_out", None)
+    if not want_alias and out_path is None:
+        return
+    if stats.obs is None:
+        raise SystemExit(
+            "--metrics/--metrics-out: this migration produced no "
+            "observation (stats.obs is None), so there are no metrics "
+            "to report"
+        )
+    flat = list(stats.obs.metrics.iter_flat())
+    if want_alias:
+        for name, value in flat:
+            print(f"[metric] {name} = {value}", file=sys.stderr)
+    if out_path is not None:
+        text = "".join(f"{name} = {value}\n" for name, value in flat)
+        if out_path == "-":
+            sys.stdout.write(text)
+        else:
+            Path(out_path).write_text(text)
+            print(f"[metrics written to {out_path}]", file=sys.stderr)
+
+
+def cmd_obs(args) -> int:
+    """`repro obs`: offline analysis of JSONL migration traces."""
+    from repro.obs.report import (
+        TraceReadError,
+        export_prometheus,
+        load_trace,
+        render_diff,
+        render_report,
+        render_top,
+    )
+
+    try:
+        if args.obs_command == "report":
+            print(render_report(load_trace(args.trace)))
+        elif args.obs_command == "top":
+            print(render_top(load_trace(args.trace), by=args.by, n=args.n))
+        elif args.obs_command == "diff":
+            print(render_diff(load_trace(args.a), load_trace(args.b)))
+        elif args.obs_command == "export":
+            # --prometheus is today's only format; the flag keeps the
+            # exposition opt-in explicit for when others arrive
+            sys.stdout.write(export_prometheus(load_trace(args.trace),
+                                               prefix=args.prefix))
+    except TraceReadError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
 
 
 def cmd_checkpoint(args) -> int:
@@ -334,6 +407,11 @@ def build_parser() -> argparse.ArgumentParser:
                         "+ metrics) to PATH")
     p.add_argument("--metrics", action="store_true",
                    help="print the migration's metrics snapshot to stderr")
+    p.add_argument("--metrics-out", default=None, metavar="PATH",
+                   help="write the metrics snapshot to PATH ('-' = stdout)")
+    p.add_argument("--attribution", action="store_true",
+                   help="profile per-type collect/restore cost attribution "
+                        "(implied by --trace)")
     p.add_argument("--fault", default=None, metavar="PLAN",
                    help="inject deterministic transport faults, e.g. "
                         "'bitflip@1:3,drop@2' or 'seed=42:count=2' "
@@ -357,6 +435,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--after-polls", type=int, default=1)
     p.add_argument("-v", "--verbose", action="store_true")
     p.set_defaults(fn=cmd_graph)
+
+    p = sub.add_parser("obs", help="analyze JSONL migration traces")
+    obs_sub = p.add_subparsers(dest="obs_command", required=True)
+
+    q = obs_sub.add_parser("report", help="per-phase + per-type breakdown")
+    q.add_argument("trace", help="JSONL trace file (repro migrate --trace)")
+    q.set_defaults(fn=cmd_obs)
+
+    q = obs_sub.add_parser("top", help="heaviest cost centers")
+    q.add_argument("trace")
+    q.add_argument("--by", default="type", choices=["type", "block", "phase"])
+    q.add_argument("-n", type=int, default=10, help="rows to show")
+    q.set_defaults(fn=cmd_obs)
+
+    q = obs_sub.add_parser("diff", help="regression deltas between two traces")
+    q.add_argument("a", help="baseline trace")
+    q.add_argument("b", help="candidate trace")
+    q.set_defaults(fn=cmd_obs)
+
+    q = obs_sub.add_parser("export", help="export the metrics snapshot")
+    q.add_argument("trace")
+    q.add_argument("--prometheus", action="store_true", required=True,
+                   help="Prometheus text exposition format")
+    q.add_argument("--prefix", default="repro",
+                   help="metric name prefix (default: repro)")
+    q.set_defaults(fn=cmd_obs)
 
     return parser
 

@@ -35,7 +35,7 @@ from typing import Callable, Iterable, Iterator, Optional
 from repro import obs
 from repro.arch.buffers import ReadBuffer, StreamReadBuffer, WriteBuffer
 from repro.migration.stats import MigrationStats
-from repro.obs import MigrationObservation
+from repro.obs import DEFAULT_EVENT_CAPACITY, MigrationObservation, propagate
 from repro.migration.transport import Channel, ChannelError, LOOPBACK, Link
 from repro.msr.collect import Collector
 from repro.msr.msrlt import BlockKind
@@ -46,6 +46,7 @@ from repro.msr.wire import (
     WireHeader,
     compress_payload,
     expand_payload,
+    peel_context_frame,
     read_header,
     write_header,
 )
@@ -364,6 +365,8 @@ class MigrationEngine:
         retry: Optional[RetryPolicy] = None,
         channel_factory: Optional[Callable[[], Channel]] = None,
         checkpoint_path=None,
+        attribution: bool = False,
+        event_capacity: int = DEFAULT_EVENT_CAPACITY,
     ) -> tuple[Process, MigrationStats]:
         """Migrate *process* (stopped at a poll-point) to *dest_arch*.
 
@@ -442,7 +445,9 @@ class MigrationEngine:
         use_streaming = streaming
         failed_streaming = 0
         scratch: Optional[Process] = None
-        obs_ = MigrationObservation()
+        obs_ = MigrationObservation(
+            attribution=attribution, event_capacity=event_capacity
+        )
         stats.obs = obs_
         # per-migration lookup-cost deltas (the tables' counters are
         # cumulative over the process/program lifetime)
@@ -478,13 +483,17 @@ class MigrationEngine:
                 )
                 try:
                     with obs_.tracer.span("attempt", n=attempt + 1):
+                        # the context names the attempt span as the remote
+                        # parent: the restore side joins *this* attempt
+                        ctx = propagate.outbound_context(attempt=attempt + 1)
                         if use_streaming:
                             self._migrate_streaming(
-                                process, scratch, ch, chunk_size, stats, compress
+                                process, scratch, ch, chunk_size, stats,
+                                compress, ctx,
                             )
                         else:
                             self._migrate_monolithic(
-                                process, scratch, ch, stats, compress
+                                process, scratch, ch, stats, compress, ctx
                             )
                 except RETRYABLE_ERRORS as exc:
                     stats.attempts = attempt + 1
@@ -598,6 +607,11 @@ class MigrationEngine:
             info_misses += table.n_info_misses - m0
         m.inc("ti.info_hits", info_hits)
         m.inc("ti.info_misses", info_misses)
+        if obs_.events.dropped:
+            m.inc("events.dropped", obs_.events.dropped)
+        # an aborted collection skips Collector.finish(); make sure no
+        # profiler reference outlives the migration it belonged to
+        process.msrlt.profiler = None
         obs_.tracer.finish()
 
     @staticmethod
@@ -622,7 +636,9 @@ class MigrationEngine:
 
     # -- the paper's serial discipline -------------------------------------
 
-    def _migrate_monolithic(self, process, dest, channel, stats, compress=False) -> None:
+    def _migrate_monolithic(
+        self, process, dest, channel, stats, compress=False, ctx=None
+    ) -> None:
         with obs.span("collect") as timed:
             payload, cinfo = collect_state(process)
         stats.collect_time = timed.seconds
@@ -636,9 +652,18 @@ class MigrationEngine:
             stats.compressed = True
             stats.compressed_bytes = len(wire_payload)
             stats.compression_ratio = len(payload) / len(wire_payload)
+        envelope_len = len(wire_payload)
+        if ctx is not None:
+            # the trace context rides ahead of the envelope, inside the
+            # end-to-end CRC (a bit-flipped context is transit damage too)
+            wire_payload = ctx.to_frame() + wire_payload
 
         crc = zlib.crc32(wire_payload)
         stats.tx_time = channel.send(wire_payload)
+        if ctx is not None:
+            # the modeled Tx charges the paper's envelope, not the trace
+            # plumbing riding ahead of it
+            stats.tx_time = channel.link.transfer_time(envelope_len)
         obs.record("tx", stats.tx_time, modeled=True)
         received = channel.recv()
         # the monolithic wire format carries no checksum (it predates the
@@ -651,15 +676,22 @@ class MigrationEngine:
                 f"{len(wire_payload)} bytes (crc {crc:#010x}), received "
                 f"{len(received)} bytes (crc {zlib.crc32(received):#010x})"
             )
+        ctx_body, received = peel_context_frame(received)
+        rctx = (
+            propagate.TraceContext.from_bytes(ctx_body)
+            if ctx_body is not None
+            else None
+        )
         if compress:
             with obs.lap("codec.inflate") as timed:
                 received = expand_payload(received)
             stats.codec_time += timed.seconds
 
-        with obs.span("restore") as timed:
-            rinfo = self._validated_restore(
-                process.program, ReadBuffer(received), dest
-            )
+        with propagate.restore_site(rctx):
+            with obs.span("restore") as timed:
+                rinfo = self._validated_restore(
+                    process.program, ReadBuffer(received), dest
+                )
         stats.restore_time = timed.seconds
         stats.restore = rinfo.stats
 
@@ -680,7 +712,7 @@ class MigrationEngine:
     # -- the overlapped discipline -----------------------------------------
 
     def _migrate_streaming(
-        self, process, dest, channel, chunk_size, stats, compress=False
+        self, process, dest, channel, chunk_size, stats, compress=False, ctx=None
     ) -> None:
         info_slot: list = []
         collect_iter = _TimedIter(
@@ -688,6 +720,15 @@ class MigrationEngine:
         )
         if hasattr(channel, "compress_stream"):
             channel.compress_stream = compress
+        rctx = None
+        if ctx is not None and hasattr(channel, "send_context"):
+            # the context opens the stream as a control frame (it consumes
+            # no chunk sequence number and no fault-plan send index), so
+            # the receive side can join the trace before the first chunk
+            channel.send_context(ctx.to_bytes())
+            body = channel.recv_context()
+            if body is not None:
+                rctx = propagate.TraceContext.from_bytes(body)
         codec_before = getattr(channel, "total_codec_seconds", 0.0)
         stored_before = getattr(channel, "stored_chunk_bytes", 0)
 
@@ -701,7 +742,7 @@ class MigrationEngine:
             )
 
         feed_timer = _TimedIter(feed, "feed")
-        with obs.span("pipeline") as pipeline:
+        with propagate.restore_site(rctx), obs.span("pipeline") as pipeline:
             try:
                 rinfo = self._validated_restore(
                     process.program, StreamReadBuffer(feed_timer), dest

@@ -160,6 +160,15 @@ class MigrationStats:
         # mathematical ratio is < 1; the clamp guards degenerate inputs
         self.overlap_ratio = min(max(ratio, 0.0), 1.0 - 1e-12)
 
+    @property
+    def attribution(self) -> Optional[dict]:
+        """The per-type cost attribution summary (``payload_bytes`` +
+        ``rows``), or ``None`` when the migration ran without profiling
+        (``migrate(..., attribution=True)`` turns it on)."""
+        if self.obs is None or getattr(self.obs, "attribution", None) is None:
+            return None
+        return self.obs.attribution.summary()
+
     def span_totals(self) -> dict:
         """Per-phase second totals read out of the span tree (empty when
         the stats were not produced under an observation).  ``codec``

@@ -50,8 +50,11 @@ from dataclasses import dataclass
 from repro import obs
 from repro.msr.wire import (
     CHUNK_HEADER_SIZE,
+    CONTEXT_MAGIC_BYTES,
     ChunkDecoder,
+    decode_context_frame,
     encode_chunk,
+    encode_context_frame,
     encode_end_of_stream,
     TruncatedFrameError,
 )
@@ -158,6 +161,11 @@ class _ChunkStreamMixin:
         #: seconds spent compressing + decompressing chunk payloads
         self.codec_seconds = 0.0
         self.deadline: float | None = None
+        #: latest trace-context body seen by the receive side (stashed
+        #: by ``recv_chunk`` when a control frame rides ahead of data)
+        self.received_context: bytes | None = None
+        # one frame read ahead of the chunk stream by recv_context()
+        self._pending_frame: bytes | None = None
 
     def _reset_stream_protocol(self) -> None:
         """Abandon any half-spoken stream (sequence numbers, decoder);
@@ -173,6 +181,8 @@ class _ChunkStreamMixin:
         self._send_seq = 0
         self.codec_seconds += self._decoder.codec_seconds
         self._decoder = ChunkDecoder()
+        self.received_context = None
+        self._pending_frame = None
 
     @property
     def total_codec_seconds(self) -> float:
@@ -219,14 +229,60 @@ class _ChunkStreamMixin:
         self.framed_bytes_sent += len(frame)
         return self._send_frame(frame)
 
+    # -- trace-context control frames --------------------------------------
+
+    def send_context(self, body: bytes) -> float:
+        """Ship a trace-context body as a control frame.
+
+        Control frames ride the same wire but are *not* data sends:
+        they consume no chunk sequence number and — crucially — no
+        fault-plan send index, so adding tracing to a migration never
+        shifts which data send a deterministic fault fires on.
+        """
+        frame = encode_context_frame(body)
+        self.framed_bytes_sent += len(frame)
+        obs.inc("wire.context_frames_sent")
+        obs.inc("wire.framed_bytes_sent", len(frame))
+        return self._send_control(frame)
+
+    def recv_context(self) -> bytes | None:
+        """The trace-context body for the incoming stream, if any.
+
+        Returns a body already stashed by :meth:`recv_chunk`, else reads
+        one frame: a context frame is consumed and returned, anything
+        else is held for the chunk reader and ``None`` is returned (a
+        sender that never speaks tracing costs one read-ahead, no loss).
+        """
+        if self.received_context is not None:
+            body, self.received_context = self.received_context, None
+            return body
+        frame = self._next_frame()
+        if bytes(memoryview(frame)[:4]) == CONTEXT_MAGIC_BYTES:
+            return decode_context_frame(frame)
+        self._pending_frame = frame
+        return None
+
+    def _next_frame(self) -> bytes:
+        """The held read-ahead frame if any, else one off the wire."""
+        frame, self._pending_frame = self._pending_frame, None
+        if frame is None:
+            frame = self._recv_frame()
+        return frame
+
     def recv_chunk(self) -> bytes | None:
         """Receive, validate, and unwrap the next chunk payload.
 
         Returns ``None`` at end-of-stream (and resets the receiver state
-        for the next stream).  Raises the typed
+        for the next stream).  Trace-context control frames encountered
+        mid-stream are stashed on :attr:`received_context` rather than
+        surfaced.  Raises the typed
         :class:`~repro.msr.wire.WireFrameError` family on damage.
         """
-        payload = self._decoder.decode(self._recv_frame())
+        frame = self._next_frame()
+        while bytes(memoryview(frame)[:4]) == CONTEXT_MAGIC_BYTES:
+            self.received_context = decode_context_frame(frame)
+            frame = self._recv_frame()
+        payload = self._decoder.decode(frame)
         if payload is None:
             # end-of-stream: fold the finished decoder's inflate seconds
             # and replace it, so a later reset() folds a fresh zero
@@ -249,6 +305,12 @@ class _ChunkStreamMixin:
 
     def _send_frame(self, frame: bytes) -> float:
         return self.send(frame)
+
+    def _send_control(self, frame: bytes) -> float:
+        """Transmit a control frame.  Defaults to the data path; the
+        fault layer overrides this to route control frames *around* its
+        send counter (they are protocol plumbing, not payload)."""
+        return self._send_frame(frame)
 
     def _recv_frame(self) -> bytes:
         return self.recv()
@@ -468,11 +530,16 @@ class SocketChannel(_ChunkStreamMixin):
         return bytes(out)
 
     def _recv_frame(self) -> bytes:
-        from repro.msr.wire import CHUNK_MAGIC, CHUNK_MAGIC_Z, FrameCorruptError
+        from repro.msr.wire import (
+            CHUNK_MAGIC,
+            CHUNK_MAGIC_Z,
+            CONTEXT_MAGIC,
+            FrameCorruptError,
+        )
 
         header = self._read_exact(CHUNK_HEADER_SIZE, "frame header")
         (magic,) = _RECORD_LEN.unpack_from(header, 0)
-        if magic not in (CHUNK_MAGIC, CHUNK_MAGIC_Z):
+        if magic not in (CHUNK_MAGIC, CHUNK_MAGIC_Z, CONTEXT_MAGIC):
             # a desynced stream must fail here, before a garbage length
             # field makes us block waiting for bytes that never come
             raise FrameCorruptError(f"bad chunk frame magic {magic:#010x}")
@@ -748,6 +815,15 @@ class FaultyChannel(_ChunkStreamMixin):
         if forwarded is None:
             return self.link.transfer_time(len(frame))
         return self.inner._send_frame(forwarded)
+
+    def _send_control(self, frame: bytes) -> float:
+        """Control frames bypass the fault plan's send counter entirely:
+        they are protocol plumbing, and counting them would shift every
+        existing deterministic fault schedule by one.  A disconnected
+        channel still refuses them."""
+        if self._closed:
+            raise ChannelClosedError("send on a disconnected channel")
+        return self.inner._send_control(frame)
 
     def _recv_frame(self) -> bytes:
         self._pre_recv()

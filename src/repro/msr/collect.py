@@ -18,11 +18,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.arch import xdr
 from repro.arch.buffers import WriteBuffer
 from repro.msr.msrlt import MemoryBlock, MSRLTError
 from repro.msr.ti import TypeInfo
 from repro.msr.wire import FLAG_FLAT, TAG_BLOCK, TAG_NULL, TAG_REF, write_logical
+from repro.obs.attribution import block_class_of
 
 __all__ = ["CollectStats", "Collector", "Save_pointer", "Save_variable"]
 
@@ -52,6 +54,11 @@ class Collector:
         self.buf = buf
         self._visited: set[tuple] = set()
         self.stats = CollectStats()
+        # attribution is resolved ONCE per pass; when off (None) every
+        # per-block hook below is a single `is not None` test
+        self._prof = obs.current_attribution()
+        if self._prof is not None:
+            self.msrlt.profiler = self._prof
 
     # -- public entry points (paper interface names) --------------------------------
 
@@ -91,6 +98,12 @@ class Collector:
 
         # mark BEFORE saving contents: cycles degrade to REFs
         self._visited.add(block.logical)
+        prof = self._prof
+        if prof is not None:
+            prof.enter_block(
+                "collect", info.label, block_class_of(block.logical),
+                self.buf.nbytes,
+            )
         self.buf.write_u8(TAG_BLOCK)
         self.buf.count_tag("BLOCK")
         write_logical(self.buf, block.logical)
@@ -99,16 +112,28 @@ class Collector:
         self.buf.write_u32(ordinal)
         self.stats.n_blocks += 1
         self.stats.data_bytes += block.size
-        self._save_contents(block, info)
+        if prof is None:
+            self._save_contents(block, info)
+        else:
+            engagement = "percell"
+            try:
+                engagement = self._save_contents(block, info)
+            finally:
+                prof.exit_block(
+                    self.buf.nbytes, engagement,
+                    cells=info.cells_in(block.count),
+                )
 
-    def _save_contents(self, block: MemoryBlock, info: TypeInfo) -> None:
+    def _save_contents(self, block: MemoryBlock, info: TypeInfo) -> str:
+        """Serialize one block's contents; returns which path engaged
+        (``"flat"`` / ``"codec"`` / ``"percell"``, for attribution)."""
         if info.flat_kind is not None:
             # bulk path: one vectorized encode for the whole block
             self.buf.write_u8(FLAG_FLAT)
             n = info.cells_in(block.count)
             self.buf.write(self.ti.save_flat(self.memory, block.addr, info.flat_kind, n))
             self.stats.n_flat_blocks += 1
-            return
+            return "flat"
 
         self.buf.write_u8(0)
         codec = self.ti.codec_for(info)
@@ -117,7 +142,7 @@ class Collector:
             # (bulk runs + pointers); bytes identical to the loop below
             codec.save(self, block, info)
             self.stats.n_codec_blocks += 1
-            return
+            return "codec"
         memory = self.memory
         buf = self.buf
         addr = block.addr
@@ -130,12 +155,17 @@ class Collector:
                     self.save_pointer(memory.load("ptr", base + cell.offset))
                 else:
                     buf.write(xdr.encode(cell.kind, memory.load(cell.kind, base + cell.offset)))
+        return "percell"
 
     # -- bookkeeping --------------------------------------------------------------------
 
     def finish(self) -> CollectStats:
         """Finalize statistics (call once after all saves)."""
         self.stats.wire_bytes = self.buf.nbytes
+        if self._prof is not None:
+            self._prof.note_payload(self.buf.nbytes)
+            # the pass is over; stop feeding lookup costs to the profiler
+            self.msrlt.profiler = None
         return self.stats
 
 

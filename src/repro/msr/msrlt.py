@@ -101,6 +101,9 @@ class MSRLT:
         self.n_searches = 0
         self.n_cache_hits = 0
         self.n_registrations = 0
+        #: attribution profiler the active Collector installs for one
+        #: pass (None when profiling is off — the common case)
+        self.profiler = None
 
     def __len__(self) -> int:
         return len(self._blocks)
@@ -222,7 +225,12 @@ class MSRLT:
         # one-past-the-end rule, tested in test_msrlt.py)
         if last is not None and last.addr <= addr < last.end:
             self.n_cache_hits += 1
+            if self.profiler is not None:
+                self.profiler.msrlt_lookup(0, True)
             return last, addr - last.addr
+        if self.profiler is not None:
+            # a binary search over n starts probes ~ceil(log2 n) entries
+            self.profiler.msrlt_lookup(len(self._starts).bit_length(), False)
         i = bisect_right(self._starts, addr) - 1
         if i >= 0:
             block = self._blocks[i]

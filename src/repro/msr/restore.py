@@ -20,11 +20,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.arch import xdr
 from repro.arch.buffers import ReadBuffer
 from repro.msr.msrlt import BlockKind, MemoryBlock
 from repro.msr.ti import TypeInfo
 from repro.msr.wire import FLAG_FLAT, TAG_BLOCK, TAG_NULL, TAG_REF, read_logical
+from repro.obs.attribution import block_class_of
 
 __all__ = ["RestoreStats", "Restorer", "Restore_pointer", "Restore_variable"]
 
@@ -56,6 +58,9 @@ class Restorer:
         #: source logical id -> destination block (the MSRLT update)
         self._mapping: dict[tuple, MemoryBlock] = {}
         self.stats = RestoreStats()
+        # attribution is resolved ONCE per pass; when off (None) every
+        # per-block hook below is a single `is not None` test
+        self._prof = obs.current_attribution()
 
     # -- public entry points (paper interface names) ------------------------------------
 
@@ -100,7 +105,22 @@ class Restorer:
         self._mapping[logical] = block
         self.stats.n_blocks += 1
         self.stats.data_bytes += block.size
-        self._restore_contents(block, info)
+        prof = self._prof
+        if prof is None:
+            self._restore_contents(block, info)
+        else:
+            prof.enter_block(
+                "restore", info.label, block_class_of(logical),
+                self.buf.position,
+            )
+            engagement = "percell"
+            try:
+                engagement = self._restore_contents(block, info)
+            finally:
+                prof.exit_block(
+                    self.buf.position, engagement,
+                    cells=info.cells_in(block.count),
+                )
         return block.addr + info.ordinal_to_byte(ordinal, block.count)
 
     # -- block resolution ------------------------------------------------------------------
@@ -126,7 +146,9 @@ class Restorer:
 
     # -- contents -----------------------------------------------------------------------------
 
-    def _restore_contents(self, block: MemoryBlock, info: TypeInfo) -> None:
+    def _restore_contents(self, block: MemoryBlock, info: TypeInfo) -> str:
+        """Rebuild one block's contents; returns which path engaged
+        (``"flat"`` / ``"codec"`` / ``"percell"``, for attribution)."""
         flags = self.buf.read_u8()
         n_cells = info.cells_in(block.count)
 
@@ -146,13 +168,13 @@ class Restorer:
                         self.memory.store(
                             cell.kind, base + cell.offset, values[i * info.cell_count + j].item()
                         )
-            return
+            return "flat"
 
         codec = self.ti.codec_for(info)
         if codec is not None:
             # compiled mirror plan for this (type, destination arch)
             codec.restore(self, block, info)
-            return
+            return "codec"
 
         memory = self.memory
         buf = self.buf
@@ -165,6 +187,7 @@ class Restorer:
                     width = xdr.wire_sizeof(cell.kind)
                     value = xdr.decode(cell.kind, buf.read(width))
                     memory.store(cell.kind, base + cell.offset, value)
+        return "percell"
 
 
 # -- paper-style free-function interface ---------------------------------------------

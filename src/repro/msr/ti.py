@@ -136,6 +136,16 @@ class TypeInfo:
     #: lazily compiled codec plan (see module docstring); ``None`` until
     #: first use, the module sentinel when no plan applies
     codec: object = field(default=None, repr=False, compare=False)
+    #: cached human-readable label (the attribution table's row key);
+    #: ``str(ctype)`` computed once instead of per block visit
+    _label: Optional[str] = field(default=None, repr=False, compare=False)
+
+    @property
+    def label(self) -> str:
+        """The C declaration text of this type (cached)."""
+        if self._label is None:
+            self._label = str(self.ctype)
+        return self._label
 
     def units_in(self, count: int) -> int:
         """Number of units in a block of *count* elements of this type."""

@@ -47,6 +47,14 @@ chunks and each chunk ships inside a self-delimiting frame:
         u32  crc32        zlib CRC-32 of the payload bytes
         payload_len bytes of payload
 
+A stream (and, prepended, a monolithic envelope) may additionally open
+with one *trace-context frame* under magic ``'MCTX'`` — same header
+layout, ``seq`` always 0, CRC over the body — carrying the sender's
+trace identity (see :mod:`repro.obs.propagate`).  It is a control
+frame, not data: it occupies no chunk sequence number, and a receiver
+that does not understand tracing can skip it by its self-delimiting
+length.
+
 Frames make mid-stream damage a *typed* failure instead of garbage
 reaching the restorer: a short read raises
 :class:`TruncatedFrameError`, a bad magic or CRC raises
@@ -102,7 +110,12 @@ __all__ = [
     "read_logical",
     "CHUNK_MAGIC",
     "CHUNK_MAGIC_Z",
+    "CONTEXT_MAGIC",
+    "CONTEXT_MAGIC_BYTES",
     "CHUNK_HEADER_SIZE",
+    "encode_context_frame",
+    "decode_context_frame",
+    "peel_context_frame",
     "MIN_COMPRESSION_GAIN",
     "WireFrameError",
     "TruncatedFrameError",
@@ -309,6 +322,67 @@ class ChunkDecoder:
             self.finished = True
             return None
         return payload
+
+
+# -- trace-context control frames ---------------------------------------------
+
+CONTEXT_MAGIC = 0x4D435458  # 'MCTX' — trace-context control frame
+CONTEXT_MAGIC_BYTES = b"MCTX"
+
+
+def encode_context_frame(body: bytes) -> bytes:
+    """Wrap a trace-context body in a control frame.
+
+    Same header layout as a chunk frame (so socket readers reuse their
+    fixed-size header read), but a *control* frame: ``seq`` is always 0
+    and it does not participate in chunk sequencing.
+    """
+    return _CHUNK_HEADER.pack(CONTEXT_MAGIC, 0, len(body), zlib.crc32(body)) + body
+
+
+def decode_context_frame(frame: bytes | bytearray | memoryview) -> bytes:
+    """Validate and unwrap one trace-context frame; returns the body."""
+    frame = memoryview(frame)
+    if len(frame) < CHUNK_HEADER_SIZE:
+        raise TruncatedFrameError(
+            f"context frame header truncated: {len(frame)} of "
+            f"{CHUNK_HEADER_SIZE} bytes"
+        )
+    magic, _seq, length, crc = _CHUNK_HEADER.unpack_from(frame, 0)
+    if magic != CONTEXT_MAGIC:
+        raise FrameCorruptError(f"bad context frame magic {magic:#010x}")
+    body = frame[CHUNK_HEADER_SIZE:]
+    if len(body) != length:
+        raise TruncatedFrameError(
+            f"context frame claims {length} body bytes, frame carries {len(body)}"
+        )
+    body = bytes(body)
+    actual = zlib.crc32(body)
+    if actual != crc:
+        raise FrameCorruptError(
+            f"context frame CRC mismatch: header {crc:#010x}, body {actual:#010x}"
+        )
+    return body
+
+
+def peel_context_frame(data: bytes) -> tuple[bytes | None, bytes]:
+    """Split a monolithic message into ``(context_body, rest)``.
+
+    A message that does not *start* with the context magic peels to
+    ``(None, data)`` unchanged — raw ('MIGR') and compressed ('MIGZ')
+    payloads are self-describing by their own magics, so prepending the
+    context frame costs no negotiation.
+    """
+    if len(data) < CHUNK_HEADER_SIZE or data[:4] != CONTEXT_MAGIC_BYTES:
+        return None, data
+    _magic, _seq, length, _crc = _CHUNK_HEADER.unpack_from(data, 0)
+    end = CHUNK_HEADER_SIZE + length
+    if len(data) < end:
+        raise TruncatedFrameError(
+            f"context frame claims {length} body bytes, message carries "
+            f"{len(data) - CHUNK_HEADER_SIZE}"
+        )
+    return decode_context_frame(data[:end]), data[end:]
 
 
 # -- monolithic payload compression -------------------------------------------

@@ -32,7 +32,9 @@ import json
 from contextvars import ContextVar
 from typing import Optional
 
+from repro.obs.attribution import AttributionProfiler
 from repro.obs.events import (
+    DEFAULT_EVENT_CAPACITY,
     EventLog,
     NULL_EVENTS,
     TRACE_SCHEMA_VERSION,
@@ -46,9 +48,11 @@ from repro.obs.spans import NULL_TRACER, Span, Tracer
 __all__ = [
     "MigrationObservation",
     "TRACE_SCHEMA_VERSION",
+    "DEFAULT_EVENT_CAPACITY",
     "current",
     "current_tracer",
     "current_metrics",
+    "current_attribution",
     "span",
     "lap",
     "record",
@@ -67,12 +71,22 @@ _CURRENT: ContextVar[Optional["MigrationObservation"]] = ContextVar(
 
 
 class MigrationObservation:
-    """Tracer + metrics + events for one migration, with activation."""
+    """Tracer + metrics + events for one migration, with activation.
 
-    def __init__(self, name: str = "migration") -> None:
+    With ``attribution=True`` an :class:`AttributionProfiler` rides
+    along and the collector/restorer hot paths feed it; off (the
+    default) :attr:`attribution` is ``None`` and those hot paths pay one
+    ``is not None`` test per block — the near-zero-overhead contract the
+    codec benchmarks hold the profiler to.
+    """
+
+    def __init__(self, name: str = "migration", attribution: bool = False,
+                 event_capacity: int = DEFAULT_EVENT_CAPACITY) -> None:
         self.tracer = Tracer(name)
         self.metrics = MetricsRegistry()
-        self.events = EventLog(clock=self.tracer._clock)
+        self.events = EventLog(clock=self.tracer._clock,
+                               capacity=event_capacity)
+        self.attribution = AttributionProfiler() if attribution else None
 
     # -- activation --------------------------------------------------------
 
@@ -92,14 +106,25 @@ class MigrationObservation:
 
     def trace_lines(self) -> list[dict]:
         """The migration's full trace as decoded JSONL lines: header,
-        events, flattened span tree, metrics snapshot."""
+        events (with a drop marker if the ring buffer overflowed),
+        flattened span tree with propagation ids, the attribution table
+        when profiling was on, and the metrics snapshot."""
         self.tracer.finish()
+        end_ts = round(self.tracer.root.end_s or 0.0, 9)
         lines: list[dict] = [{
             "event": "trace_header",
             "ts": 0.0,
             "schema": TRACE_SCHEMA_VERSION,
             "tool": "repro",
+            "trace_id": self.tracer.trace_id,
         }]
+        if self.events.dropped:
+            lines.append({
+                "event": "events_dropped",
+                "ts": end_ts,
+                "dropped": self.events.dropped,
+                "capacity": self.events.capacity,
+            })
         lines.extend(self.events.events)
         for path, sp in self.tracer.iter_spans():
             entry = {
@@ -110,14 +135,24 @@ class MigrationObservation:
                 "seconds": round(sp.seconds, 9),
                 "count": sp.count,
                 "thread": sp.thread,
+                "span_id": sp.span_id,
+                "parent_id": sp.parent_id,
             }
             if sp.attrs:
                 entry["attrs"] = sp.attrs
             lines.append(entry)
+        if self.attribution is not None:
+            summary = self.attribution.summary()
+            lines.append({
+                "event": "attribution",
+                "ts": end_ts,
+                "payload_bytes": summary["payload_bytes"],
+                "rows": summary["rows"],
+            })
         snap = self.metrics.snapshot()
         lines.append({
             "event": "metrics",
-            "ts": round(self.tracer.root.end_s or 0.0, 9),
+            "ts": end_ts,
             **snap,
         })
         return lines
@@ -189,6 +224,14 @@ def current_metrics():
 def current_events():
     obs = _CURRENT.get()
     return obs.events if obs is not None else NULL_EVENTS
+
+
+def current_attribution() -> Optional[AttributionProfiler]:
+    """The active observation's attribution profiler, or ``None`` —
+    fetched **once** per collection/restoration pass so the per-block
+    hot path pays a single ``is not None`` test when profiling is off."""
+    obs = _CURRENT.get()
+    return obs.attribution if obs is not None else None
 
 
 def span(name: str, **attrs):

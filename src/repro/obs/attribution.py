@@ -1,0 +1,243 @@
+"""Per-type cost attribution: *which data* makes migration expensive.
+
+The span tree answers "which phase"; this profiler answers "which
+types and blocks".  It accumulates, per ``(type, block class)`` pair:
+
+- collect / restore *self* seconds and *self* wire bytes — a block's
+  frame subtracts everything its nested child blocks cost, so the
+  per-type byte totals **partition** the payload (Σ self bytes over all
+  rows + the framing residual = payload bytes exactly);
+- codec engagement: how many block visits took the flat bulk path, a
+  compiled codec plan, or the per-cell loop — the direct answer to
+  "where would the next compiled codec pay off";
+- MSRLT search cost: lookups, binary-search depth, and cache hits
+  attributed to the block being collected when the lookup ran (the
+  paper's O(n log n) collection term, finally split by type).
+
+Hot-path discipline: the collector and restorer fetch the profiler
+**once** per pass (`repro.obs.current_attribution()`); when attribution
+is off that is ``None`` and every per-block hook is a single
+``is not None`` test.  Frames live on per-thread stacks (the socket
+pipeline collects in a producer thread while the consumer restores), and
+rows are folded under one lock only at frame close.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Optional
+
+__all__ = ["AttributionProfiler", "BLOCK_CLASSES", "FRAMING_ROW"]
+
+#: block classes rows are keyed by (MSRLT logical-id kinds)
+BLOCK_CLASSES = ("global", "stack", "heap")
+
+#: pseudo-type of the payload's non-block residual (header, frame
+#: tables, record scaffolding) — what makes the byte partition exact
+FRAMING_ROW = ("(framing)", "wire")
+
+_ENGAGEMENTS = ("flat", "codec", "percell")
+
+
+class _Row:
+    """Accumulated cost of one ``(type, block class)`` pair."""
+
+    __slots__ = (
+        "collect_s", "restore_s", "bytes", "restore_bytes",
+        "blocks", "restore_blocks", "cells",
+        "flat", "codec", "percell",
+        "msrlt_searches", "msrlt_depth", "msrlt_cache_hits",
+    )
+
+    def __init__(self) -> None:
+        self.collect_s = 0.0
+        self.restore_s = 0.0
+        self.bytes = 0
+        self.restore_bytes = 0
+        self.blocks = 0
+        self.restore_blocks = 0
+        self.cells = 0
+        self.flat = 0
+        self.codec = 0
+        self.percell = 0
+        self.msrlt_searches = 0
+        self.msrlt_depth = 0
+        self.msrlt_cache_hits = 0
+
+
+class _Frame:
+    """One open block visit on a thread's frame stack."""
+
+    __slots__ = ("key", "phase", "t0", "pos0", "child_s", "child_bytes")
+
+    def __init__(self, key: tuple, phase: str, t0: float, pos0: int) -> None:
+        self.key = key
+        self.phase = phase
+        self.t0 = t0
+        self.pos0 = pos0
+        self.child_s = 0.0
+        self.child_bytes = 0
+
+
+class AttributionProfiler:
+    """Thread-safe per-(type, block class) cost accumulator.
+
+    ``enter_block``/``exit_block`` bracket one block visit; *pos* is the
+    wire buffer offset (``WriteBuffer.nbytes`` on collection,
+    ``ReadBuffer.position`` on restoration), which is how self-bytes are
+    measured without touching the payload itself.
+    """
+
+    def __init__(self, clock=time.perf_counter) -> None:
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._rows: dict[tuple, _Row] = {}
+        self._local = threading.local()
+        #: total payload bytes, when the collector reported them
+        #: (lets :meth:`summary` emit the exact framing residual)
+        self.payload_bytes = 0
+
+    # -- frame stack -------------------------------------------------------
+
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _row(self, key: tuple) -> _Row:
+        row = self._rows.get(key)
+        if row is None:
+            row = self._rows[key] = _Row()
+        return row
+
+    # -- block visits ------------------------------------------------------
+
+    def enter_block(self, phase: str, type_label: str, block_class: str,
+                    pos: int) -> None:
+        """Open a frame for one block visit (*phase* is ``"collect"`` or
+        ``"restore"``; *pos* the wire offset at entry)."""
+        self._stack().append(
+            _Frame((type_label, block_class), phase, self._clock(), pos)
+        )
+
+    def exit_block(self, pos: int, engagement: str, cells: int = 0) -> None:
+        """Close the innermost frame at wire offset *pos* and fold its
+        *self* cost (total minus nested children) into its row."""
+        stack = self._stack()
+        frame = stack.pop()
+        total_s = self._clock() - frame.t0
+        total_b = pos - frame.pos0
+        self_s = max(total_s - frame.child_s, 0.0)
+        self_b = total_b - frame.child_bytes
+        if stack:
+            parent = stack[-1]
+            parent.child_s += total_s
+            parent.child_bytes += total_b
+        with self._lock:
+            row = self._row(frame.key)
+            if frame.phase == "collect":
+                row.collect_s += self_s
+                row.bytes += self_b
+                row.blocks += 1
+            else:
+                row.restore_s += self_s
+                row.restore_bytes += self_b
+                row.restore_blocks += 1
+            if engagement in _ENGAGEMENTS:
+                setattr(row, engagement, getattr(row, engagement) + 1)
+            row.cells += cells
+
+    # -- MSRLT search cost -------------------------------------------------
+
+    def msrlt_lookup(self, depth: int, cache_hit: bool) -> None:
+        """Account one address lookup: *depth* is the binary-search depth
+        (0 for a last-hit cache hit).  Attributed to the block being
+        visited when the lookup ran, else to the framing row."""
+        stack = self._stack()
+        key = stack[-1].key if stack else FRAMING_ROW
+        with self._lock:
+            row = self._row(key)
+            row.msrlt_searches += 1
+            row.msrlt_depth += depth
+            if cache_hit:
+                row.msrlt_cache_hits += 1
+
+    # -- read-out ----------------------------------------------------------
+
+    def note_payload(self, nbytes: int) -> None:
+        """Record the collection's total payload size (framing residual
+        = *nbytes* − Σ attributed self bytes)."""
+        with self._lock:
+            self.payload_bytes = max(self.payload_bytes, nbytes)
+
+    def summary(self) -> dict:
+        """The attribution table as plain data (JSON-ready).
+
+        Rows are sorted by attributed wire bytes, descending; when the
+        collector reported its payload size, a synthetic framing row
+        carries the residual so the ``bytes`` column sums to the payload
+        exactly.
+        """
+        with self._lock:
+            rows = []
+            attributed = 0
+            for (type_label, block_class), r in self._rows.items():
+                attributed += r.bytes
+                rows.append({
+                    "type": type_label,
+                    "class": block_class,
+                    "collect_s": round(r.collect_s, 9),
+                    "restore_s": round(r.restore_s, 9),
+                    "bytes": r.bytes,
+                    "restore_bytes": r.restore_bytes,
+                    "blocks": r.blocks,
+                    "restore_blocks": r.restore_blocks,
+                    "cells": r.cells,
+                    "flat": r.flat,
+                    "codec": r.codec,
+                    "percell": r.percell,
+                    "msrlt_searches": r.msrlt_searches,
+                    "msrlt_depth": r.msrlt_depth,
+                    "msrlt_cache_hits": r.msrlt_cache_hits,
+                })
+            payload = self.payload_bytes
+        if payload and payload > attributed:
+            framing = next(
+                (row for row in rows
+                 if (row["type"], row["class"]) == FRAMING_ROW), None)
+            if framing is None:
+                framing = {
+                    "type": FRAMING_ROW[0], "class": FRAMING_ROW[1],
+                    "collect_s": 0.0, "restore_s": 0.0,
+                    "bytes": 0, "restore_bytes": 0,
+                    "blocks": 0, "restore_blocks": 0, "cells": 0,
+                    "flat": 0, "codec": 0, "percell": 0,
+                    "msrlt_searches": 0, "msrlt_depth": 0,
+                    "msrlt_cache_hits": 0,
+                }
+                rows.append(framing)
+            framing["bytes"] += payload - attributed
+        rows.sort(key=lambda row: (-row["bytes"], row["type"], row["class"]))
+        return {"payload_bytes": payload, "rows": rows}
+
+    def __bool__(self) -> bool:  # an empty profiler is still "on"
+        return True
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._rows)
+
+
+def block_class_of(logical: tuple) -> str:
+    """The block-class label of an MSRLT logical id."""
+    kind = logical[0]
+    if 0 <= kind < len(BLOCK_CLASSES):
+        return BLOCK_CLASSES[kind]
+    return "unknown"
+
+
+# re-exported for call sites that only need the label helper
+__all__.append("block_class_of")

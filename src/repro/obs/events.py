@@ -5,15 +5,30 @@ degradation, backoff, per-chunk pipeline occupancy) to an in-memory
 :class:`EventLog`; ``repro migrate --trace out.jsonl`` exports the log
 plus the span tree and the metrics snapshot as JSON-lines.
 
-Trace file format (one JSON object per line, schema version 1):
+Trace file format (one JSON object per line, schema version 2):
 
-- line 1 is always ``{"event": "trace_header", "schema": 1, ...}``;
+- line 1 is always ``{"event": "trace_header", "schema": 2, ...}`` and
+  carries the migration's ``trace_id`` (16 hex chars);
 - every line has an ``"event"`` string and a non-negative ``"ts"``
   number (seconds since the migration's observation began);
 - ``span`` lines carry the flattened span tree (``path`` is the
   '/'-joined location in the tree, ``seconds``/``count``/``thread``
-  the measurement);
+  the measurement, ``span_id``/``parent_id`` the propagation identity:
+  a root has ``parent_id == -1`` unless it was adopted from a remote
+  trace, in which case its ``attrs.remote_parent`` names the foreign
+  parent span);
+- a ``trace_context`` event records the propagated identity the restore
+  side received (and the clock-offset estimate, see
+  :mod:`repro.obs.propagate`); an ``attribution`` event carries the
+  per-type cost table; an ``events_dropped`` marker says the ring
+  buffer overflowed and how many events were lost;
 - the final ``metrics`` line carries the registry snapshot.
+
+Schema-version-2 validation adds *structural* checks on top of the
+per-line field checks: span ids must be unique, every ``parent_id``
+must resolve to a span in the document (or be ``-1`` / declared via
+``attrs.remote_parent``), and the document must carry exactly one
+trace header.
 
 Validation (:func:`validate_trace_lines`) is stdlib-only — ``json`` +
 hand-rolled field checks — so the CI tier-1 job can assert schema
@@ -28,6 +43,7 @@ import time
 
 __all__ = [
     "TRACE_SCHEMA_VERSION",
+    "DEFAULT_EVENT_CAPACITY",
     "EVENT_REQUIRED_FIELDS",
     "EventLog",
     "NullEventLog",
@@ -37,12 +53,18 @@ __all__ = [
     "validate_trace_file",
 ]
 
-TRACE_SCHEMA_VERSION = 1
+TRACE_SCHEMA_VERSION = 2
+
+#: default ring-buffer bound of an :class:`EventLog` — generous (a
+#: per-chunk event stream at 64 KiB chunks reaches this around a 2 GiB
+#: payload) but *bounded*, so a long streaming migration cannot grow
+#: memory without limit
+DEFAULT_EVENT_CAPACITY = 32768
 
 #: required (field, type) pairs per event type; unknown event types are
 #: rejected so a typo'd emitter fails CI rather than shipping dark data
 EVENT_REQUIRED_FIELDS: dict[str, tuple[tuple[str, type], ...]] = {
-    "trace_header": (("schema", int), ("tool", str)),
+    "trace_header": (("schema", int), ("tool", str), ("trace_id", str)),
     "migration_begin": (("source_arch", str), ("dest_arch", str),
                         ("streaming", bool), ("compress", bool)),
     "attempt_begin": (("attempt", int), ("streaming", bool)),
@@ -56,19 +78,40 @@ EVENT_REQUIRED_FIELDS: dict[str, tuple[tuple[str, type], ...]] = {
     "migration_end": (("collect_s", (int, float)), ("tx_s", (int, float)),
                       ("restore_s", (int, float)), ("attempts", int)),
     "span": (("name", str), ("path", str), ("seconds", (int, float)),
-             ("count", int), ("thread", str)),
+             ("count", int), ("thread", str), ("span_id", int),
+             ("parent_id", int)),
+    "trace_context": (("trace_id", str), ("parent_span_id", int),
+                      ("attempt", int), ("clock_offset_s", (int, float)),
+                      ("joined", bool)),
+    "attribution": (("payload_bytes", int), ("rows", list)),
+    "events_dropped": (("dropped", int), ("capacity", int)),
     "metrics": (("counters", dict), ("gauges", dict), ("histograms", dict)),
 }
 
 
 class EventLog:
-    """Append-only, thread-safe, monotonic-stamped structured events."""
+    """Thread-safe, monotonic-stamped structured events in a bounded
+    ring buffer.
 
-    def __init__(self, clock=time.perf_counter) -> None:
+    The bound (*capacity*, default :data:`DEFAULT_EVENT_CAPACITY`) keeps
+    a long streaming migration's per-chunk events from growing memory
+    without limit: past capacity the **oldest** events are evicted (the
+    recent tail is what debugging wants) and :attr:`dropped` counts the
+    loss, which the trace export surfaces as an ``events_dropped``
+    marker line and the engine as an ``events.dropped`` metric.
+    """
+
+    def __init__(self, clock=time.perf_counter,
+                 capacity: int = DEFAULT_EVENT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
         self._clock = clock
         self._t0 = clock()
         self._lock = threading.Lock()
+        self.capacity = capacity
         self.events: list[dict] = []
+        #: events evicted because the ring buffer was full
+        self.dropped = 0
 
     def emit(self, event: str, **fields) -> dict:
         """Record one event; ``ts`` is seconds since the log was opened."""
@@ -76,10 +119,14 @@ class EventLog:
         entry.update(fields)
         with self._lock:
             self.events.append(entry)
+            overflow = len(self.events) - self.capacity
+            if overflow > 0:
+                del self.events[:overflow]
+                self.dropped += overflow
         return entry
 
     def of_type(self, event: str) -> list[dict]:
-        """All recorded events of one type, in emission order."""
+        """All retained events of one type, in emission order."""
         with self._lock:
             return [e for e in self.events if e["event"] == event]
 
@@ -91,6 +138,8 @@ class NullEventLog:
     """Drop-in no-op log (the ambient default outside a migration)."""
 
     events: list[dict] = []
+    dropped = 0
+    capacity = 0
 
     def emit(self, event: str, **fields) -> dict:
         return {}
@@ -142,11 +191,21 @@ _MISSING = object()
 
 
 def validate_trace_lines(text: str) -> list[str]:
-    """Schema errors for a whole JSONL trace document."""
+    """Schema errors for a whole JSONL trace document.
+
+    Beyond per-line field checks, schema version 2 validates the span
+    tree *structurally*: span ids unique, every ``parent_id`` resolving
+    within the document (or ``-1`` for a root, or declared foreign via
+    ``attrs.remote_parent`` — the adopted-tracer case), and exactly one
+    ``trace_header``.
+    """
     errors: list[str] = []
     lines = [ln for ln in text.splitlines() if ln.strip()]
     if not lines:
         return ["trace is empty"]
+    span_ids: dict[int, int] = {}  # span_id -> first lineno
+    parents: list[tuple[int, dict]] = []  # (lineno, span obj)
+    n_headers = 0
     for lineno, line in enumerate(lines, start=1):
         try:
             obj = json.loads(line)
@@ -154,6 +213,8 @@ def validate_trace_lines(text: str) -> list[str]:
             errors.append(f"line {lineno}: not valid JSON ({exc})")
             continue
         errors.extend(validate_trace_obj(obj, lineno))
+        if isinstance(obj, dict) and obj.get("event") == "trace_header":
+            n_headers += 1
         if lineno == 1:
             if not isinstance(obj, dict) or obj.get("event") != "trace_header":
                 errors.append("line 1: first line must be a trace_header event")
@@ -162,6 +223,31 @@ def validate_trace_lines(text: str) -> list[str]:
                     f"line 1: schema {obj.get('schema')!r} != "
                     f"{TRACE_SCHEMA_VERSION}"
                 )
+        if isinstance(obj, dict) and obj.get("event") == "span":
+            sid = obj.get("span_id")
+            if isinstance(sid, int) and not isinstance(sid, bool):
+                first = span_ids.setdefault(sid, lineno)
+                if first != lineno:
+                    errors.append(
+                        f"line {lineno}: duplicate span_id {sid} "
+                        f"(first seen on line {first})"
+                    )
+                parents.append((lineno, obj))
+    if n_headers > 1:
+        errors.append(f"document has {n_headers} trace_header lines, expected 1")
+    for lineno, obj in parents:
+        pid = obj.get("parent_id")
+        if not isinstance(pid, int) or isinstance(pid, bool):
+            continue  # already reported by the field check
+        if pid == -1 or pid in span_ids:
+            continue
+        attrs = obj.get("attrs")
+        if isinstance(attrs, dict) and attrs.get("remote_parent") == pid:
+            continue  # adopted root: parent lives in the sender's trace
+        errors.append(
+            f"line {lineno}: span {obj.get('span_id')} has parent_id {pid} "
+            f"which resolves to no span in this document"
+        )
     return errors
 
 

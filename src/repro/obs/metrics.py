@@ -16,7 +16,12 @@ from __future__ import annotations
 
 import threading
 
-__all__ = ["MetricsRegistry", "NullMetrics", "NULL_METRICS"]
+__all__ = [
+    "MetricsRegistry",
+    "NullMetrics",
+    "NULL_METRICS",
+    "snapshot_to_prometheus",
+]
 
 
 class MetricsRegistry:
@@ -102,6 +107,48 @@ class MetricsRegistry:
             for stat in ("count", "total", "min", "max"):
                 flat[f"{name}.{stat}"] = h[stat]
         yield from sorted(flat.items())
+
+    def to_prometheus(self, prefix: str = "repro") -> str:
+        """This registry in the Prometheus text exposition format."""
+        return snapshot_to_prometheus(self.snapshot(), prefix=prefix)
+
+
+def _prom_name(name: str, prefix: str) -> str:
+    """A metric name sanitized to Prometheus' ``[a-zA-Z_][a-zA-Z0-9_]*``
+    (dots and any other separators become underscores)."""
+    out = []
+    for ch in f"{prefix}_{name}":
+        out.append(ch if ch.isalnum() or ch == "_" else "_")
+    text = "".join(out)
+    if text[0].isdigit():
+        text = "_" + text
+    return text
+
+
+def snapshot_to_prometheus(snapshot: dict, prefix: str = "repro") -> str:
+    """Render a :meth:`MetricsRegistry.snapshot` (or the ``metrics``
+    line of a JSONL trace) in the Prometheus text exposition format.
+
+    Counters become ``counter`` samples, gauges ``gauge`` samples, and
+    each histogram expands to ``_count`` / ``_total`` / ``_min`` /
+    ``_max`` gauges — the registry keeps aggregates, not buckets, so an
+    honest exposition does not fake ``_bucket`` series.
+    """
+    out: list[str] = []
+    for name, value in sorted(snapshot.get("counters", {}).items()):
+        prom = _prom_name(name, prefix)
+        out.append(f"# TYPE {prom} counter")
+        out.append(f"{prom} {value}")
+    for name, value in sorted(snapshot.get("gauges", {}).items()):
+        prom = _prom_name(name, prefix)
+        out.append(f"# TYPE {prom} gauge")
+        out.append(f"{prom} {value}")
+    for name, h in sorted(snapshot.get("histograms", {}).items()):
+        for stat in ("count", "total", "min", "max"):
+            prom = _prom_name(f"{name}_{stat}", prefix)
+            out.append(f"# TYPE {prom} gauge")
+            out.append(f"{prom} {h[stat]}")
+    return "\n".join(out) + ("\n" if out else "")
 
 
 class NullMetrics:

@@ -26,15 +26,41 @@ read the same measurement the tree recorded — one clock, two read-outs.
 :data:`NULL_TRACER` is the ambient default when no migration is being
 observed: its handles still *time* (call sites rely on ``.seconds``)
 but record nothing.
+
+Identity for propagation
+------------------------
+
+Every tracer carries a ``trace_id`` (16 hex chars) and assigns each
+span a small integer ``span_id`` (the root is span 0) plus the
+``parent_id`` it hangs under.  These are what the wire-level
+trace-context frame (:mod:`repro.obs.propagate`) transports, so a
+destination-side restorer can attach its spans to the *exact* source
+span that sent the payload — :meth:`Tracer.span_by_id` resolves the
+propagated parent on the receiving side, and :meth:`Tracer.adopt_remote`
+builds a whole tracer whose root is parented in another process's
+trace (the true two-process case; the JSONL merge joins by id).
 """
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from typing import Optional
 
-__all__ = ["Span", "SpanHandle", "Tracer", "NullTracer", "NULL_TRACER"]
+__all__ = [
+    "Span",
+    "SpanHandle",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "new_trace_id",
+]
+
+
+def new_trace_id() -> str:
+    """A fresh 64-bit trace id as 16 lowercase hex chars."""
+    return os.urandom(8).hex()
 
 
 class Span:
@@ -46,7 +72,7 @@ class Span:
     """
 
     __slots__ = ("name", "attrs", "children", "thread", "start_s", "end_s",
-                 "seconds", "count")
+                 "seconds", "count", "span_id", "parent_id")
 
     def __init__(self, name: str, attrs: Optional[dict] = None) -> None:
         self.name = name
@@ -57,6 +83,10 @@ class Span:
         self.end_s: Optional[float] = None
         self.seconds = 0.0
         self.count = 0
+        #: per-tracer ordinal (root = 0); -1 until the tracer assigns it
+        self.span_id = -1
+        #: span_id of the parent (-1 for a root)
+        self.parent_id = -1
 
     def to_dict(self) -> dict:
         out: dict = {
@@ -64,6 +94,8 @@ class Span:
             "seconds": round(self.seconds, 9),
             "count": self.count,
             "thread": self.thread,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
         }
         if self.start_s is not None:
             out["start_s"] = round(self.start_s, 9)
@@ -115,15 +147,53 @@ class Tracer:
     """A per-migration trace-span tree, safe to grow from several threads."""
 
     def __init__(self, name: str = "migration",
-                 clock=time.perf_counter) -> None:
+                 clock=time.perf_counter,
+                 trace_id: Optional[str] = None) -> None:
         self._clock = clock
         self.epoch = clock()
+        #: trace identity carried by the wire-level context frame
+        self.trace_id = trace_id or new_trace_id()
+        #: when this tracer was adopted from a remote context, the
+        #: remote parent's span id its root hangs under (else None)
+        self.remote_parent_id: Optional[int] = None
+        self._next_id = 0
         self.root = Span(name)
         self.root.start_s = 0.0
         self._lock = threading.Lock()
         self._local = threading.local()
+        # span_id -> span, for resolving propagated parent ids
+        self._by_id: dict[int, Span] = {}
+        self._assign_id(self.root)
         # (id(parent), name) -> accumulating span, for lap()
         self._laps: dict[tuple[int, str], Span] = {}
+
+    def _assign_id(self, span: Span) -> None:
+        """Give *span* the next ordinal (callers hold no lock for the
+        root; every other call site already holds ``_lock``)."""
+        span.span_id = self._next_id
+        self._next_id += 1
+        self._by_id[span.span_id] = span
+
+    @classmethod
+    def adopt_remote(cls, name: str, trace_id: str, parent_span_id: int,
+                     clock=time.perf_counter) -> "Tracer":
+        """A tracer whose root is parented in *another* process's trace:
+        it shares the propagated ``trace_id`` and remembers the remote
+        parent span id, so a by-id merge of the two JSONL traces yields
+        one connected tree.  This is the true cross-process half of
+        trace propagation; the in-process engine instead resolves the
+        parent directly via :meth:`span_by_id`."""
+        tracer = cls(name, clock=clock, trace_id=trace_id)
+        # draw span ids from a random high block so a by-id merge of the
+        # two sides' JSONL files cannot collide with the source's small
+        # ordinals (1 + 32 random bits, shifted past any plausible count)
+        base = (1 + int.from_bytes(os.urandom(4), "big")) << 32
+        del tracer._by_id[tracer.root.span_id]
+        tracer._next_id = base
+        tracer._assign_id(tracer.root)
+        tracer.remote_parent_id = parent_span_id
+        tracer.root.attrs.setdefault("remote_parent", parent_span_id)
+        return tracer
 
     # -- thread-local span stack -------------------------------------------
 
@@ -149,8 +219,11 @@ class Tracer:
     def span(self, name: str, **attrs) -> SpanHandle:
         """Open a fresh nested span (one per entry)."""
         span = Span(name, attrs or None)
+        parent = self.current()
         with self._lock:
-            self.current().children.append(span)
+            self._assign_id(span)
+            span.parent_id = parent.span_id
+            parent.children.append(span)
         return SpanHandle(self, span, push=True)
 
     def lap(self, name: str, **attrs) -> SpanHandle:
@@ -161,6 +234,8 @@ class Tracer:
             span = self._laps.get(key)
             if span is None:
                 span = Span(name, attrs or None)
+                self._assign_id(span)
+                span.parent_id = parent.span_id
                 self._laps[key] = span
                 parent.children.append(span)
         return SpanHandle(self, span, push=False)
@@ -174,8 +249,11 @@ class Tracer:
         span.end_s = now
         span.seconds = seconds
         span.count = 1
+        parent = self.current()
         with self._lock:
-            self.current().children.append(span)
+            self._assign_id(span)
+            span.parent_id = parent.span_id
+            parent.children.append(span)
         return span
 
     def finish(self) -> Span:
@@ -187,6 +265,12 @@ class Tracer:
         return self.root
 
     # -- read-out ----------------------------------------------------------
+
+    def span_by_id(self, span_id: int) -> Optional[Span]:
+        """The span carrying *span_id*, or None — how a receiving side
+        resolves a propagated parent id back to a live span."""
+        with self._lock:
+            return self._by_id.get(span_id)
 
     def iter_spans(self):
         """Yield ``(path, span)`` depth-first; ``path`` is '/'-joined."""
@@ -253,6 +337,12 @@ class _NullHandle:
 
 class NullTracer:
     """Drop-in tracer that keeps call sites timed but unrecorded."""
+
+    trace_id = "0" * 16
+    remote_parent_id: Optional[int] = None
+
+    def span_by_id(self, span_id: int) -> None:
+        return None
 
     def span(self, name: str, **attrs) -> _NullHandle:
         return _NullHandle()

@@ -1,0 +1,324 @@
+"""Tests for the per-type cost attribution profiler (DESIGN.md §10).
+
+The profiler's core contract is a *partition*: per-row self wire bytes
+plus the framing residual sum to the payload size **exactly** — no byte
+is counted twice (nested blocks subtract their children) and none is
+lost (the residual row absorbs headers and record scaffolding).  These
+tests pin that, the codec-engagement and MSRLT-search accounting, the
+hot-path off-switch (``stats.attribution is None``, profiler detached
+from the MSRLT), and the engine integration in both transfer modes.
+"""
+
+import pytest
+
+from repro.arch import DEC5000, SPARC20
+from repro.migration.engine import MigrationEngine, RetryPolicy
+from repro.migration.transport import (
+    Channel,
+    FaultPlan,
+    FaultyChannel,
+    LOOPBACK,
+    SocketChannel,
+)
+from repro.obs import MigrationObservation
+from repro.obs.attribution import (
+    AttributionProfiler,
+    BLOCK_CLASSES,
+    FRAMING_ROW,
+    block_class_of,
+)
+from repro.vm.process import Process
+from repro.vm.program import compile_program
+
+PROGRAM = """
+struct node { double w; struct node *next; };
+struct node *ring;
+double table[300];
+int main() {
+    int i;
+    for (i = 0; i < 40; i++) {
+        struct node *e = (struct node *) malloc(sizeof(struct node));
+        e->w = i * 0.5; e->next = ring; ring = e;
+    }
+    for (i = 0; i < 300; i++) table[i] = i * 1.25;
+    migrate_here();
+    { struct node *p; double s = 0.0;
+      for (p = ring; p != NULL; p = p->next) s += p->w;
+      for (i = 0; i < 300; i++) s += table[i];
+      printf("%d", (int) s); }
+    return 0;
+}
+"""
+
+NO_SLEEP = dict(sleep=lambda _s: None)
+
+
+@pytest.fixture(scope="module")
+def prog():
+    return compile_program(PROGRAM, poll_strategy="user")
+
+
+@pytest.fixture(scope="module")
+def expected(prog):
+    p = Process(prog, DEC5000)
+    p.run_to_completion()
+    return p.stdout
+
+
+def stopped(prog, arch=DEC5000):
+    proc = Process(prog, arch)
+    proc.start()
+    proc.migration_pending = True
+    assert proc.run().status == "poll"
+    return proc
+
+
+def row_of(attr, type_substr):
+    matches = [r for r in attr["rows"] if type_substr in r["type"]]
+    assert matches, f"no attribution row matching {type_substr!r}"
+    return matches[0]
+
+
+# -- the profiler in isolation ------------------------------------------------
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+class TestProfilerUnit:
+    def test_nested_frames_attribute_self_cost_only(self):
+        """A parent block's row gets total minus children — the nested
+        child's bytes and seconds are not double counted."""
+        clock = FakeClock()
+        prof = AttributionProfiler(clock=clock)
+        prof.enter_block("collect", "struct outer", "global", pos=0)
+        clock.t = 1.0
+        prof.enter_block("collect", "double [8]", "heap", pos=10)
+        clock.t = 3.0
+        prof.exit_block(pos=74, engagement="flat")  # child: 2 s, 64 B
+        clock.t = 4.0
+        prof.exit_block(pos=100, engagement="percell")  # total 4 s, 100 B
+        prof.note_payload(120)
+        summary = prof.summary()
+        rows = {(r["type"], r["class"]): r for r in summary["rows"]}
+        outer = rows[("struct outer", "global")]
+        inner = rows[("double [8]", "heap")]
+        assert inner["bytes"] == 64 and inner["collect_s"] == pytest.approx(2.0)
+        assert outer["bytes"] == 36 and outer["collect_s"] == pytest.approx(2.0)
+        assert rows[FRAMING_ROW]["bytes"] == 20
+        assert sum(r["bytes"] for r in summary["rows"]) == 120
+
+    def test_engagement_and_phase_counters(self):
+        prof = AttributionProfiler(clock=FakeClock())
+        prof.enter_block("collect", "int", "global", 0)
+        prof.exit_block(4, "flat", cells=1)
+        prof.enter_block("restore", "int", "global", 0)
+        prof.exit_block(4, "codec", cells=1)
+        (row,) = prof.summary()["rows"]
+        assert row["blocks"] == 1 and row["restore_blocks"] == 1
+        assert row["bytes"] == 4 and row["restore_bytes"] == 4
+        assert row["flat"] == 1 and row["codec"] == 1 and row["percell"] == 0
+        assert row["cells"] == 2
+
+    def test_msrlt_lookup_attributed_to_open_frame(self):
+        prof = AttributionProfiler(clock=FakeClock())
+        prof.enter_block("collect", "struct node", "heap", 0)
+        prof.msrlt_lookup(depth=5, cache_hit=False)
+        prof.msrlt_lookup(depth=0, cache_hit=True)
+        prof.exit_block(8, "percell")
+        prof.msrlt_lookup(depth=3, cache_hit=False)  # no frame open
+        summary = prof.summary()
+        rows = {(r["type"], r["class"]): r for r in summary["rows"]}
+        node = rows[("struct node", "heap")]
+        assert node["msrlt_searches"] == 2
+        assert node["msrlt_depth"] == 5
+        assert node["msrlt_cache_hits"] == 1
+        assert rows[FRAMING_ROW]["msrlt_searches"] == 1
+
+    def test_note_payload_keeps_max(self):
+        prof = AttributionProfiler()
+        prof.note_payload(100)
+        prof.note_payload(60)  # a retried smaller attempt cannot shrink it
+        assert prof.summary()["payload_bytes"] == 100
+
+    def test_rows_sorted_by_bytes_descending(self):
+        clock = FakeClock()
+        prof = AttributionProfiler(clock=clock)
+        for label, nbytes in (("small", 10), ("big", 90), ("mid", 40)):
+            prof.enter_block("collect", label, "global", 0)
+            prof.exit_block(nbytes, "flat")
+        got = [r["type"] for r in prof.summary()["rows"]]
+        assert got == ["big", "mid", "small"]
+
+    def test_empty_profiler_is_truthy(self):
+        assert AttributionProfiler()
+        assert len(AttributionProfiler()) == 0
+
+    def test_block_class_of(self):
+        assert [block_class_of((k, 0)) for k in range(3)] == list(BLOCK_CLASSES)
+        assert block_class_of((99, 0)) == "unknown"
+
+
+class TestObservationWiring:
+    def test_attribution_off_by_default(self):
+        assert MigrationObservation("m").attribution is None
+
+    def test_attribution_flag_creates_profiler(self):
+        obs_ = MigrationObservation("m", attribution=True)
+        assert isinstance(obs_.attribution, AttributionProfiler)
+
+
+# -- engine integration -------------------------------------------------------
+
+
+class TestEngineAttribution:
+    @pytest.fixture(scope="class")
+    def attributed(self, prog):
+        proc = stopped(prog)
+        dest, stats = MigrationEngine().migrate(
+            proc, SPARC20, channel=Channel(LOOPBACK), attribution=True
+        )
+        return proc, dest, stats
+
+    def test_byte_partition_is_exact(self, attributed, expected):
+        proc, dest, stats = attributed
+        dest.run()
+        assert dest.stdout == expected
+        attr = stats.attribution
+        assert attr is not None
+        total = sum(r["bytes"] for r in attr["rows"])
+        assert total == attr["payload_bytes"] == stats.payload_bytes
+
+    def test_framing_residual_present(self, attributed):
+        _, _, stats = attributed
+        framing = row_of(stats.attribution, "(framing)")
+        assert framing["class"] == "wire"
+        assert framing["bytes"] > 0
+        assert framing["blocks"] == 0
+
+    def test_known_rows_and_block_classes(self, attributed):
+        _, _, stats = attributed
+        attr = stats.attribution
+        table = row_of(attr, "double [300]")
+        assert table["class"] == "global"
+        node = row_of(attr, "struct node")
+        assert node["class"] == "heap"
+        assert node["blocks"] == 40  # one per malloc'd ring element
+        classes = {r["class"] for r in attr["rows"]}
+        assert classes <= set(BLOCK_CLASSES) | {"wire", "unknown"}
+
+    def test_engagement_classes(self, attributed):
+        """The flat bulk path carries the scalar array; the
+        pointer-bearing struct must take the per-cell loop."""
+        _, _, stats = attributed
+        attr = stats.attribution
+        table = row_of(attr, "double [300]")
+        assert table["flat"] == 2 and table["percell"] == 0  # collect+restore
+        node = row_of(attr, "struct node")
+        assert node["percell"] == node["blocks"] + node["restore_blocks"]
+        assert node["flat"] == 0
+
+    def test_engagement_counts_cover_every_visit(self, attributed):
+        _, _, stats = attributed
+        for r in stats.attribution["rows"]:
+            assert (r["flat"] + r["codec"] + r["percell"]
+                    == r["blocks"] + r["restore_blocks"])
+
+    def test_restore_side_mirrors_collect(self, attributed):
+        _, _, stats = attributed
+        rows = stats.attribution["rows"]
+        assert sum(r["blocks"] for r in rows) == sum(
+            r["restore_blocks"] for r in rows
+        )
+        # restore reads no framing residual, so restore bytes undershoot
+        restore_total = sum(r["restore_bytes"] for r in rows)
+        assert 0 < restore_total <= stats.payload_bytes
+
+    def test_msrlt_rows_agree_with_metrics(self, attributed):
+        """Row-attributed lookups are the *same* lookups the metrics
+        registry counts — one instrumentation, two read-outs."""
+        _, _, stats = attributed
+        counters = stats.obs.metrics.snapshot()["counters"]
+        rows = stats.attribution["rows"]
+        assert sum(r["msrlt_searches"] for r in rows) == counters["msrlt.searches"]
+        assert sum(r["msrlt_cache_hits"] for r in rows) == counters.get(
+            "msrlt.cache_hits", 0
+        )
+        node = row_of(stats.attribution, "struct node")
+        assert node["msrlt_searches"] > 0  # pointer chasing pays the searches
+        assert node["msrlt_depth"] >= node["msrlt_searches"] - node["msrlt_cache_hits"]
+
+    def test_profiler_detached_after_migration(self, attributed):
+        proc, dest, _ = attributed
+        assert proc.msrlt.profiler is None
+        assert dest.msrlt.profiler is None
+
+    def test_disabled_by_default(self, prog):
+        proc = stopped(prog)
+        _, stats = MigrationEngine().migrate(
+            proc, SPARC20, channel=Channel(LOOPBACK)
+        )
+        assert stats.attribution is None
+        assert proc.msrlt.profiler is None
+
+    def test_streaming_partition_exact_across_threads(self, prog, expected):
+        """The socket pipeline collects in a producer thread and restores
+        in the consumer — per-thread frame stacks must keep the partition
+        exact."""
+        proc = stopped(prog)
+        channel = SocketChannel(LOOPBACK)
+        dest, stats = MigrationEngine().migrate(
+            proc, SPARC20, channel=channel, streaming=True, chunk_size=512,
+            attribution=True,
+        )
+        channel.close()
+        dest.run()
+        assert dest.stdout == expected
+        attr = stats.attribution
+        total = sum(r["bytes"] for r in attr["rows"])
+        assert total == attr["payload_bytes"] == stats.payload_bytes
+
+    def test_multi_attempt_accounting_is_cumulative(self, prog, expected):
+        """A faulted attempt's collect work really happened; attribution
+        keeps it (rows can sum past the payload), while payload_bytes
+        stays the single successful envelope."""
+        proc = stopped(prog)
+        channel = FaultyChannel(
+            Channel(LOOPBACK), FaultPlan.parse("bitflip@1:5"), deadline=1.0
+        )
+        dest, stats = MigrationEngine().migrate(
+            proc, SPARC20, channel=channel, streaming=True, chunk_size=512,
+            attribution=True,
+            retry=RetryPolicy(max_attempts=3, backoff_base_s=0.0, **NO_SLEEP),
+        )
+        dest.run()
+        assert dest.stdout == expected
+        assert stats.retries == 1
+        attr = stats.attribution
+        assert attr["payload_bytes"] == stats.payload_bytes
+        assert sum(r["bytes"] for r in attr["rows"]) > attr["payload_bytes"]
+
+    def test_attribution_in_trace_lines(self, attributed):
+        _, _, stats = attributed
+        (line,) = [
+            l for l in stats.obs.trace_lines() if l["event"] == "attribution"
+        ]
+        assert line["payload_bytes"] == stats.payload_bytes
+        assert line["rows"] == stats.attribution["rows"]
+
+
+class TestTypeInfoLabel:
+    def test_label_is_cached(self, prog):
+        proc = Process(prog, DEC5000)
+        proc.start()
+        info = next(iter(proc.ti._infos.values()), None)
+        if info is None:  # registry is lazy; force one record
+            info = proc.ti.info(next(iter(prog.wire_type_ids())))
+        first = info.label
+        assert first == str(info.ctype)
+        assert info.label is first

@@ -480,4 +480,11 @@ class TestTransactionalRestore:
             retry=RetryPolicy(max_attempts=2, **NO_SLEEP),
         )
         assert stats.retries == 1
-        assert received == [reference]
+        # the delivered message is trace-context frame + envelope; the
+        # envelope must be byte-identical to a clean collection
+        from repro.msr.wire import peel_context_frame
+
+        assert len(received) == 1
+        ctx_body, envelope = peel_context_frame(received[0])
+        assert ctx_body is not None
+        assert envelope == reference

@@ -298,8 +298,11 @@ class TestStreamingMigration:
         assert stats.payload_bytes > 0
 
     def test_monolithic_remains_default_and_identical(self, prog):
-        """The default path must still send one message whose bytes equal
-        the seed's payload format (collect_state output)."""
+        """The default path must still send one message whose envelope
+        bytes (after the trace-context frame) equal the seed's payload
+        format (collect_state output)."""
+        from repro.msr.wire import peel_context_frame
+
         payload, _ = collect_state(stopped(prog))
         proc = stopped(prog)
         channel = Channel(LOOPBACK)
@@ -308,7 +311,10 @@ class TestStreamingMigration:
         channel.send = lambda p: (sent.append(p), original_send(p))[1]
         dest, stats = MigrationEngine().migrate(proc, SPARC20, channel=channel)
         assert not stats.streamed and stats.n_chunks == 0
-        assert sent == [payload]
+        assert len(sent) == 1
+        ctx_body, envelope = peel_context_frame(sent[0])
+        assert ctx_body is not None
+        assert envelope == payload
 
     def test_streamed_stats_consistent_with_monolithic(self, prog):
         payload, _ = collect_state(stopped(prog))
