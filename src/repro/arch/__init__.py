@@ -18,6 +18,7 @@ from repro.arch.machine import (
     ARCH_PRESETS,
     DEC5000,
     Endian,
+    MACHINES,
     MachineArch,
     SPARC20,
     ULTRA5,
@@ -32,6 +33,7 @@ __all__ = [
     "ARCH_PRESETS",
     "DEC5000",
     "Endian",
+    "MACHINES",
     "MachineArch",
     "ReadBuffer",
     "SPARC20",

@@ -39,6 +39,7 @@ __all__ = [
     "X86",
     "X86_64",
     "ARCH_PRESETS",
+    "MACHINES",
 ]
 
 
@@ -287,7 +288,15 @@ X86_64 = MachineArch(
     description="x86-64, Linux (little-endian LP64)",
 )
 
+#: The modeled fleet, in canonical order: every preset a process can
+#: roam between.  Ordered pairs drawn from this tuple are the standard
+#: coverage matrix of the differential-migration harness
+#: (:mod:`repro.difftest`), spanning endianness (DEC5000 vs SPARC20),
+#: word size (32 vs 64 bit, both directions), alignment (X86's 4-byte
+#: ``double``), and ``char`` signedness (ALPHA's unsigned ``char``).
+MACHINES: tuple[MachineArch, ...] = (DEC5000, SPARC20, ULTRA5, ALPHA, X86, X86_64)
+
 #: All presets by name.
 ARCH_PRESETS: Mapping[str, MachineArch] = MappingProxyType(
-    {a.name: a for a in (DEC5000, SPARC20, ULTRA5, ALPHA, X86, X86_64)}
+    {a.name: a for a in MACHINES}
 )

@@ -12,6 +12,7 @@ Usage (after ``pip install -e .`` the ``repro`` entry point exists; or use
     repro checkpoint prog.c --arch dec5000 --after-polls 5 -o snap.ckpt
     repro restart prog.c snap.ckpt --arch alpha
     repro graph prog.c --after-polls 5
+    repro fuzz --seeds 50 --hops 3
     repro obs report trace.jsonl
     repro obs top trace.jsonl --by type
     repro obs diff baseline.jsonl current.jsonl
@@ -297,6 +298,80 @@ def cmd_obs(args) -> int:
     return 0
 
 
+def cmd_fuzz(args) -> int:
+    """`repro fuzz`: the differential fuzzer (DESIGN.md §11).
+
+    Each seed generates a program, establishes the un-migrated baseline
+    on every architecture, then replays it with a migration injected at
+    every poll point across every ordered architecture pair and through
+    a multi-hop faulted chain.  Failures are minimized by the shrinker
+    and written to ``--out`` as replayable artifacts (the minimized
+    ``.c`` plus a ``.json`` recipe).  Exit status is the failing-seed
+    count.
+    """
+    import json
+
+    from repro.difftest.generate import GenConfig
+    from repro.difftest.harness import arch_by_name, run_seed
+    from repro.difftest.shrink import shrink_case
+
+    if args.arches:
+        try:
+            arches = [arch_by_name(n) for n in args.arches.split(",") if n]
+        except ValueError as exc:
+            raise SystemExit(str(exc))
+        if len(arches) < 2:
+            raise SystemExit("--arches needs at least two architectures")
+    else:
+        arches = None  # all of MACHINES
+
+    config = GenConfig(size=args.size) if args.size != 1 else None
+    out_dir = Path(args.out)
+    failing = 0
+    total_runs = 0
+    for seed in range(args.start, args.start + args.seeds):
+        report = run_seed(
+            seed,
+            config=config,
+            arches=arches,
+            hops=args.hops,
+            max_polls=args.max_polls,
+        )
+        total_runs += report.runs
+        tag = (
+            f"seed {seed:5d} [{','.join(report.config.features)}] "
+            f"{report.total_polls} polls, {report.runs} replays"
+        )
+        if report.ok:
+            if args.verbose:
+                print(f"ok   {tag}", file=sys.stderr)
+            continue
+        failing += 1
+        print(f"FAIL {tag}", file=sys.stderr)
+        for m in report.mismatches:
+            print(f"     {m}", file=sys.stderr)
+        if args.no_shrink:
+            continue
+        out_dir.mkdir(parents=True, exist_ok=True)
+        result = shrink_case(report.mismatches[0])
+        stem = f"seed{seed:05d}_{result.minimized.kind}"
+        (out_dir / f"{stem}.json").write_text(
+            json.dumps(result.to_artifact(), indent=2) + "\n"
+        )
+        (out_dir / f"{stem}.c").write_text(result.source)
+        print(
+            f"     shrunk to features={','.join(result.config.features)} "
+            f"({result.candidates_tried} candidates) -> {out_dir}/{stem}.*",
+            file=sys.stderr,
+        )
+    print(
+        f"[fuzz: {args.seeds} seeds, {total_runs} migrated replays, "
+        f"{failing} failing]",
+        file=sys.stderr,
+    )
+    return failing
+
+
 def cmd_checkpoint(args) -> int:
     """`repro checkpoint`: snapshot a process at a poll-point to a file."""
     prog = _compile(args.file, args)
@@ -418,6 +493,34 @@ def build_parser() -> argparse.ArgumentParser:
                         "(kinds: drop, truncate, bitflip, stall, "
                         "disconnect; '!' suffix = persistent)")
     p.set_defaults(fn=cmd_migrate)
+
+    p = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing: generated programs, every pair, "
+             "every poll, multi-hop faulted chains",
+    )
+    p.add_argument("--seeds", type=int, default=20,
+                   help="number of seeds to run (default 20)")
+    p.add_argument("--start", type=int, default=0,
+                   help="first seed (fuzz shards: --start 100 --seeds 100)")
+    p.add_argument("--hops", type=int, default=2,
+                   help="migrations in the faulted chain replay "
+                        "(0 disables chains; default 2)")
+    p.add_argument("--arches", default=None, metavar="A,B,...",
+                   help="restrict to these architectures "
+                        "(default: all presets)")
+    p.add_argument("--max-polls", type=int, default=None,
+                   help="cap poll points swept per pair "
+                        "(stride-sampled; default: all)")
+    p.add_argument("--size", type=int, default=1,
+                   help="program size multiplier (default 1)")
+    p.add_argument("--out", default="fuzz-failures",
+                   help="directory for shrunk failure artifacts")
+    p.add_argument("--no-shrink", action="store_true",
+                   help="report failures without minimizing them")
+    p.add_argument("-v", "--verbose", action="store_true",
+                   help="log passing seeds too")
+    p.set_defaults(fn=cmd_fuzz)
 
     p = common(sub.add_parser("checkpoint", help="snapshot a process to a file"))
     p.add_argument("--arch", default="dec5000", choices=list(ARCH_PRESETS))

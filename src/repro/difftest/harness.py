@@ -1,0 +1,456 @@
+"""The differential harness: replay generated programs under migration.
+
+The oracle is the *un-migrated* run: for every program the harness first
+runs it to completion on every architecture and checks the outputs agree
+bit-for-bit (the generator's portability contract; a disagreement here
+is a generator bug, not a collector bug).  Then it replays the program
+
+- **pairwise** (:func:`sweep_pairs`): one migration injected at every
+  user poll point, across every ordered architecture pair, asserting the
+  final stdout, exit code, and canonical heap fingerprint
+  (:func:`repro.difftest.oracle.heap_fingerprint`) match the baseline;
+- **chained** (:func:`run_chain`): a multi-hop itinerary
+  (e.g. DEC5000→ALPHA→SPARC20), each hop optionally migrating *under a
+  transient transport fault* with the engine's retry policy curing it,
+  and each hop adopting the previous hop's trace context
+  (:func:`repro.obs.propagate.continuation_context`) so the whole chain
+  exports one connected span tree.
+
+Every failure is a :class:`Mismatch` carrying the exact (seed, features,
+route) needed to replay it — the currency :mod:`repro.difftest.shrink`
+minimizes and :mod:`repro.difftest.corpus` commits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.arch.machine import MACHINES, ARCH_PRESETS
+from repro.difftest.generate import GenConfig, GeneratedProgram, generate
+from repro.difftest.oracle import fingerprint_diff, heap_fingerprint
+from repro.migration.engine import (
+    MigrationAbortedError,
+    MigrationEngine,
+    MigrationError,
+    RetryPolicy,
+)
+from repro.migration.transport import (
+    LOOPBACK,
+    Channel,
+    FaultPlan,
+    FaultyChannel,
+)
+from repro.obs.propagate import continuation_context
+from repro.vm.process import Process
+from repro.vm.program import compile_program
+
+__all__ = [
+    "Baseline",
+    "CaseReport",
+    "ChainHop",
+    "Mismatch",
+    "default_chain",
+    "run_chain",
+    "run_seed",
+    "sweep_pairs",
+]
+
+def arch_by_name(name: str):
+    """An :data:`ARCH_PRESETS` lookup tolerant of ``DEC5000``-style
+    spellings (preset keys are lowercase)."""
+    try:
+        return ARCH_PRESETS[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown architecture {name!r}; known: {', '.join(ARCH_PRESETS)}"
+        ) from None
+
+
+#: retry policy every faulted hop uses: enough attempts to cure one
+#: transient fault, no real sleeping (tests and fuzz runs stay fast)
+_CHAIN_RETRY = RetryPolicy(
+    max_attempts=3, backoff_base_s=0.0, sleep=lambda _s: None
+)
+#: the transient fault injected at each chain hop: one flipped byte in
+#: the first transfer unit of the first attempt
+DEFAULT_HOP_FAULT = "bitflip@0:9"
+
+
+@dataclass(frozen=True)
+class ChainHop:
+    """One leg of a multi-hop itinerary.
+
+    ``after_polls`` counts user poll points *since the previous hop's
+    restore* (1 = migrate at the first poll reached); ``fault`` is a
+    :meth:`FaultPlan.parse` spec injected on that hop's channel, or
+    ``None`` for a clean link.
+    """
+
+    dest: str  # architecture name (ARCH_PRESETS key)
+    after_polls: int = 1
+    fault: Optional[str] = DEFAULT_HOP_FAULT
+
+
+@dataclass(frozen=True)
+class Mismatch:
+    """One divergence from the un-migrated oracle, fully replayable."""
+
+    seed: int
+    features: tuple[str, ...]
+    kind: str  # "stdout" | "exit" | "fingerprint" | "error" | "baseline" | "trace" | "attribution"
+    route: str  # e.g. "DEC5000->ALPHA@poll3" or "DEC5000->ALPHA->SPARC20"
+    detail: str
+    src: Optional[str] = None
+    dst: Optional[str] = None
+    poll: Optional[int] = None
+    schedule: Optional[tuple[ChainHop, ...]] = None
+
+    def __str__(self) -> str:
+        return (
+            f"[{self.kind}] seed={self.seed} "
+            f"features={','.join(self.features)} {self.route}: {self.detail}"
+        )
+
+
+@dataclass
+class Baseline:
+    """The un-migrated reference run of one compiled program."""
+
+    stdout: str
+    exit_code: int
+    total_polls: int
+    fingerprint: list
+
+
+@dataclass
+class CaseReport:
+    """Everything one seed's differential run produced."""
+
+    seed: int
+    config: GenConfig
+    total_polls: int = 0
+    runs: int = 0  # migrated replays performed (pairwise + chain)
+    mismatches: list[Mismatch] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+
+def run_baseline(program, arch) -> Baseline:
+    """Run the compiled *program* on *arch* without ever migrating."""
+    proc = Process(program, arch)
+    code = proc.run_to_completion()
+    return Baseline(
+        stdout=proc.stdout,
+        exit_code=code,
+        total_polls=proc.polls,
+        fingerprint=heap_fingerprint(proc),
+    )
+
+
+def _stop_at_poll(program, arch, after_polls: int) -> Optional[Process]:
+    """A process stopped at its *after_polls*-th user poll, or ``None``
+    if it exits first."""
+    proc = Process(program, arch)
+    proc.start()
+    proc.migration_pending = True
+    proc.migrate_after_polls = after_polls
+    result = proc.run()
+    if result.status != "poll":
+        return None
+    return proc
+
+
+def _check_final(
+    prog: GeneratedProgram,
+    dest: Process,
+    baseline: Baseline,
+    route: str,
+    **ids,
+) -> list[Mismatch]:
+    """Run *dest* to completion and compare against *baseline*."""
+    out: list[Mismatch] = []
+
+    def mm(kind: str, detail: str) -> None:
+        out.append(
+            Mismatch(
+                seed=prog.seed, features=prog.config.features,
+                kind=kind, route=route, detail=detail, **ids,
+            )
+        )
+
+    try:
+        code = dest.run_to_completion()
+    except Exception as exc:  # VM crash after restore is a finding too
+        mm("error", f"{type(exc).__name__}: {exc}")
+        return out
+    if dest.stdout != baseline.stdout:
+        mm("stdout", f"{dest.stdout!r} != {baseline.stdout!r}")
+    if code != baseline.exit_code:
+        mm("exit", f"{code} != {baseline.exit_code}")
+    diff = fingerprint_diff(heap_fingerprint(dest), baseline.fingerprint)
+    if diff is not None:
+        mm("fingerprint", diff)
+    return out
+
+
+def check_baseline_agreement(
+    prog: GeneratedProgram, program, arches: Sequence
+) -> tuple[Optional[Baseline], list[Mismatch]]:
+    """Baselines on every architecture must agree with the first one."""
+    mismatches: list[Mismatch] = []
+    reference: Optional[Baseline] = None
+    for arch in arches:
+        base = run_baseline(program, arch)
+        if reference is None:
+            reference = base
+            ref_name = arch.name
+            continue
+        problems = []
+        if base.stdout != reference.stdout:
+            problems.append(f"stdout {base.stdout!r} != {reference.stdout!r}")
+        if base.exit_code != reference.exit_code:
+            problems.append(f"exit {base.exit_code} != {reference.exit_code}")
+        diff = fingerprint_diff(base.fingerprint, reference.fingerprint)
+        if diff is not None:
+            problems.append(f"fingerprint: {diff}")
+        for p in problems:
+            mismatches.append(
+                Mismatch(
+                    seed=prog.seed, features=prog.config.features,
+                    kind="baseline", route=f"{ref_name} vs {arch.name}",
+                    detail=p,
+                )
+            )
+    return reference, mismatches
+
+
+def sweep_pairs(
+    prog: GeneratedProgram,
+    program,
+    baseline: Baseline,
+    arches: Sequence,
+    max_polls: Optional[int] = None,
+) -> tuple[int, list[Mismatch]]:
+    """One migration at every poll across every ordered pair.
+
+    With *max_polls* set and fewer than ``total_polls`` poll points
+    affordable, the polls are stride-sampled deterministically (always
+    including the first and the last).  Returns ``(runs, mismatches)``.
+    """
+    polls = _sample_polls(baseline.total_polls, max_polls)
+    runs = 0
+    mismatches: list[Mismatch] = []
+    for src in arches:
+        for dst in arches:
+            if src.name == dst.name:
+                continue
+            for k in polls:
+                stopped = _stop_at_poll(program, src, k)
+                if stopped is None:
+                    break  # later polls don't exist either
+                route = f"{src.name}->{dst.name}@poll{k}"
+                runs += 1
+                try:
+                    dest, _stats = MigrationEngine().migrate(stopped, dst)
+                except (MigrationError, MigrationAbortedError) as exc:
+                    mismatches.append(
+                        Mismatch(
+                            seed=prog.seed, features=prog.config.features,
+                            kind="error", route=route,
+                            detail=f"{type(exc).__name__}: {exc}",
+                            src=src.name, dst=dst.name, poll=k,
+                        )
+                    )
+                    continue
+                mismatches.extend(
+                    _check_final(
+                        prog, dest, baseline, route,
+                        src=src.name, dst=dst.name, poll=k,
+                    )
+                )
+    return runs, mismatches
+
+
+def _sample_polls(total: int, cap: Optional[int]) -> list[int]:
+    if total <= 0:
+        return []
+    if cap is None or total <= cap:
+        return list(range(1, total + 1))
+    # deterministic stride sample, endpoints included
+    step = (total - 1) / (cap - 1)
+    picked = sorted({1 + round(i * step) for i in range(cap)})
+    return [min(p, total) for p in picked]
+
+
+def default_chain(n_hops: int = 2) -> tuple[str, tuple[ChainHop, ...]]:
+    """The acceptance itinerary: DEC5000 → ALPHA → SPARC20 → …, one
+    transient fault per hop.  The first two hops (LE/32 → LE/64 → BE/32)
+    exercise both a word-size change and an endianness change across the
+    same data; longer chains cycle on through the remaining presets."""
+    itinerary = ("alpha", "sparc20", "x86_64", "ultra5", "x86", "dec5000")
+    hops = tuple(
+        ChainHop(itinerary[i % len(itinerary)], after_polls=2)
+        for i in range(max(1, n_hops))
+    )
+    return "dec5000", hops
+
+
+def run_chain(
+    prog: GeneratedProgram,
+    program,
+    baseline: Baseline,
+    start: str,
+    schedule: Sequence[ChainHop],
+) -> tuple[int, list[Mismatch]]:
+    """Migrate through *schedule*, faulted and trace-chained.
+
+    Each hop runs over a :class:`FaultyChannel` carrying the hop's
+    (transient) fault plan, with the engine's retry curing it, and
+    adopts the previous hop's trace context so the hops share one trace
+    id.  Besides the end-state oracle, the chain asserts the
+    observability contract: every hop joins the first hop's trace, and
+    each hop's attribution rows (plus framing) account for at least the
+    payload — exactly the payload on clean hops.
+
+    Returns ``(hops_performed, mismatches)``.  A schedule whose poll
+    offsets overrun the program's remaining polls is truncated, not an
+    error (short programs simply make shorter chains).
+    """
+    route = "->".join([start] + [h.dest for h in schedule])
+    mismatches: list[Mismatch] = []
+
+    def mm(kind: str, detail: str) -> None:
+        mismatches.append(
+            Mismatch(
+                seed=prog.seed, features=prog.config.features,
+                kind=kind, route=route, detail=detail,
+                schedule=tuple(schedule),
+            )
+        )
+
+    proc = _stop_at_poll(program, arch_by_name(start), schedule[0].after_polls)
+    hops = 0
+    ctx = None
+    trace_id = None
+    for i, hop in enumerate(schedule):
+        if proc is None:
+            break  # program exited before this hop's poll: truncated chain
+        if hop.fault:
+            channel = FaultyChannel(
+                Channel(LOOPBACK), FaultPlan.parse(hop.fault), deadline=1.0
+            )
+        else:
+            channel = Channel(LOOPBACK)
+        try:
+            dest, stats = MigrationEngine().migrate(
+                proc,
+                arch_by_name(hop.dest),
+                channel=channel,
+                streaming=True,
+                chunk_size=512,
+                retry=_CHAIN_RETRY,
+                attribution=True,
+                adopt_trace=ctx,
+            )
+        except (MigrationError, MigrationAbortedError) as exc:
+            mm("error", f"hop {i} ({hop.dest}): {type(exc).__name__}: {exc}")
+            return hops, mismatches
+        hops += 1
+        # observability contract: one trace id across the whole chain
+        obs = getattr(stats, "obs", None)
+        if obs is not None:
+            if trace_id is None:
+                trace_id = obs.tracer.trace_id
+            elif obs.tracer.trace_id != trace_id:
+                mm(
+                    "trace",
+                    f"hop {i} opened trace {obs.tracer.trace_id}, "
+                    f"chain started {trace_id}",
+                )
+            summary = stats.attribution
+            if summary is not None:
+                total = sum(r["bytes"] for r in summary["rows"])
+                if hop.fault is None and total != stats.payload_bytes:
+                    mm(
+                        "attribution",
+                        f"hop {i}: rows sum {total} != payload "
+                        f"{stats.payload_bytes}",
+                    )
+                elif total < stats.payload_bytes:
+                    mm(
+                        "attribution",
+                        f"hop {i}: rows sum {total} < payload "
+                        f"{stats.payload_bytes}",
+                    )
+        ctx = continuation_context(stats)
+        if i + 1 < len(schedule):
+            dest.migration_pending = True
+            dest.migrate_after_polls = schedule[i + 1].after_polls
+            result = dest.run()
+            proc = dest if result.status == "poll" else None
+            if proc is None:
+                # exited before the next hop: final-state check now
+                mismatches.extend(_final_chain_check(prog, dest, baseline, route, schedule))
+                return hops, mismatches
+        else:
+            proc = dest
+    if proc is not None and hops:
+        mismatches.extend(_final_chain_check(prog, proc, baseline, route, schedule))
+    return hops, mismatches
+
+
+def _final_chain_check(prog, dest, baseline, route, schedule):
+    found = _check_final(prog, dest, baseline, route)
+    return [
+        Mismatch(
+            seed=m.seed, features=m.features, kind=m.kind, route=m.route,
+            detail=m.detail, schedule=tuple(schedule),
+        )
+        for m in found
+    ]
+
+
+def run_seed(
+    seed: int,
+    config: Optional[GenConfig] = None,
+    arches: Optional[Sequence] = None,
+    hops: int = 2,
+    max_polls: Optional[int] = None,
+) -> CaseReport:
+    """The full differential run for one seed.
+
+    Generates, compiles, establishes the cross-architecture baseline,
+    sweeps every (pair, poll), then — with ``hops >= 2`` — runs the
+    multi-hop faulted chain.  *arches* defaults to all of
+    :data:`~repro.arch.machine.MACHINES`.
+    """
+    arch_list = list(arches) if arches else list(MACHINES)
+    prog = generate(seed, config)
+    report = CaseReport(seed=seed, config=prog.config)
+    try:
+        program = compile_program(prog.source, poll_strategy="user")
+    except Exception as exc:
+        report.mismatches.append(
+            Mismatch(
+                seed=seed, features=prog.config.features, kind="error",
+                route="compile", detail=f"{type(exc).__name__}: {exc}",
+            )
+        )
+        return report
+    baseline, disagreements = check_baseline_agreement(prog, program, arch_list)
+    report.mismatches.extend(disagreements)
+    if baseline is None or disagreements:
+        return report  # generator bug: differential replay is meaningless
+    report.total_polls = baseline.total_polls
+    runs, mismatches = sweep_pairs(prog, program, baseline, arch_list, max_polls)
+    report.runs += runs
+    report.mismatches.extend(mismatches)
+    if hops >= 1 and baseline.total_polls >= 2:
+        start, schedule = default_chain(hops)
+        done, mismatches = run_chain(prog, program, baseline, start, schedule)
+        report.runs += done
+        report.mismatches.extend(mismatches)
+    return report

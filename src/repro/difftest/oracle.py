@@ -1,0 +1,238 @@
+"""The differential oracle: canonical fingerprints of final memory.
+
+The harness's correctness claim is that a migrated run is observationally
+equivalent to a never-migrated one.  Bit-equal stdout covers everything
+the program *computed*; the fingerprint additionally covers everything
+the program *left behind* — the shape and contents of the reachable
+memory graph at exit — so a collector bug that corrupts a block the
+program happens not to print is still caught.
+
+Fingerprints must compare **across architectures**, so nothing
+host-specific may leak in:
+
+- blocks are identified by *canonical index* — their position in the
+  sorted order of their machine-independent logical ids, the very names
+  the MSRLT exists to keep stable across migration (the restorer passes
+  source heap serials through so logical ids keep matching) — never by
+  address.  Traversal order is deliberately NOT the canonical order:
+  which block a DFS discovers first through a boundary pointer depends
+  on whether allocations happen to abut, i.e. on layout;
+- pointer values become ``(canonical index, normalized offset)`` where
+  the offset is ``(unit ordinal, cell ordinal)`` rather than a byte
+  count (struct padding differs per architecture); a one-past-end
+  pointer becomes the ``"end"`` sentinel;
+- ``char`` cells are reduced to their unsigned byte (ALPHA's plain
+  ``char`` is unsigned);
+- pointers into the stack, or to addresses the MSRLT no longer maps
+  (a global left dangling after ``main`` returned), normalize to
+  ``"stack/dead"`` — the run-to-completion fingerprint only asserts on
+  globals and reachable heap, because stdout already witnessed every
+  stack-held value the program used.
+
+One ambiguity cannot be canonicalized per-run: an address that is
+simultaneously block *i*'s one-past-end and block *j*'s start (the two
+allocations abut).  The MSRLT resolves it with start-preference, but
+whether blocks abut is a property of the *layout*, and migration
+re-lays blocks out — so a one-past-end pointer legitimately fingerprints
+as ``(i, end)`` in one run and ``(j, start)`` in the other while both
+runs are address-level identical (the fuzzer's first real find, seed 6).
+Each block therefore records which reachable block starts exactly at
+its end (``abut``), and :func:`fingerprint_diff` accepts
+``(i, end) ≡ (j, start)`` precisely when the other run's layout shows
+*j* abutting *i*.  Compare fingerprints with :func:`fingerprint_diff`,
+not ``==``.
+"""
+
+from __future__ import annotations
+
+from repro.msr.msrlt import BlockKind, MSRLTError
+
+__all__ = ["heap_fingerprint", "fingerprint_diff"]
+
+#: pointer-cell sentinels
+_NULL = ("null",)
+_END = ("end",)
+_DEAD = ("stack/dead",)
+
+
+def _global_roots(process):
+    """The process's global blocks in declaration order (the collector's
+    root order)."""
+    roots = []
+    for idx in range(len(process.program.globals)):
+        logical = (BlockKind.GLOBAL, idx, 0)
+        if process.msrlt.has_logical(logical):
+            roots.append(process.msrlt.lookup_logical(logical))
+    return roots
+
+
+def _normalize_offset(block, info, off: int):
+    """A byte offset inside *block* as an arch-independent position."""
+    if off == block.size:
+        return _END
+    unit = off // info.unit_size if info.unit_size else 0
+    rem = off - unit * info.unit_size
+    for ci, cell in enumerate(info.cells):
+        if cell.offset == rem:
+            return (unit, ci)
+    # interior of a cell or padding: keep the raw remainder (generated
+    # programs never produce this; hand-written ones might)
+    return (unit, "byte", rem)
+
+
+def heap_fingerprint(process) -> list[tuple]:
+    """The canonical fingerprint of *process*'s final reachable memory.
+
+    Returns a list of per-block tuples in canonical (DFS) order::
+
+        (idx, segment, name, count, (cell values...), abut)
+
+    where ``abut`` is the canonical index of the reachable block that
+    starts exactly at this block's one-past-end address (``None`` when
+    nothing does).  ``abut`` is layout, not state — migration re-packs
+    blocks, so it legitimately differs between runs.  Compare with
+    :func:`fingerprint_diff`, which uses each side's ``abut`` to equate
+    the two renderings of a boundary pointer; direct ``==`` is only
+    sound between runs on the same machine with the same history.
+    """
+    memory = process.memory
+    msrlt = process.msrlt
+    ti = process.ti
+
+    # pass 1: the reachable set.  Traversal order is irrelevant — the
+    # canonical order is by logical id below — so a plain worklist
+    # suffices, and boundary-pointer resolution (which is layout-
+    # dependent) cannot perturb the numbering.
+    seen: set[tuple] = set()
+    blocks: list = []
+    work = list(_global_roots(process))
+    while work:
+        block = work.pop()
+        logical = tuple(block.logical)
+        if logical in seen:
+            continue
+        seen.add(logical)
+        blocks.append(block)
+        info = ti.info_for(block.elem_type)
+        if not info.has_pointers:
+            continue
+        for unit in range(info.units_in(block.count)):
+            base = block.addr + unit * info.unit_size
+            for cell in info.cells:
+                if cell.kind != "ptr":
+                    continue
+                value = memory.load("ptr", base + cell.offset)
+                if value == 0:
+                    continue
+                try:
+                    target, _off = msrlt.lookup_addr(value)
+                except MSRLTError:
+                    continue
+                if target.logical[0] == BlockKind.STACK:
+                    continue
+                work.append(target)
+
+    # canonical order: machine-independent logical ids, which the MSRLT
+    # preserves across migration (globals by declaration index, heap by
+    # the serial the restorer carries over)
+    blocks.sort(key=lambda b: tuple(b.logical))
+    order = {tuple(b.logical): i for i, b in enumerate(blocks)}
+
+    # pass 2: extract cell values with the complete canonical map
+    starts = {block.addr: idx for idx, block in enumerate(blocks)}
+    out: list[tuple] = []
+    for idx, block in enumerate(blocks):
+        info = ti.info_for(block.elem_type)
+        values: list = []
+        for unit in range(info.units_in(block.count)):
+            base = block.addr + unit * info.unit_size
+            for cell in info.cells:
+                addr = base + cell.offset
+                if cell.kind == "ptr":
+                    raw = memory.load("ptr", addr)
+                    if raw == 0:
+                        values.append(_NULL)
+                        continue
+                    try:
+                        target, off = msrlt.lookup_addr(raw)
+                    except MSRLTError:
+                        values.append(_DEAD)
+                        continue
+                    if target.logical[0] == BlockKind.STACK:
+                        values.append(_DEAD)
+                        continue
+                    tinfo = ti.info_for(target.elem_type)
+                    values.append(
+                        (order[tuple(target.logical)],
+                         _normalize_offset(target, tinfo, off))
+                    )
+                elif cell.kind in ("char", "uchar"):
+                    values.append(memory.load(cell.kind, addr) & 0xFF)
+                else:
+                    values.append(memory.load(cell.kind, addr))
+        segment = BlockKind.NAMES[block.logical[0]]
+        name = block.name if segment == "global" else None
+        out.append(
+            (idx, segment, name, block.count, tuple(values),
+             starts.get(block.end))
+        )
+    return out
+
+
+def _boundary_equivalent(x, y, fp_x, fp_y) -> bool:
+    """Whether pointer cells *x* and *y* denote the same address modulo
+    the one-past-end/start-of-next ambiguity.
+
+    ``x == (i, end)`` and ``y == (j, start)`` agree iff, in *y*'s
+    layout, block *j* starts exactly where block *i* ends — i.e.
+    ``fp_y``'s row *i* records ``abut == j``.  (In *x*'s layout nothing
+    can abut *i* there, or start-preference would have resolved *x* to
+    that block instead.)
+    """
+    if not (isinstance(x, tuple) and isinstance(y, tuple)):
+        return False
+    if len(x) != 2 or len(y) != 2:
+        return False
+    xi, xo = x
+    yi, yo = y
+    if xo == _END and yo == (0, 0) and xi < len(fp_y):
+        return fp_y[xi][5] == yi
+    if yo == _END and xo == (0, 0) and yi < len(fp_x):
+        return fp_x[yi][5] == xi
+    return False
+
+
+def fingerprint_diff(a: list[tuple], b: list[tuple]) -> str | None:
+    """Human-readable first divergence between two fingerprints, or
+    ``None`` when they are structurally equal.
+
+    Block identity and cell values must match exactly; the per-block
+    ``abut`` layout field is never compared directly — it only feeds
+    :func:`_boundary_equivalent`, which equates ``(i, end)`` with
+    ``(j, start)`` when the other run's layout shows *j* abutting *i*.
+    """
+    if a == b:
+        return None
+    if len(a) != len(b):
+        return (
+            f"reachable block count differs: {len(a)} vs {len(b)} "
+            f"(extra: {[t[:4] for t in (a if len(a) > len(b) else b)[min(len(a), len(b)):]]})"
+        )
+    for (ia, sa, na, ca, va, _xa), (ib, sb, nb, cb, vb, _xb) in zip(a, b):
+        head_a, head_b = (ia, sa, na, ca), (ib, sb, nb, cb)
+        if head_a != head_b:
+            return f"block #{ia} identity differs: {head_a} vs {head_b}"
+        if va != vb:
+            for cell_i, (x, y) in enumerate(zip(va, vb)):
+                if x == y or _boundary_equivalent(x, y, a, b):
+                    continue
+                return (
+                    f"block #{ia} ({sa} {na or ''} count={ca}) "
+                    f"cell {cell_i}: {x!r} vs {y!r}"
+                )
+            if len(va) != len(vb):
+                return (
+                    f"block #{ia} cell count differs: "
+                    f"{len(va)} vs {len(vb)}"
+                )
+    return None

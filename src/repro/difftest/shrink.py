@@ -1,0 +1,227 @@
+"""Greedy minimization of failing differential cases.
+
+A raw fuzz failure is a (seed, features, route) triple whose generated
+program may interleave five features across a hundred lines.  The
+shrinker reduces it to the smallest case that *still fails the same
+way*, in three greedy passes run to fixpoint:
+
+1. **feature subsets** — drop one enabled feature at a time.  The
+   generator draws every feature from its own RNG stream, so removing
+   one leaves the others' code byte-identical — each drop is a strict
+   simplification, never a reshuffle;
+2. **size** — lower ``GenConfig.size`` toward 1 (shorter loops, smaller
+   structures);
+3. **route** — for a chain failure, drop trailing then leading hops and
+   clear per-hop faults; for a pairwise failure, try earlier poll
+   indices (1, then successive halvings toward the failing index).
+
+Every candidate is re-run through the real harness; a candidate is
+accepted only if it reproduces a mismatch of the *same kind* on the
+same route shape.  The result carries the minimized source and a
+replay recipe — exactly what :mod:`repro.difftest.corpus` commits as a
+regression case and what the CLI writes as a failure artifact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.arch.machine import MACHINES
+from repro.difftest.generate import GenConfig, generate
+from repro.difftest.harness import (
+    arch_by_name,
+    ChainHop,
+    Mismatch,
+    check_baseline_agreement,
+    run_chain,
+    sweep_pairs,
+)
+from repro.vm.program import compile_program
+
+__all__ = ["ShrinkResult", "shrink_case"]
+
+
+@dataclass
+class ShrinkResult:
+    """A minimized failing case, replayable from its fields alone."""
+
+    original: Mismatch
+    minimized: Mismatch
+    config: GenConfig
+    source: str
+    candidates_tried: int
+
+    def to_artifact(self) -> dict:
+        """JSON-serializable replay recipe (the CLI's failure artifact)."""
+        m = self.minimized
+        return {
+            "seed": m.seed,
+            "features": list(self.config.features),
+            "size": self.config.size,
+            "kind": m.kind,
+            "route": m.route,
+            "detail": m.detail,
+            "src": m.src,
+            "dst": m.dst,
+            "poll": m.poll,
+            "schedule": [
+                {"dest": h.dest, "after_polls": h.after_polls, "fault": h.fault}
+                for h in (m.schedule or ())
+            ] or None,
+            "source": self.source,
+        }
+
+
+def _replay(
+    seed: int, config: GenConfig, template: Mismatch
+) -> Optional[Mismatch]:
+    """Re-run the route *template* describes against a (possibly
+    reduced) program; return a same-kind mismatch or ``None``."""
+    prog = generate(seed, config)
+    try:
+        program = compile_program(prog.source, poll_strategy="user")
+    except Exception:
+        return None  # reduced program must stay well-formed
+    if template.kind == "baseline":
+        _, disagreements = check_baseline_agreement(prog, program, MACHINES)
+        return disagreements[0] if disagreements else None
+    if template.src and template.dst:
+        arches = [arch_by_name(template.src), arch_by_name(template.dst)]
+    else:
+        arches = list(MACHINES)
+    baseline, disagreements = check_baseline_agreement(prog, program, arches)
+    if baseline is None or disagreements:
+        return None  # the reduction broke portability, not the collector
+    if template.schedule is not None:
+        start = template.route.split("->", 1)[0]
+        _, found = run_chain(prog, program, baseline, start, template.schedule)
+    elif template.src and template.dst and template.poll:
+        found = _replay_pair(
+            prog, program, baseline, template.src, template.dst, template.poll
+        )
+    else:
+        _, found = sweep_pairs(prog, program, baseline, arches)
+    for m in found:
+        if m.kind == template.kind:
+            return m
+    return None
+
+
+def _replay_pair(prog, program, baseline, src, dst, poll):
+    from repro.difftest import harness as h
+
+    stopped = h._stop_at_poll(program, arch_by_name(src), poll)
+    if stopped is None:
+        return []
+    route = f"{src}->{dst}@poll{poll}"
+    try:
+        from repro.migration.engine import MigrationEngine
+
+        dest, _stats = MigrationEngine().migrate(stopped, arch_by_name(dst))
+    except Exception as exc:
+        return [
+            Mismatch(
+                seed=prog.seed, features=prog.config.features, kind="error",
+                route=route, detail=f"{type(exc).__name__}: {exc}",
+                src=src, dst=dst, poll=poll,
+            )
+        ]
+    return h._check_final(
+        prog, dest, baseline, route, src=src, dst=dst, poll=poll
+    )
+
+
+def shrink_case(failure: Mismatch, max_rounds: int = 8) -> ShrinkResult:
+    """Minimize *failure* greedily to fixpoint (bounded by *max_rounds*)."""
+    seed = failure.seed
+    config = GenConfig(features=failure.features)
+    current = failure
+    tried = 0
+
+    def attempt(cand_config: GenConfig, cand_template: Mismatch):
+        nonlocal tried
+        tried += 1
+        return _replay(seed, cand_config, cand_template)
+
+    for _round in range(max_rounds):
+        progressed = False
+
+        # 1. drop features
+        for feat in list(config.features):
+            if len(config.features) == 1:
+                break
+            cand = config.without(feat)
+            found = attempt(cand, current)
+            if found is not None:
+                config, current, progressed = cand, found, True
+
+        # 2. lower size
+        while config.size > 1:
+            cand = GenConfig(features=config.features, size=config.size - 1)
+            found = attempt(cand, current)
+            if found is None:
+                break
+            config, current, progressed = cand, found, True
+
+        # 3a. shorten a chain schedule, then clear its faults
+        while current.schedule is not None and len(current.schedule) > 1:
+            cand_t = _with_schedule(current, current.schedule[:-1])
+            found = attempt(config, cand_t)
+            if found is None:
+                break
+            current, progressed = found, True
+        if current.schedule is not None and any(
+            h.fault for h in current.schedule
+        ):
+            clean = tuple(
+                ChainHop(h.dest, h.after_polls, None) for h in current.schedule
+            )
+            found = attempt(config, _with_schedule(current, clean))
+            if found is not None:
+                current, progressed = found, True
+
+        # 3b. earlier poll index for a pairwise failure
+        if current.poll is not None and current.poll > 1:
+            for cand_poll in _poll_candidates(current.poll):
+                cand_t = _with_poll(current, cand_poll)
+                found = attempt(config, cand_t)
+                if found is not None:
+                    current, progressed = found, True
+                    break
+
+        if not progressed:
+            break
+
+    return ShrinkResult(
+        original=failure,
+        minimized=current,
+        config=config,
+        source=generate(seed, config).source,
+        candidates_tried=tried,
+    )
+
+
+def _poll_candidates(poll: int) -> list[int]:
+    """Earlier polls to try, smallest first: 1, then halvings of *poll*."""
+    out = {1}
+    k = poll // 2
+    while k > 1:
+        out.add(k)
+        k //= 2
+    return sorted(p for p in out if p < poll)
+
+
+def _with_schedule(m: Mismatch, schedule) -> Mismatch:
+    return Mismatch(
+        seed=m.seed, features=m.features, kind=m.kind, route=m.route,
+        detail=m.detail, src=m.src, dst=m.dst, poll=m.poll,
+        schedule=tuple(schedule),
+    )
+
+
+def _with_poll(m: Mismatch, poll: int) -> Mismatch:
+    return Mismatch(
+        seed=m.seed, features=m.features, kind=m.kind, route=m.route,
+        detail=m.detail, src=m.src, dst=m.dst, poll=poll, schedule=m.schedule,
+    )

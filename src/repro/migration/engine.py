@@ -367,6 +367,7 @@ class MigrationEngine:
         checkpoint_path=None,
         attribution: bool = False,
         event_capacity: int = DEFAULT_EVENT_CAPACITY,
+        adopt_trace=None,
     ) -> tuple[Process, MigrationStats]:
         """Migrate *process* (stopped at a poll-point) to *dest_arch*.
 
@@ -445,8 +446,17 @@ class MigrationEngine:
         use_streaming = streaming
         failed_streaming = 0
         scratch: Optional[Process] = None
+        # adopt_trace chains this migration into a prior hop's trace: the
+        # observation's root is parented under the span the context names,
+        # so an A→B→C chain merges into one connected tree (DESIGN §11)
         obs_ = MigrationObservation(
-            attribution=attribution, event_capacity=event_capacity
+            attribution=attribution,
+            event_capacity=event_capacity,
+            adopt_from=(
+                (adopt_trace.trace_id, adopt_trace.parent_span_id)
+                if adopt_trace is not None
+                else None
+            ),
         )
         stats.obs = obs_
         # per-migration lookup-cost deltas (the tables' counters are

@@ -78,11 +78,24 @@ class MigrationObservation:
     default) :attr:`attribution` is ``None`` and those hot paths pay one
     ``is not None`` test per block — the near-zero-overhead contract the
     codec benchmarks hold the profiler to.
+
+    ``adopt_from`` continues another observation's trace instead of
+    starting a fresh one: a ``(trace_id, parent_span_id)`` pair (the
+    identity a :class:`~repro.obs.propagate.TraceContext` carries) roots
+    this observation's tree under that remote span via
+    :meth:`Tracer.adopt_remote`, so a multi-hop migration chain
+    (A→B→C→…) exports as *one* connected span tree when the hops'
+    JSONL lines are merged by span id.
     """
 
     def __init__(self, name: str = "migration", attribution: bool = False,
-                 event_capacity: int = DEFAULT_EVENT_CAPACITY) -> None:
-        self.tracer = Tracer(name)
+                 event_capacity: int = DEFAULT_EVENT_CAPACITY,
+                 adopt_from: Optional[tuple[str, int]] = None) -> None:
+        if adopt_from is not None:
+            trace_id, parent_span_id = adopt_from
+            self.tracer = Tracer.adopt_remote(name, trace_id, parent_span_id)
+        else:
+            self.tracer = Tracer(name)
         self.metrics = MetricsRegistry()
         self.events = EventLog(clock=self.tracer._clock,
                                capacity=event_capacity)

@@ -48,6 +48,7 @@ __all__ = [
     "outbound_context",
     "restore_site",
     "adopted_tracer",
+    "continuation_context",
 ]
 
 _CTX_BODY = struct.Struct(">8sQId")
@@ -137,6 +138,32 @@ def restore_site(ctx: TraceContext | None, wall_clock=time.time):
     parent.attrs.setdefault("clock_offset_s", round(offset, 9))
     with tracer.bind(parent):
         yield parent
+
+
+def continuation_context(stats, wall_clock=time.time) -> TraceContext | None:
+    """The context a *later* hop adopts to continue this migration's trace.
+
+    Reads the completed migration's observation (``stats.obs``) and names
+    its final attempt span — the span that conducted the successful
+    transfer — as the parent, so passing the result to
+    ``MigrationEngine.migrate(..., adopt_trace=...)`` on the next hop
+    roots that hop's whole span tree underneath it.  Returns ``None``
+    when the migration ran unobserved."""
+    observation = getattr(stats, "obs", None)
+    if observation is None:
+        return None
+    attempt = None
+    for _path, sp in observation.tracer.iter_spans():
+        if sp.name == "attempt":
+            attempt = sp
+    if attempt is None:
+        attempt = observation.tracer.root
+    return TraceContext(
+        trace_id=observation.tracer.trace_id,
+        parent_span_id=attempt.span_id,
+        attempt=int(attempt.attrs.get("n", 1)),
+        sent_wall_s=wall_clock(),
+    )
 
 
 def adopted_tracer(ctx: TraceContext, name: str = "restore") -> Tracer:

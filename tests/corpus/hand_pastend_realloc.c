@@ -1,0 +1,32 @@
+// difftest corpus entry
+// seed: 0
+// features:
+// size: 1
+// origin: hand-written
+// note: one-past-end pointer into a freed-then-realloc'd block; the MSRLT must re-resolve the end pointer against whichever block owns the (possibly reused) address after every hop
+int *blk;
+int *past;
+int acc;
+
+int main() {
+    int i;
+    blk = (int *) malloc(6 * sizeof(int));
+    for (i = 0; i < 6; i++) blk[i] = i + 1;
+    past = &blk[6];
+    migrate_here();
+    free(blk);
+    blk = (int *) malloc(6 * sizeof(int));
+    for (i = 0; i < 6; i++) blk[i] = 10 * (i + 1);
+    past = &blk[6];
+    migrate_here();
+    blk = (int *) realloc(blk, 9 * sizeof(int));
+    for (i = 6; i < 9; i++) blk[i] = 100 + i;
+    past = &blk[9];
+    migrate_here();
+    {
+        int *p;
+        for (p = blk; p != past; p = p + 1) acc = acc * 3 + *p;
+    }
+    printf("acc=%d n=%d\n", acc, (int) (past - blk));
+    return 0;
+}

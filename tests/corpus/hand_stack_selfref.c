@@ -1,0 +1,24 @@
+// difftest corpus entry
+// seed: 0
+// features:
+// size: 1
+// origin: hand-written
+// note: self- and cross-referential struct locals on main's stack; collection at each poll must preserve the me/other aliasing across re-located frames
+struct cell { int v; struct cell *me; struct cell *other; };
+int out;
+
+int main() {
+    int i;
+    struct cell a;
+    struct cell b;
+    a.v = 1; a.me = &a; a.other = &b;
+    b.v = 2; b.me = &b; b.other = &a;
+    for (i = 0; i < 6; i++) {
+        a.v = a.me->v + b.other->v;
+        b.v = b.me->v + a.other->v;
+        migrate_here();
+    }
+    out = a.v * 1000 + b.v;
+    printf("out=%d a_self=%d cross=%d\n", out, a.me->me->v, a.other->other->v);
+    return 0;
+}

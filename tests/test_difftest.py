@@ -1,0 +1,296 @@
+"""Unit and integration tests for the differential-testing subsystem
+(generator, oracle, harness, shrinker, corpus format).
+
+The heavyweight sweeps — many seeds, every ordered pair, every poll —
+are marked ``fuzz`` and excluded from tier-1 (see pyproject addopts);
+the nightly workflow runs them.  What stays in tier-1 is deliberately
+small: determinism and shrink-stability of the generator, oracle
+invariants, one reduced-scope differential run, and the shrinker's
+greedy loop against a synthetic predicate.
+"""
+
+import pytest
+
+from repro.arch import ALPHA, DEC5000, SPARC20
+from repro.difftest.generate import FEATURE_NAMES, GenConfig, generate
+from repro.difftest.harness import (
+    ChainHop,
+    Mismatch,
+    arch_by_name,
+    check_baseline_agreement,
+    default_chain,
+    run_baseline,
+    run_chain,
+    run_seed,
+    sweep_pairs,
+)
+from repro.difftest.oracle import fingerprint_diff, heap_fingerprint
+from repro.difftest.corpus import CorpusEntry, parse_entry, render_entry
+from repro.vm.process import Process
+from repro.vm.program import compile_program
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        assert generate(42).source == generate(42).source
+
+    def test_seed_changes_program(self):
+        assert generate(1).source != generate(2).source
+
+    def test_feature_order_is_canonical(self):
+        a = generate(5, GenConfig(features=("tree", "list")))
+        b = generate(5, GenConfig(features=("list", "tree")))
+        assert a.source == b.source
+        assert a.config.features == ("list", "tree")
+
+    def test_unknown_feature_rejected(self):
+        with pytest.raises(ValueError):
+            GenConfig(features=("teleport",))
+
+    def test_shrink_stability(self):
+        """Removing one feature leaves every other feature's emitted code
+        byte-identical — the property the shrinker's soundness rests on."""
+        full = generate(7)
+        assert len(full.config.features) >= 2
+        reduced = generate(7, full.config.without(full.config.features[0]))
+        full_lines = set(full.source.splitlines())
+        for line in reduced.source.splitlines():
+            # the header and the final printf legitimately aggregate all
+            # enabled features; everything else must be byte-identical
+            if line.startswith("/* generated") or "printf(" in line:
+                continue
+            assert line in full_lines, f"reshaped line: {line!r}"
+
+    @pytest.mark.parametrize("feature", FEATURE_NAMES)
+    def test_each_feature_compiles_and_runs(self, feature):
+        prog = generate(3, GenConfig(features=(feature,)))
+        program = compile_program(prog.source, poll_strategy="user")
+        proc = Process(program, DEC5000)
+        assert proc.run_to_completion() == 0
+        assert proc.stdout  # every feature prints its accumulator
+        assert proc.polls >= 1  # and polls at least once while building
+
+    def test_size_scales_work(self):
+        small = generate(9, GenConfig(features=("list",), size=1))
+        big = generate(9, GenConfig(features=("list",), size=3))
+        p_small = compile_program(small.source, poll_strategy="user")
+        p_big = compile_program(big.source, poll_strategy="user")
+        a, b = Process(p_small, DEC5000), Process(p_big, DEC5000)
+        a.run_to_completion(), b.run_to_completion()
+        assert b.polls > a.polls
+
+
+class TestOracle:
+    def _final(self, source, arch):
+        program = compile_program(source, poll_strategy="user")
+        proc = Process(program, arch)
+        proc.run_to_completion()
+        return proc
+
+    def test_fingerprints_agree_across_arches(self):
+        """Un-migrated runs of the same program on different machines
+        must produce identical canonical fingerprints — addresses,
+        padding, and endianness must not leak through."""
+        src = generate(11, GenConfig(features=("list", "cycle"))).source
+        fps = [heap_fingerprint(self._final(src, a))
+               for a in (DEC5000, SPARC20, ALPHA)]
+        assert fingerprint_diff(fps[0], fps[1]) is None
+        assert fingerprint_diff(fps[1], fps[2]) is None
+        assert fingerprint_diff(fps[0], fps[2]) is None
+        # and the fingerprint actually saw the heap structure
+        assert any(row[1] == "heap" for row in fps[0])
+
+    def test_fingerprint_diff_locates_divergence(self):
+        src = generate(11, GenConfig(features=("mixed",))).source
+        a = heap_fingerprint(self._final(src, DEC5000))
+        assert fingerprint_diff(a, a) is None
+        idx, seg, name, count, values, abut = a[0]
+        mutated = list(a)
+        mutated[0] = (idx, seg, name, count,
+                      ("clobbered",) + values[1:], abut)
+        msg = fingerprint_diff(a, mutated)
+        assert msg is not None and "cell 0" in msg
+
+    def test_boundary_pointer_ambiguity_is_equated(self):
+        """``(i, end)`` in one run vs ``(j, start)`` in the other names
+        the same address exactly when the second run's layout has block
+        j abutting block i (the fuzzer's seed-6 find).  Without the
+        abutment it stays a real divergence."""
+        def row(idx, cell=None, abut=None):
+            cells = (cell,) if cell is not None else ()
+            return (idx, "heap", None, 1, cells, abut)
+
+        a = [row(0, cell=(1, ("end",))), row(1), row(2)]
+        b = [row(0, cell=(2, (0, 0))), row(1, abut=2), row(2)]
+        assert fingerprint_diff(a, b) is None
+        assert fingerprint_diff(b, a) is None  # symmetric
+
+        b_no_abut = [row(0, cell=(2, (0, 0))), row(1), row(2)]
+        msg = fingerprint_diff(a, b_no_abut)
+        assert msg is not None and "cell 0" in msg
+
+    def test_pointer_cells_are_normalized(self):
+        """Pointer cells must be (canonical index, offset) pairs or
+        sentinels, never raw simulated addresses."""
+        src = generate(11, GenConfig(features=("pastend",))).source
+        fp = heap_fingerprint(self._final(src, DEC5000))
+        flat = [v for row in fp for v in row[4]]
+        tuples = [v for v in flat if isinstance(v, tuple)]
+        assert tuples, "expected pointer cells in a pastend program"
+        for v in tuples:
+            if v in (("null",), ("end",), ("stack/dead",)):
+                continue
+            target, off = v
+            assert isinstance(target, int) and target < len(fp)
+
+
+class TestHarness:
+    ARCHES = (DEC5000, SPARC20, ALPHA)
+
+    def test_run_seed_reduced_scope_is_clean(self):
+        rep = run_seed(2, arches=self.ARCHES, hops=2, max_polls=4)
+        assert rep.ok, "\n".join(str(m) for m in rep.mismatches)
+        assert rep.runs > 0 and rep.total_polls > 0
+
+    def test_sweep_detects_planted_stdout_divergence(self):
+        """End-to-end self-check: if a migrated run's output ever
+        diverged, the harness must say so — verified by sabotaging the
+        baseline rather than the collector."""
+        prog = generate(2, GenConfig(features=("list",)))
+        program = compile_program(prog.source, poll_strategy="user")
+        baseline, dis = check_baseline_agreement(prog, program, self.ARCHES)
+        assert baseline is not None and not dis
+        baseline.stdout += "tampered"
+        _, mismatches = sweep_pairs(
+            prog, program, baseline, self.ARCHES[:2], max_polls=2
+        )
+        assert mismatches and all(m.kind == "stdout" for m in mismatches)
+
+    def test_chain_is_fault_tolerant_and_clean(self):
+        prog = generate(5, GenConfig(features=("list", "mixed")))
+        program = compile_program(prog.source, poll_strategy="user")
+        baseline, dis = check_baseline_agreement(prog, program, self.ARCHES)
+        assert not dis
+        start, schedule = default_chain(2)
+        assert all(h.fault for h in schedule)  # faulted by default
+        hops, mismatches = run_chain(prog, program, baseline, start, schedule)
+        assert hops == 2
+        assert not mismatches, "\n".join(str(m) for m in mismatches)
+
+    def test_chain_truncates_when_program_exits_early(self):
+        prog = generate(3, GenConfig(features=("stackref",)))
+        program = compile_program(prog.source, poll_strategy="user")
+        baseline, dis = check_baseline_agreement(prog, program, self.ARCHES)
+        assert not dis
+        # far more hops than the program has polls: chain must truncate
+        schedule = tuple(
+            ChainHop(dest, after_polls=3)
+            for dest in ("alpha", "sparc20", "dec5000", "alpha", "sparc20")
+        )
+        hops, mismatches = run_chain(
+            prog, program, baseline, "dec5000", schedule
+        )
+        assert 0 < hops <= len(schedule)
+        assert not mismatches, "\n".join(str(m) for m in mismatches)
+
+    def test_arch_by_name_tolerates_case(self):
+        assert arch_by_name("DEC5000") is arch_by_name("dec5000")
+        with pytest.raises(ValueError):
+            arch_by_name("vax")
+
+    def test_baseline_counts_polls(self):
+        prog = generate(2, GenConfig(features=("tree",)))
+        program = compile_program(prog.source, poll_strategy="user")
+        base = run_baseline(program, DEC5000)
+        assert base.total_polls >= 2
+        assert base.exit_code == 0
+
+
+class TestShrinker:
+    def _failure(self, **kw):
+        defaults = dict(
+            seed=7, features=("list", "cycle", "mixed"), kind="stdout",
+            route="dec5000->alpha@poll8", detail="x", src="dec5000",
+            dst="alpha", poll=8,
+        )
+        defaults.update(kw)
+        return Mismatch(**defaults)
+
+    def test_greedy_minimization(self, monkeypatch):
+        """Against a synthetic predicate ('fails iff cycle is enabled'),
+        the shrinker must strip the other features and walk the poll
+        index down to 1."""
+        from repro.difftest import shrink as shrink_mod
+
+        def fake_replay(seed, config, template):
+            if "cycle" not in config.features:
+                return None
+            return shrink_mod._with_poll(template, template.poll or 1)
+
+        monkeypatch.setattr(shrink_mod, "_replay", fake_replay)
+        result = shrink_mod.shrink_case(self._failure())
+        assert result.config.features == ("cycle",)
+        assert result.minimized.poll == 1
+        assert result.candidates_tried > 0
+
+    def test_non_reproducing_failure_returns_original(self):
+        """A failure the harness cannot reproduce (here: a healthy seed)
+        shrinks to itself — the shrinker never invents a smaller case."""
+        from repro.difftest.shrink import shrink_case
+
+        failure = self._failure(
+            seed=2, features=("list",), poll=2,
+            route="dec5000->sparc20@poll2", dst="sparc20",
+        )
+        result = shrink_case(failure, max_rounds=1)
+        assert result.minimized == failure
+        assert result.config.features == ("list",)
+
+    def test_artifact_is_replayable_json(self):
+        from repro.difftest.shrink import shrink_case
+
+        failure = self._failure(
+            seed=2, features=("list",), poll=1,
+            route="dec5000->sparc20@poll1", dst="sparc20",
+        )
+        art = shrink_case(failure, max_rounds=1).to_artifact()
+        assert art["seed"] == 2 and art["features"] == ["list"]
+        assert "int main()" in art["source"]
+        import json
+
+        json.dumps(art)  # must be JSON-serializable as committed
+
+
+class TestCorpusFormat:
+    def test_render_parse_roundtrip(self):
+        prog = generate(17, GenConfig(features=("list", "pastend")))
+        entry = CorpusEntry(
+            name="rt", source=prog.source, seed=17,
+            features=prog.config.features, size=1,
+            origin="fuzz shrink", note="round trip",
+        )
+        parsed = parse_entry(render_entry(entry), name="rt")
+        assert parsed.seed == 17
+        assert parsed.features == ("list", "pastend")
+        assert parsed.origin == "fuzz shrink"
+        assert parsed.note == "round trip"
+        assert parsed.source.strip() == prog.source.strip()
+
+    def test_committed_text_is_authoritative(self):
+        """parse_entry keeps the body verbatim — replay never regenerates
+        from the seed, so generator drift cannot rewrite a regression."""
+        text = render_entry(
+            CorpusEntry(name="x", source="int main() { return 0; }\n")
+        )
+        parsed = parse_entry(text)
+        assert parsed.source == "int main() { return 0; }\n"
+
+
+@pytest.mark.fuzz
+class TestFuzzSweep:
+    """The nightly surface: full-pair, every-poll differential sweeps."""
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_seed_full_sweep(self, seed):
+        rep = run_seed(seed, hops=3)
+        assert rep.ok, "\n".join(str(m) for m in rep.mismatches)

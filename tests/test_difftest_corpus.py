@@ -1,0 +1,42 @@
+"""Tier-1 regression corpus: committed minimized programs replayed
+deterministically (no generation at test time).
+
+Each ``tests/corpus/*.c`` entry is compiled from its committed text,
+checked for cross-architecture baseline agreement, and migrated at
+every poll point across the representative pairs in
+``REPLAY_PAIR_NAMES`` (endianness flip both ways, word-size change both
+ways).  The full MACHINES × MACHINES sweep belongs to the nightly fuzz
+job; this suite is the fast, always-on floor under it.
+"""
+
+import pytest
+
+from repro.difftest.corpus import DEFAULT_CORPUS_DIR, load_corpus
+
+ENTRIES = load_corpus()
+
+
+def test_corpus_is_populated():
+    """The committed corpus must exist and keep its minimum breadth."""
+    assert DEFAULT_CORPUS_DIR.is_dir()
+    assert len(ENTRIES) >= 25
+    origins = {e.origin for e in ENTRIES}
+    assert "hand-written" in origins  # the two known-hard cases
+
+
+@pytest.mark.parametrize("entry", ENTRIES, ids=lambda e: e.name)
+def test_corpus_entry_replays_clean(entry):
+    mismatches = entry.replay()
+    assert not mismatches, "\n".join(str(m) for m in mismatches)
+
+
+def test_every_generated_feature_is_covered():
+    """The corpus covers each generator feature at least once (so a
+    collector regression in any hard case fails tier-1, not just the
+    nightly)."""
+    from repro.difftest.generate import FEATURE_NAMES
+
+    covered = set()
+    for e in ENTRIES:
+        covered.update(e.features)
+    assert covered == set(FEATURE_NAMES)
