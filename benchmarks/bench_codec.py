@@ -115,6 +115,11 @@ def bench_codecs(workload: str, size, repeats: int) -> dict:
     proc = _stopped(prog, polls)
     dest_ti = Process(prog, SPARC20).ti  # shared per (program, arch)
 
+    # whole-graph plans (PR 8) are a separate axis benchmarked by
+    # bench_graphplan.py; pin them off so codec-vs-percell numbers keep
+    # measuring exactly what BENCH_PR3.json's baseline measured
+    proc.ti.graphplan_enabled = False
+    dest_ti.graphplan_enabled = False
     results = {}
     for mode, enabled in (("percell", False), ("codec", True)):
         proc.ti.codecs_enabled = enabled
@@ -183,6 +188,9 @@ def bench_msrlt_cache(size) -> dict:
     """Last-hit cache hit rate while collecting the structgrid workload."""
     prog, polls = _program("structgrid", size)
     proc = _stopped(prog, polls)
+    # scalar-cache measurement: bulk lookups bypass the last-hit cache,
+    # so pin the graph plans off to keep the hit-rate comparable
+    proc.ti.graphplan_enabled = False
     collect_state(proc)
     msrlt = proc.msrlt
     return {

@@ -1,16 +1,22 @@
 """CI perf-regression gate: compare a fresh bench run against the
-committed baseline.
+committed baselines.
 
     python benchmarks/check_perf_regression.py BENCH_SMOKE.json \
-        --baseline BENCH_PR3.json [--threshold 0.20] [--floor-ms 5]
+        --baseline BENCH_PR3.json --graphplan-baseline BENCH_PR8.json \
+        [--threshold 0.20] [--floor-ms 5]
 
-Compares the ``codec`` section row-by-row (keyed on workload + size):
-a row regresses when its measured collect+restore time exceeds the
-baseline by more than ``--threshold`` (relative) AND ``--floor-ms``
-(absolute — sub-floor deltas on millisecond-scale smoke rows are timer
-noise, not regressions).  Sections or rows present on only one side are
-reported and skipped, never failed: the gate judges comparable work
-only.  Exits 1 when any comparable row regresses, else 0.
+Compares the ``codec`` section against ``--baseline`` and the
+``graphplan`` section against ``--graphplan-baseline``, row-by-row
+(keyed on workload + size): a row regresses when its measured
+collect+restore time exceeds the baseline by more than ``--threshold``
+(relative) AND ``--floor-ms`` (absolute — sub-floor deltas on
+millisecond-scale smoke rows are timer noise, not regressions).
+Sections or rows present on only one side are reported and skipped,
+never failed: the gate judges comparable work only.  Independent of any
+baseline, a graphplan row whose ``payload_identical`` flag is false
+fails outright — byte identity between plan-on and plan-off is a
+correctness invariant, not a perf number.  Exits 1 when any comparable
+row regresses or any payload differs, else 0.
 """
 
 from __future__ import annotations
@@ -37,20 +43,27 @@ def _size_key(size) -> str:
     return json.dumps(size)  # sizes are ints or [rows, cols] lists
 
 
-def _codec_rows(data: dict) -> dict[tuple, dict]:
-    section = data.get("codec")
-    if not isinstance(section, dict):
+#: gated sections: (candidate/baseline key, (collect field, restore field))
+SECTIONS = {
+    "codec": ("collect_codec_s", "restore_codec_s"),
+    "graphplan": ("collect_plan_s", "restore_plan_s"),
+}
+
+
+def _section_rows(data: dict, section: str) -> dict[tuple, dict]:
+    block = data.get(section)
+    if not isinstance(block, dict):
         return {}
     out = {}
-    for row in section.get("rows", []):
+    for row in block.get("rows", []):
         if isinstance(row, dict) and "workload" in row:
             out[(row["workload"], _size_key(row.get("size")))] = row
     return out
 
 
-def _total_s(row: dict) -> float | None:
-    collect = row.get("collect_codec_s")
-    restore = row.get("restore_codec_s")
+def _total_s(row: dict, fields: tuple[str, str]) -> float | None:
+    collect = row.get(fields[0])
+    restore = row.get(fields[1])
     if not isinstance(collect, (int, float)) or not isinstance(
         restore, (int, float)
     ):
@@ -59,26 +72,29 @@ def _total_s(row: dict) -> float | None:
 
 
 def check(candidate: dict, baseline: dict, threshold: float,
-          floor_s: float) -> tuple[list[str], list[str]]:
-    """Returns (failures, notes)."""
+          floor_s: float, section: str = "codec") -> tuple[list[str], list[str]]:
+    """Gate one *section* of *candidate* against *baseline*.
+
+    Returns (failures, notes)."""
     failures: list[str] = []
     notes: list[str] = []
-    cand_rows = _codec_rows(candidate)
-    base_rows = _codec_rows(baseline)
+    fields = SECTIONS[section]
+    cand_rows = _section_rows(candidate, section)
+    base_rows = _section_rows(baseline, section)
     if not base_rows:
-        notes.append("baseline has no codec section - nothing to gate")
+        notes.append(f"baseline has no {section} section - nothing to gate")
         return failures, notes
     if not cand_rows:
         failures.append(
-            "candidate has no codec section - did bench_codec run?"
+            f"candidate has no {section} section - did the bench run?"
         )
         return failures, notes
 
-    cand_mode = candidate.get("codec", {}).get("mode")
-    base_mode = baseline.get("codec", {}).get("mode")
+    cand_mode = candidate.get(section, {}).get("mode")
+    base_mode = baseline.get(section, {}).get("mode")
     if cand_mode != base_mode:
         notes.append(
-            f"mode mismatch (candidate {cand_mode!r} vs baseline "
+            f"{section}: mode mismatch (candidate {cand_mode!r} vs baseline "
             f"{base_mode!r}) - sizes differ, skipping the gate"
         )
         return failures, notes
@@ -89,7 +105,8 @@ def check(candidate: dict, baseline: dict, threshold: float,
         if cand is None:
             notes.append(f"{workload} {size}: missing from candidate, skipped")
             continue
-        base_t, cand_t = _total_s(base_rows[key]), _total_s(cand)
+        base_t = _total_s(base_rows[key], fields)
+        cand_t = _total_s(cand, fields)
         if base_t is None or cand_t is None or base_t <= 0.0:
             notes.append(f"{workload} {size}: not comparable, skipped")
             continue
@@ -110,30 +127,65 @@ def check(candidate: dict, baseline: dict, threshold: float,
     return failures, notes
 
 
+def check_payload_identity(candidate: dict) -> list[str]:
+    """Byte-identity failures in the candidate's graphplan rows — gated
+    unconditionally (no baseline required, smoke rows included)."""
+    failures = []
+    for (workload, size), row in sorted(
+        _section_rows(candidate, "graphplan").items()
+    ):
+        if row.get("payload_identical") is not True:
+            failures.append(
+                f"{workload} {size}: plan-on payload differs from plan-off "
+                "(payload_identical is not true)"
+            )
+    return failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("candidate", help="fresh bench JSON (BENCH_SMOKE.json)")
     parser.add_argument("--baseline", default="BENCH_PR3.json",
-                        help="committed baseline bench JSON")
+                        help="committed codec baseline bench JSON")
+    parser.add_argument("--graphplan-baseline", default=None,
+                        help="committed graphplan baseline bench JSON "
+                             "(BENCH_PR8.json); omit to skip that gate")
     parser.add_argument("--threshold", type=float, default=0.20,
                         help="relative regression threshold (default 0.20)")
     parser.add_argument("--floor-ms", type=float, default=5.0,
                         help="absolute noise floor in ms (default 5)")
     args = parser.parse_args(argv)
 
+    candidate = _load(args.candidate)
     failures, notes = check(
-        _load(args.candidate), _load(args.baseline),
+        candidate, _load(args.baseline),
         threshold=args.threshold, floor_s=args.floor_ms / 1e3,
+        section="codec",
     )
+    baselines = [args.baseline]
+    if args.graphplan_baseline is not None:
+        gp_failures, gp_notes = check(
+            candidate, _load(args.graphplan_baseline),
+            threshold=args.threshold, floor_s=args.floor_ms / 1e3,
+            section="graphplan",
+        )
+        failures += gp_failures
+        notes += gp_notes
+        baselines.append(args.graphplan_baseline)
+    failures += check_payload_identity(candidate)
+
     for note in notes:
         print(note)
     for failure in failures:
         print(failure, file=sys.stderr)
     if failures:
-        print(f"{len(failures)} perf regression(s) vs {args.baseline}",
-              file=sys.stderr)
+        print(
+            f"{len(failures)} perf/identity failure(s) vs "
+            f"{', '.join(baselines)}",
+            file=sys.stderr,
+        )
         return 1
-    print(f"perf gate passed vs {args.baseline}")
+    print(f"perf gate passed vs {', '.join(baselines)}")
     return 0
 
 

@@ -19,6 +19,8 @@ import struct
 from collections import Counter
 from typing import Iterable, Iterator
 
+import numpy as np
+
 __all__ = ["WriteBuffer", "ReadBuffer", "StreamReadBuffer"]
 
 _U8 = struct.Struct(">B")
@@ -77,6 +79,26 @@ class WriteBuffer:
         self.write_u16(len(raw))
         self._buf += raw
 
+    def write_ndarray(self, values: np.ndarray, dtype: np.dtype) -> None:
+        """Append *values* converted to *dtype*, casting straight into the
+        buffer's own storage (no intermediate ``tobytes`` copy).
+
+        Conversion semantics match ``xdr.encode_array``: a NumPy
+        converting assignment casts C-style (narrowing wraps modulo
+        2^bits, widening sign-extends), which is exactly what
+        ``astype(..., casting="unsafe")`` does.
+        """
+        src = np.asarray(values)
+        n = src.shape[0]
+        buf = self._buf
+        start = len(buf)
+        buf += bytes(n * dtype.itemsize)
+        # transient view: created, assigned, dropped — it must not outlive
+        # this call or the next append would hit BufferError on resize
+        out = np.frombuffer(buf, dtype=dtype, count=n, offset=start)
+        out[:] = src
+        del out
+
     def count_tag(self, tag: str) -> None:
         """Record one occurrence of a wire record *tag* (diagnostic; a
         no-op unless the buffer was built with ``debug_tags=True``)."""
@@ -85,7 +107,7 @@ class WriteBuffer:
 
     # -- streaming ---------------------------------------------------------
 
-    def drain(self, chunk_size: int) -> list[bytes]:
+    def drain(self, chunk_size: int) -> list[memoryview]:
         """Remove and return all *complete* ``chunk_size``-byte chunks from
         the front of the buffer, leaving any partial tail for later writes.
 
@@ -93,27 +115,41 @@ class WriteBuffer:
         keeps appending while the caller periodically drains full chunks
         onto the wire.  :attr:`nbytes` keeps counting total bytes written,
         drained or not.
+
+        The returned chunks are zero-copy ``memoryview``s: the buffer
+        *detaches* its storage (future writes go to a fresh bytearray)
+        so the views stay valid indefinitely and never block a resize.
+        Only the short partial tail, if any, is copied forward.
         """
         if chunk_size <= 0:
             raise ValueError(f"chunk_size must be positive, got {chunk_size}")
         n_full = len(self._buf) // chunk_size
         if n_full == 0:
             return []
-        chunks = [
-            bytes(self._buf[i * chunk_size : (i + 1) * chunk_size])
-            for i in range(n_full)
-        ]
-        del self._buf[: n_full * chunk_size]
-        self.bytes_drained += n_full * chunk_size
+        cut = n_full * chunk_size
+        detached = self._buf
+        # copy the (short) tail into the new storage, then truncate the
+        # detached bytearray so the views below cover exactly the chunks
+        self._buf = bytearray(memoryview(detached)[cut:])
+        del detached[cut:]
+        mv = memoryview(detached)
+        chunks = [mv[i * chunk_size : (i + 1) * chunk_size] for i in range(n_full)]
+        self.bytes_drained += cut
         return chunks
 
-    def flush(self) -> bytes:
+    def flush(self) -> memoryview:
         """Remove and return whatever remains in the buffer (the final,
-        possibly short, chunk of a drained stream).  May be empty."""
-        tail = bytes(self._buf)
-        self._buf.clear()
-        self.bytes_drained += len(tail)
-        return tail
+        possibly short, chunk of a drained stream).  May be empty.
+
+        Zero-copy: the internal bytearray is detached and returned as a
+        ``memoryview`` (no intermediate ``bytes`` join), and the buffer
+        continues on fresh storage — so the view stays valid even if the
+        buffer is written to again.
+        """
+        detached = self._buf
+        self._buf = bytearray()
+        self.bytes_drained += len(detached)
+        return memoryview(detached)
 
     # -- accessors ---------------------------------------------------------
 
@@ -158,6 +194,21 @@ class ReadBuffer:
         self._pos = end
         return out
 
+    def readinto(self, dest) -> None:
+        """Consume ``len(dest)`` bytes straight into writable buffer
+        *dest* — the zero-intermediate twin of :meth:`read` for bulk
+        restores that already know their destination memory."""
+        dest = memoryview(dest)
+        n = len(dest)
+        end = self._pos + n
+        if end > len(self._view):
+            raise EOFError(
+                f"wire buffer underrun: need {n} bytes at {self._pos}, "
+                f"have {len(self._view) - self._pos}"
+            )
+        dest[:] = self._view[self._pos : end]
+        self._pos = end
+
     def read_u8(self) -> int:
         return _U8.unpack_from(self._view, self._advance(1))[0]
 
@@ -182,6 +233,13 @@ class ReadBuffer:
         if self._pos >= len(self._view):
             raise EOFError("wire buffer underrun while peeking")
         return self._view[self._pos]
+
+    def buffered(self) -> memoryview:
+        """Zero-copy view of the bytes available *without consuming them*
+        (and, for a streamed buffer, without pulling more chunks — an
+        opportunistic window, not the full remainder).  Bulk decoders
+        parse speculatively from this view and commit via :meth:`read`."""
+        return self._view[self._pos :]
 
     # -- state ------------------------------------------------------------
 
@@ -239,22 +297,35 @@ class StreamReadBuffer(ReadBuffer):
         self._base = 0
 
     def _ensure(self, n: int) -> None:
-        """Pull chunks until *n* bytes are readable or the stream ends."""
-        while len(self._view) - self._pos < n:
+        """Pull chunks until *n* bytes are readable or the stream ends.
+
+        All chunks needed to satisfy the request are gathered first and
+        joined in ONE pass — splicing the window per chunk would copy
+        the growing window once per pull, turning a multi-MB bulk read
+        (FlatPlan's single-record restore) quadratic in the chunk count.
+        """
+        have = len(self._view) - self._pos
+        if have >= n:
+            return
+        parts = [self._view[self._pos :]]
+        while have < n:
             if self._exhausted:
                 raise EOFError(
                     f"stream underrun: need {n} bytes at {self.position}, "
-                    f"have {len(self._view) - self._pos} and no more chunks"
+                    f"have {have} and no more chunks"
                 )
             try:
                 chunk = next(self._chunks)
             except StopIteration:
                 self._exhausted = True
                 continue
-            window = self._view[self._pos :].tobytes() + bytes(chunk)
-            self._base += self._pos
-            self._view = memoryview(window)
-            self._pos = 0
+            parts.append(chunk)
+            have += len(chunk)
+        self._base += self._pos
+        # one join, immutable: views handed out earlier pin the old
+        # window object and stay valid across the splice
+        self._view = memoryview(b"".join(parts))
+        self._pos = 0
 
     # -- refilling overrides ----------------------------------------------
     # Each reader ensures its bytes are buffered BEFORE the base class
@@ -265,6 +336,47 @@ class StreamReadBuffer(ReadBuffer):
     def read(self, n: int) -> memoryview:
         self._ensure(n)
         return super().read(n)
+
+    def readinto(self, dest) -> None:
+        """Fill *dest* straight from the stream — chunks are copied into
+        the destination as they are pulled, never joined into an
+        intermediate window (the bulk half of the zero-copy wire path:
+        channel chunk → destination segment, one copy total)."""
+        dest = memoryview(dest)
+        n = len(dest)
+        start = self._base + self._pos
+        view = self._view
+        avail = len(view) - self._pos
+        if avail >= n:
+            dest[:] = view[self._pos : self._pos + n]
+            self._pos += n
+            return
+        if avail:
+            dest[:avail] = view[self._pos :]
+        filled = avail
+        leftover = None
+        while filled < n:
+            if self._exhausted:
+                raise EOFError(
+                    f"stream underrun: need {n} bytes at {start}, "
+                    f"have {filled} and no more chunks"
+                )
+            try:
+                chunk = next(self._chunks)
+            except StopIteration:
+                self._exhausted = True
+                continue
+            mv = memoryview(chunk)
+            take = min(len(mv), n - filled)
+            dest[filled : filled + take] = mv[:take]
+            filled += take
+            if take < len(mv):
+                # unconsumed tail of this chunk becomes the new window
+                # (the memoryview pins the chunk object)
+                leftover = mv[take:]
+        self._base = start + n
+        self._pos = 0
+        self._view = leftover if leftover is not None else memoryview(b"")
 
     def read_u8(self) -> int:
         self._ensure(1)

@@ -53,7 +53,7 @@ from repro.msr.wire import (
     CONTEXT_MAGIC_BYTES,
     ChunkDecoder,
     decode_context_frame,
-    encode_chunk,
+    encode_chunk_parts,
     encode_context_frame,
     encode_end_of_stream,
     TruncatedFrameError,
@@ -203,23 +203,32 @@ class _ChunkStreamMixin:
         consumer fails with a typed error instead of hanging (no-op on
         channels whose reads never block)."""
 
-    def send_chunk(self, payload: bytes) -> float:
+    def send_chunk(self, payload: bytes | bytearray | memoryview) -> float:
         """Frame and transmit one chunk; returns the modeled per-frame
         wire time (the engine amortizes latency across the whole train
-        via :meth:`Link.pipelined_transfer_time`)."""
+        via :meth:`Link.pipelined_transfer_time`).
+
+        *payload* may be any buffer-protocol object — the streaming
+        engine hands over ``WriteBuffer.drain``'s ``memoryview``s and
+        the frame CRC/compression run over the view; the header/body
+        pair only gets joined where the underlying transport needs one
+        contiguous buffer (see :meth:`_send_frame_parts`)."""
         if self.compress_stream:
             with obs.lap("codec.deflate") as timed:
-                frame = encode_chunk(self._send_seq, payload, compress=True)
+                header, body = encode_chunk_parts(
+                    self._send_seq, payload, compress=True
+                )
             self.codec_seconds += timed.seconds
         else:
-            frame = encode_chunk(self._send_seq, payload)
+            header, body = encode_chunk_parts(self._send_seq, payload)
+        frame_len = len(header) + len(body)
         self._send_seq += 1
         self.chunks_sent += 1
-        self.framed_bytes_sent += len(frame)
-        self.stored_chunk_bytes += len(frame) - CHUNK_HEADER_SIZE
+        self.framed_bytes_sent += frame_len
+        self.stored_chunk_bytes += frame_len - CHUNK_HEADER_SIZE
         obs.inc("wire.chunks_sent")
-        obs.inc("wire.framed_bytes_sent", len(frame))
-        return self._send_frame(frame)
+        obs.inc("wire.framed_bytes_sent", frame_len)
+        return self._send_frame_parts(header, body)
 
     def end_stream(self) -> float:
         """Transmit the end-of-stream terminator and reset the sender
@@ -306,6 +315,17 @@ class _ChunkStreamMixin:
     def _send_frame(self, frame: bytes) -> float:
         return self.send(frame)
 
+    def _send_frame_parts(self, header: bytes, body) -> float:
+        """Transmit one frame given as ``(header, body)`` parts.
+
+        The default joins once and rides the whole-frame path — this is
+        also what keeps the fault layer meaningful (faults slice and
+        bit-flip the complete frame, wherever its bytes came from).
+        Channels with a vectored wire (the socket) override this to ship
+        the parts back to back without the join.
+        """
+        return self._send_frame(b"".join((header, body)))
+
     def _send_control(self, frame: bytes) -> float:
         """Transmit a control frame.  Defaults to the data path; the
         fault layer overrides this to route control frames *around* its
@@ -331,8 +351,9 @@ class Channel(_ChunkStreamMixin):
         self.messages_sent = 0
         self._init_stream_state()
 
-    def send(self, payload: bytes) -> float:
-        """Transmit *payload*; returns the modeled wire time in seconds."""
+    def send(self, payload: bytes | bytearray | memoryview) -> float:
+        """Transmit *payload* (any buffer-protocol object); returns the
+        modeled wire time in seconds."""
         self._queue.append(payload)
         self.bytes_sent += len(payload)
         self.messages_sent += 1
@@ -385,7 +406,8 @@ class FileChannel(_ChunkStreamMixin):
             self._rfh = fh
         return fh
 
-    def send(self, payload: bytes) -> float:
+    def send(self, payload: bytes | bytearray | memoryview) -> float:
+        # fh.write accepts any buffer-protocol object — no bytes() copy
         with self.path.open("ab") as fh:
             fh.write(_RECORD_LEN.pack(len(payload)))
             fh.write(payload)
@@ -480,8 +502,11 @@ class SocketChannel(_ChunkStreamMixin):
         self.deadline = seconds
         self._rx.settimeout(seconds)
 
-    def send(self, payload: bytes) -> float:
-        self._outgoing.append(bytes(payload))
+    def send(self, payload: bytes | bytearray | memoryview) -> float:
+        # queued as-is (buffer-protocol accepted): senders hand over
+        # either immutable bytes or detached WriteBuffer storage, so the
+        # defensive copy the queue used to take bought nothing
+        self._outgoing.append(payload)
         self.bytes_sent += len(payload)
         self.messages_sent += 1
         obs.inc("wire.messages_sent")
@@ -511,6 +536,13 @@ class SocketChannel(_ChunkStreamMixin):
     def _send_frame(self, frame: bytes) -> float:
         self._tx.sendall(frame)
         return self.link.transfer_time(len(frame))
+
+    def _send_frame_parts(self, header: bytes, body) -> float:
+        # vectored send: header and body go out back to back, no join —
+        # sendall accepts any buffer-protocol object
+        self._tx.sendall(header)
+        self._tx.sendall(body)
+        return self.link.transfer_time(len(header) + len(body))
 
     def _read_exact(self, n: int, context: str) -> bytes:
         out = bytearray()

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from repro import obs
 from repro.arch import xdr
 from repro.arch.buffers import WriteBuffer
+from repro.msr.graphplan import NO_PLAN
 from repro.msr.msrlt import MemoryBlock, MSRLTError
 from repro.msr.ti import TypeInfo
 from repro.msr.wire import FLAG_FLAT, TAG_BLOCK, TAG_NULL, TAG_REF, write_logical
@@ -39,6 +40,9 @@ class CollectStats:
     n_flat_blocks: int = 0
     #: blocks saved through a compiled codec plan (struct or segmented)
     n_codec_blocks: int = 0
+    #: blocks saved through a whole-graph plan (flat/ptr-array bulk;
+    #: chain batches count into n_blocks directly, not here)
+    n_plan_blocks: int = 0
     data_bytes: int = 0  # Σ Dᵢ over saved blocks (source-arch bytes)
     wire_bytes: int = 0
 
@@ -59,6 +63,14 @@ class Collector:
         self._prof = obs.current_attribution()
         if self._prof is not None:
             self.msrlt.profiler = self._prof
+        # whole-graph plans are bypassed under attribution so PR 5's
+        # exact per-type byte partition keeps its meaning (DESIGN §12)
+        self.plan_enabled = self._prof is None and getattr(
+            process.ti, "graphplan_enabled", True
+        )
+        # chain-plan engagement backoff state (graphplan.ChainPlan)
+        self._chain_misses = 0
+        self._chain_skip = 0
 
     # -- public entry points (paper interface names) --------------------------------
 
@@ -127,10 +139,23 @@ class Collector:
     def _save_contents(self, block: MemoryBlock, info: TypeInfo) -> str:
         """Serialize one block's contents; returns which path engaged
         (``"flat"`` / ``"codec"`` / ``"percell"``, for attribution)."""
+        if self.plan_enabled:
+            # inlined ti.plan_for fast path — this runs once per record
+            plan = info.plan
+            if plan is None:
+                plan = self.ti.plan_for(info)
+            elif plan is NO_PLAN:
+                plan = None
+        else:
+            plan = None
         if info.flat_kind is not None:
             # bulk path: one vectorized encode for the whole block
             self.buf.write_u8(FLAG_FLAT)
             n = info.cells_in(block.count)
+            if plan is not None and plan.save(self, block, info):
+                # zero-copy cast straight into the wire buffer storage
+                self.stats.n_plan_blocks += 1
+                return "plan"
             self.buf.write(self.ti.save_flat(self.memory, block.addr, info.flat_kind, n))
             self.stats.n_flat_blocks += 1
             return "flat"
@@ -143,16 +168,34 @@ class Collector:
             codec.save(self, block, info)
             self.stats.n_codec_blocks += 1
             return "codec"
+        if plan is not None and plan.KIND == "ptr_array" and plan.save(self, block, info):
+            self.stats.n_plan_blocks += 1
+            return "plan"
+        chain = plan if plan is not None and plan.KIND == "chain" else None
         memory = self.memory
         buf = self.buf
         addr = block.addr
         stride = info.unit_size
         cells = info.cells
+        tail = cells[-1] if chain is not None else None
         for unit in range(info.units_in(block.count)):
             base = addr + unit * stride
             for cell in cells:
                 if cell.kind == "ptr":
-                    self.save_pointer(memory.load("ptr", base + cell.offset))
+                    value = memory.load("ptr", base + cell.offset)
+                    if cell is tail:
+                        # tail pointer of a chain-shaped struct: let the
+                        # plan try a batched stride walk (emits exactly
+                        # what save_pointer would).  The backoff skip
+                        # branch is inlined so declined tails cost one
+                        # int test over the reference path
+                        if self._chain_skip and value != 0:
+                            self._chain_skip -= 1
+                            self.save_pointer(value)
+                        else:
+                            chain.save_tail(self, value)
+                    else:
+                        self.save_pointer(value)
                 else:
                     buf.write(xdr.encode(cell.kind, memory.load(cell.kind, base + cell.offset)))
         return "percell"

@@ -32,7 +32,7 @@ from __future__ import annotations
 
 from bisect import bisect_right, insort
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence
 
 from repro.clang.ctypes import CType, TypeLayout
 
@@ -97,6 +97,18 @@ class MSRLT:
         # locality (an array of structs is traversed cell by cell), so
         # one interval check often replaces the bisect
         self._last_hit: Optional[MemoryBlock] = None
+        #: mutation generation.  Every register/unregister/drop bumps it;
+        #: the scalar last-hit cache and the bulk searchsorted arena both
+        #: key their validity on it, so the two caches can never disagree
+        #: about which table state they reflect.
+        self.generation = 0
+        self._last_hit_gen = -1
+        self._arena = None  # lazily built repro.msr.graphplan.SortedArena
+        #: heap-block mutation generation: bumped only when a HEAP block
+        #: is (un)registered, so the chain plan's heap-only arena survives
+        #: the per-collection stack registration churn
+        self.heap_generation = 0
+        self._heap_arena = None
         #: counters reported by the complexity benchmarks (E5)
         self.n_searches = 0
         self.n_cache_hits = 0
@@ -128,6 +140,9 @@ class MSRLT:
             self._starts.insert(i, block.addr)
             self._blocks.insert(i, block)
         self.n_registrations += 1
+        self.generation += 1
+        if block.logical[0] == BlockKind.HEAP:
+            self.heap_generation += 1
         return block
 
     def register_global(
@@ -197,6 +212,9 @@ class MSRLT:
         self._starts.pop(i)
         del self._by_logical[block.logical]
         self._last_hit = None  # a stale hit must never resolve a freed block
+        self.generation += 1
+        if block.logical[0] == BlockKind.HEAP:
+            self.heap_generation += 1
 
     def drop_stack_blocks(self) -> None:
         """Remove all stack-kind blocks (collection-time registrations)."""
@@ -205,6 +223,61 @@ class MSRLT:
         self._starts = [b.addr for b in keep]
         self._by_logical = {b.logical: b for b in keep}
         self._last_hit = None
+        self.generation += 1
+
+    def register_heap_bulk(
+        self,
+        base: int,
+        stride: int,
+        elem_type: CType,
+        count: int,
+        serials: Sequence[int],
+    ) -> list[MemoryBlock]:
+        """Register ``len(serials)`` identical heap blocks at
+        ``base + k*stride`` with one slice-insert into the sorted arrays.
+
+        The whole address range must fall into a single gap between
+        already-registered blocks (always true for blocks carved fresh
+        off the heap brk) so the parallel arrays stay sorted without a
+        per-block insort.  Used by the graph plan's chain restore.
+        """
+        n = len(serials)
+        if n == 0:
+            return []
+        if stride <= 0:
+            raise MSRLTError("bulk registration requires ascending addresses")
+        size = self.layout.sizeof(elem_type) * count
+        by_logical = self._by_logical
+        blocks = []
+        append = blocks.append
+        heap = BlockKind.HEAP
+        addr = base
+        for serial in serials:
+            logical = (heap, int(serial), 0)
+            if logical in by_logical:
+                raise MSRLTError(f"duplicate registration of {logical}")
+            append(
+                MemoryBlock(
+                    addr=addr,
+                    elem_type=elem_type,
+                    count=count,
+                    size=size,
+                    logical=logical,
+                )
+            )
+            addr += stride
+        i = bisect_right(self._starts, base)
+        if i != bisect_right(self._starts, blocks[-1].addr):
+            raise MSRLTError("bulk registration range overlaps registered blocks")
+        self._starts[i:i] = [b.addr for b in blocks]
+        self._blocks[i:i] = blocks
+        for b in blocks:
+            by_logical[b.logical] = b
+        self._heap_serial = max(self._heap_serial, int(max(serials)) + 1)
+        self.n_registrations += n
+        self.generation += 1
+        self.heap_generation += 1
+        return blocks
 
     # -- lookup -----------------------------------------------------------------------
 
@@ -219,7 +292,11 @@ class MSRLT:
         feed the E5 complexity benchmark's hit-rate report.
         """
         self.n_searches += 1
-        last = self._last_hit
+        # the cache is only valid for the generation that populated it:
+        # unregister/drop paths clear it eagerly, but bulk registration
+        # does not — the generation check is the single invalidation
+        # rule shared with the searchsorted arena
+        last = self._last_hit if self._last_hit_gen == self.generation else None
         # strict interior only: addr == last.end must re-run the search
         # so a block starting exactly at that address wins (C's
         # one-past-the-end rule, tested in test_msrlt.py)
@@ -236,14 +313,69 @@ class MSRLT:
             block = self._blocks[i]
             if block.contains(addr):
                 self._last_hit = block
+                self._last_hit_gen = self.generation
                 return block, addr - block.addr
             # one-past-end of the previous block when the next block starts
             # immediately after: prefer the block that starts at addr
             if i + 1 < len(self._starts) and self._starts[i + 1] == addr:
                 block = self._blocks[i + 1]
                 self._last_hit = block
+                self._last_hit_gen = self.generation
                 return block, 0
         raise MSRLTError(f"address {addr:#x} is not inside any registered block")
+
+    def arena(self):
+        """The searchsorted arena snapshot for the current generation.
+
+        Lazily (re)built whenever the table has mutated since the last
+        snapshot; the generation stamp makes staleness impossible by
+        construction (same rule as the scalar last-hit cache).
+        """
+        a = self._arena
+        if a is None or a.generation != self.generation:
+            from repro.msr.graphplan import SortedArena
+
+            a = self._arena = SortedArena(self._blocks, self.generation)
+        return a
+
+    def heap_arena(self):
+        """Heap-blocks-only arena snapshot, gated on ``heap_generation``.
+
+        The chain plan only ever matches HEAP blocks, and collection
+        registers/drops *stack* blocks around every pass — gating on the
+        heap generation lets the snapshot survive that churn instead of
+        being rebuilt once per collection.  Safe because the stack and
+        heap segments are disjoint: a bisect over heap starts can never
+        mistake a stack address for a heap block start.
+        """
+        a = self._heap_arena
+        if a is None or a.generation != self.heap_generation:
+            from repro.msr.graphplan import SortedArena
+
+            heap = [b for b in self._blocks if b.logical[0] == BlockKind.HEAP]
+            a = self._heap_arena = SortedArena(heap, self.heap_generation)
+        return a
+
+    def lookup_addrs_bulk(self, addrs):
+        """Vectorized :meth:`lookup_addr` over an int64 ndarray.
+
+        Returns ``(block_indexes, offsets)`` into :meth:`arena` —
+        ``block_indexes[k] == -1`` where the address resolves to no
+        registered block (the scalar path raises there; bulk callers
+        fall back per-cell so the reference error surfaces verbatim).
+        Start-preference over one-past-end is inherited from
+        ``searchsorted(..., side="right")``; counted as one search per
+        address so E5's complexity counters stay meaningful.
+        """
+        arena = self.arena()
+        idx, offs = arena.lookup(addrs)
+        n = len(addrs)
+        self.n_searches += n
+        if self.profiler is not None:  # pragma: no cover - plans disable
+            depth = len(self._starts).bit_length()
+            for _ in range(n):
+                self.profiler.msrlt_lookup(depth, False)
+        return idx, offs
 
     def lookup_logical(self, logical: LogicalId) -> MemoryBlock:
         """Map a machine-independent id back to its block (restoration)."""

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from repro import obs
 from repro.arch import xdr
 from repro.arch.buffers import ReadBuffer
+from repro.msr.graphplan import NO_PLAN
 from repro.msr.msrlt import BlockKind, MemoryBlock
 from repro.msr.ti import TypeInfo
 from repro.msr.wire import FLAG_FLAT, TAG_BLOCK, TAG_NULL, TAG_REF, read_logical
@@ -61,6 +62,34 @@ class Restorer:
         # attribution is resolved ONCE per pass; when off (None) every
         # per-block hook below is a single `is not None` test
         self._prof = obs.current_attribution()
+        # whole-graph plans are bypassed under attribution so PR 5's
+        # exact per-type byte partition keeps its meaning (DESIGN §12)
+        self.plan_enabled = self._prof is None and getattr(
+            process.ti, "graphplan_enabled", True
+        )
+        # chain-plan engagement backoff state (graphplan.ChainPlan)
+        self._chain_misses = 0
+        self._chain_skip = 0
+        self._prefault_registered()
+
+    def _prefault_registered(self) -> None:
+        """Materialize the windows spanning the destination's registered
+        blocks (globals + the resumed stack) before the pass.
+
+        Every contents write below then splices into an existing window;
+        without this, a multi-MB restore is dominated by bytearray
+        realloc+copy inside the window *growth* paths (the allocator
+        rarely gets an in-place resize for windows that size).  Heap
+        blocks are allocated on demand during the pass and excluded —
+        their windows grow with the usual slack amortization.
+        """
+        spans: dict[str, tuple] = {}
+        for block in self.msrlt.arena().blocks:
+            seg = self.memory.segment_of(block.addr)
+            lo, hi = spans.get(seg.name, (block.addr, block.end))
+            spans[seg.name] = (min(lo, block.addr), max(hi, block.end))
+        for lo, hi in spans.values():
+            self.memory.segment_of(lo).ensure(lo, hi - lo)
 
     # -- public entry points (paper interface names) ------------------------------------
 
@@ -151,12 +180,28 @@ class Restorer:
         (``"flat"`` / ``"codec"`` / ``"percell"``, for attribution)."""
         flags = self.buf.read_u8()
         n_cells = info.cells_in(block.count)
+        if self.plan_enabled:
+            # inlined ti.plan_for fast path — this runs once per record
+            plan = info.plan
+            if plan is None:
+                plan = self.ti.plan_for(info)
+            elif plan is NO_PLAN:
+                plan = None
+        else:
+            plan = None
 
         if flags & FLAG_FLAT:
             # the wire is a dense run of one primitive kind; find that kind
             # from the type (flatness is structural, but be defensive about
             # exotic architectures where the destination layout is padded)
             kind = info.cells[0].kind
+            if (
+                info.flat_kind is not None
+                and plan is not None
+                and plan.restore(self, block, info)
+            ):
+                # zero-copy: wire view decoded straight into the segment
+                return "plan"
             raw = self.buf.read(n_cells * xdr.wire_sizeof(kind))
             if info.flat_kind is not None:
                 self.ti.restore_flat(self.memory, block.addr, kind, n_cells, raw)
@@ -176,13 +221,32 @@ class Restorer:
             codec.restore(self, block, info)
             return "codec"
 
+        if plan is not None and plan.KIND == "ptr_array" and plan.restore(self, block, info):
+            return "plan"
+        chain = plan if plan is not None and plan.KIND == "chain" else None
         memory = self.memory
         buf = self.buf
+        cells = info.cells
+        tail = cells[-1] if chain is not None else None
         for unit in range(info.units_in(block.count)):
             base = block.addr + unit * info.unit_size
-            for cell in info.cells:
+            for cell in cells:
                 if cell.kind == "ptr":
-                    memory.store("ptr", base + cell.offset, self.restore_pointer())
+                    if cell is tail:
+                        # tail pointer of a chain-shaped struct: a batched
+                        # restore consumes the whole row run; otherwise
+                        # fall through to the reference record read.  The
+                        # backoff skip branch is inlined (one int test)
+                        if self._chain_skip:
+                            self._chain_skip -= 1
+                            value = None
+                        else:
+                            value = chain.try_restore(self, info)
+                        if value is None:
+                            value = self.restore_pointer()
+                        memory.store("ptr", base + cell.offset, value)
+                    else:
+                        memory.store("ptr", base + cell.offset, self.restore_pointer())
                 else:
                     width = xdr.wire_sizeof(cell.kind)
                     value = xdr.decode(cell.kind, buf.read(width))

@@ -136,6 +136,9 @@ class TypeInfo:
     #: lazily compiled codec plan (see module docstring); ``None`` until
     #: first use, the module sentinel when no plan applies
     codec: object = field(default=None, repr=False, compare=False)
+    #: lazily compiled whole-graph plan (repro.msr.graphplan); ``None``
+    #: until first use, ``graphplan.NO_PLAN`` when no plan shape applies
+    plan: object = field(default=None, repr=False, compare=False)
     #: cached human-readable label (the attribution table's row key);
     #: ``str(ctype)`` computed once instead of per block visit
     _label: Optional[str] = field(default=None, repr=False, compare=False)
@@ -404,6 +407,9 @@ class TITable:
         #: when False, contents go through the per-cell reference path —
         #: the baseline the benchmarks and fuzz tests compare against
         self.codecs_enabled = True
+        #: when False, whole-graph plans (repro.msr.graphplan) are never
+        #: compiled or consulted — the plan-off baseline for difftests
+        self.graphplan_enabled = True
         #: info_for memo hit/miss counters (the engine reports the
         #: per-migration delta as ``ti.info_hits`` / ``ti.info_misses``)
         self.n_info_hits = 0
@@ -473,6 +479,21 @@ class TITable:
         if max(codec.run_lengths, default=0) < 2:
             return _NO_CODEC
         return codec
+
+    # -- compiled whole-graph plans ---------------------------------------------
+
+    def plan_for(self, info: TypeInfo):
+        """The compiled whole-graph plan for *info* (DESIGN §12), or
+        ``None`` when no plan shape applies.  Lazily compiled, like
+        :meth:`codec_for`; the import is deferred so the graphplan
+        module (and NumPy's structured-dtype machinery) only loads when
+        plans are actually in play."""
+        from repro.msr.graphplan import NO_PLAN, compile_plan
+
+        plan = info.plan
+        if plan is None:
+            plan = info.plan = compile_plan(info, self.layout) or NO_PLAN
+        return None if plan is NO_PLAN else plan
 
     # -- the memory block saving/restoring functions ---------------------------------
 

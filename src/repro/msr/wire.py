@@ -122,6 +122,7 @@ __all__ = [
     "FrameCorruptError",
     "FrameOrderError",
     "encode_chunk",
+    "encode_chunk_parts",
     "encode_end_of_stream",
     "decode_chunk",
     "ChunkDecoder",
@@ -220,8 +221,18 @@ class FrameOrderError(WireFrameError):
     """Frames arrived out of sequence (reordered, duplicated, or lost)."""
 
 
-def encode_chunk(seq: int, payload: bytes, compress: bool = False) -> bytes:
-    """Wrap one non-empty payload chunk in a frame.
+def encode_chunk_parts(
+    seq: int, payload: bytes | bytearray | memoryview, compress: bool = False
+) -> tuple[bytes, bytes | bytearray | memoryview]:
+    """Frame one non-empty payload chunk as ``(header, body)``.
+
+    Zero-copy form of :func:`encode_chunk`: *payload* may be any
+    buffer-protocol object (``WriteBuffer.drain`` hands out
+    ``memoryview``s) and, unless compression engages, it is returned as
+    the body **unchanged** — the CRC is computed over the view and no
+    intermediate ``bytes`` is built.  Channels with vectored sends ship
+    the two parts back to back; others join them once at the syscall
+    boundary.
 
     With *compress*, the payload is deflated and the compressed form is
     kept only if it is at least :data:`MIN_COMPRESSION_GAIN` smaller
@@ -234,8 +245,17 @@ def encode_chunk(seq: int, payload: bytes, compress: bool = False) -> bytes:
     if compress:
         packed = zlib.compress(payload)
         if len(packed) <= len(payload) * (1.0 - MIN_COMPRESSION_GAIN):
-            return _CHUNK_HEADER.pack(CHUNK_MAGIC_Z, seq, len(packed), crc) + packed
-    return _CHUNK_HEADER.pack(CHUNK_MAGIC, seq, len(payload), crc) + payload
+            return _CHUNK_HEADER.pack(CHUNK_MAGIC_Z, seq, len(packed), crc), packed
+    return _CHUNK_HEADER.pack(CHUNK_MAGIC, seq, len(payload), crc), payload
+
+
+def encode_chunk(
+    seq: int, payload: bytes | bytearray | memoryview, compress: bool = False
+) -> bytes:
+    """Wrap one non-empty payload chunk in a single contiguous frame
+    (join wrapper over :func:`encode_chunk_parts`)."""
+    header, body = encode_chunk_parts(seq, payload, compress)
+    return b"".join((header, body))
 
 
 def encode_end_of_stream(seq: int) -> bytes:
@@ -243,13 +263,19 @@ def encode_end_of_stream(seq: int) -> bytes:
     return _CHUNK_HEADER.pack(CHUNK_MAGIC, seq, 0, 0)
 
 
-def decode_chunk(frame: bytes | bytearray | memoryview) -> tuple[int, bytes]:
+def decode_chunk(
+    frame: bytes | bytearray | memoryview,
+) -> tuple[int, bytes | memoryview]:
     """Validate and unwrap one complete frame.
 
     Returns ``(seq, payload)``; an end-of-stream frame yields
-    ``(seq, b"")``.  Raises the typed errors documented in the module
-    docstring; sequence checking is the caller's job (see
-    :class:`ChunkDecoder`) because only the caller knows stream state.
+    ``(seq, b"")``.  For an uncompressed frame the payload is a
+    zero-copy ``memoryview`` into *frame* (the caller owns the frame
+    bytes, so the view lives as long as they do); compressed frames
+    necessarily inflate into fresh ``bytes``.  Raises the typed errors
+    documented in the module docstring; sequence checking is the
+    caller's job (see :class:`ChunkDecoder`) because only the caller
+    knows stream state.
     """
     frame = memoryview(frame)
     if len(frame) < CHUNK_HEADER_SIZE:
@@ -265,7 +291,7 @@ def decode_chunk(frame: bytes | bytearray | memoryview) -> tuple[int, bytes]:
         raise TruncatedFrameError(
             f"chunk {seq} claims {length} payload bytes, frame carries {len(body)}"
         )
-    payload = bytes(body)
+    payload: bytes | memoryview = body
     if length == 0:
         if magic != CHUNK_MAGIC:
             raise FrameCorruptError(

@@ -116,6 +116,54 @@ class Segment:
             return off
         return self.ensure(addr, n)
 
+    def write(self, addr: int, data) -> None:
+        """Write *data* at *addr*, materializing the window from the data
+        itself when the span isn't covered yet: only the gap around the
+        write is zero-filled, never the span — a bulk restore into fresh
+        memory costs one copy instead of memset-then-copy."""
+        n = len(data)
+        buf = self.buf
+        off = addr - self.window_start
+        if 0 <= off and off + n <= len(buf):
+            buf[off : off + n] = data
+            return
+        end = addr + n
+        if addr < self.base or end > self.limit:
+            raise MemoryFault(
+                f"access [{addr:#x}, {end:#x}) outside segment {self.name} "
+                f"[{self.base:#x}, {self.limit:#x})"
+            )
+        if not buf:
+            # build the window by concatenation: zero-fill only the slack
+            # below the write, then append the data itself.  This touches
+            # the data span exactly once (presize-then-splice memsets the
+            # whole span first, doubling memory traffic for a multi-MB
+            # bulk restore); later growth goes through the append branch,
+            # which resizes once per write
+            start = max(self.base, addr - _SLACK if self.name == "stack" else addr)
+            new = bytearray(addr - start)
+            new += data
+            self.window_start = start
+            self.buf = new
+            return
+        ws = self.window_start
+        if addr < ws:
+            start = max(self.base, addr - _SLACK)
+            buf[:0] = bytes(ws - start)
+            self.window_start = ws = start
+        we = ws + len(buf)
+        if end <= we:
+            buf[addr - ws : addr - ws + n] = data
+        elif addr >= we:
+            # one resize (gap + data + slack), then splice the data in
+            stop = min(self.limit, end + _SLACK)
+            buf += bytes(stop - we)
+            buf[addr - ws : addr - ws + n] = data
+        else:
+            head = we - addr  # overlapped prefix inside the window
+            buf[addr - ws :] = data[:head]
+            buf += data[head:]
+
 
 class Memory:
     """The simulated address space of one process on one architecture."""
@@ -211,14 +259,21 @@ class Memory:
         return bytes(seg.buf[off : off + n])
 
     def write_bytes(self, addr: int, data: bytes | bytearray | memoryview) -> None:
-        """Write raw bytes at *addr*."""
-        seg = self.segment_of(addr)
-        off = seg.offset(addr, len(data))
-        seg.buf[off : off + len(data)] = data
+        """Write raw bytes at *addr* (materializes from the data itself
+        when the span is fresh — see :meth:`Segment.write`)."""
+        self.segment_of(addr).write(addr, data)
 
     def view(self, addr: int, n: int) -> memoryview:
         """Zero-copy view of *n* bytes at *addr* (valid until the segment
         window grows)."""
+        seg = self.segment_of(addr)
+        off = seg.offset(addr, n)
+        return memoryview(seg.buf)[off : off + n]
+
+    def write_view(self, addr: int, n: int) -> memoryview:
+        """Writable view of ``[addr, addr+n)``, materializing the span
+        if needed — bulk restores fill it straight from the wire with no
+        intermediate buffer (same validity rule as :meth:`view`)."""
         seg = self.segment_of(addr)
         off = seg.offset(addr, n)
         return memoryview(seg.buf)[off : off + n]
@@ -242,8 +297,28 @@ class Memory:
         return self._np_dtypes[kind]
 
     def zero(self, addr: int, n: int) -> None:
-        """Zero *n* bytes at *addr*."""
-        self.write_bytes(addr, bytes(n))
+        """Zero *n* bytes at *addr*.
+
+        Window materialization already yields zero bytes, so only the
+        overlap with the previously-materialized window needs an
+        explicit wipe — zeroing a fresh range (globals at load, frame
+        pushes, heap carves) writes nothing at all and leaves the range
+        unmaterialized; it reads as zeros whenever the window later
+        grows over it."""
+        if n <= 0:
+            return
+        seg = self.segment_of(addr)
+        end = addr + n
+        if end > seg.limit:
+            raise MemoryFault(
+                f"access [{addr:#x}, {end:#x}) outside segment {seg.name} "
+                f"[{seg.base:#x}, {seg.limit:#x})"
+            )
+        lo = max(addr, seg.window_start)
+        hi = min(end, seg.window_start + len(seg.buf))
+        if lo < hi:
+            off = lo - seg.window_start
+            seg.buf[off : off + (hi - lo)] = bytes(hi - lo)
 
     # -- global segment loader --------------------------------------------------
 
@@ -257,12 +332,16 @@ class Memory:
     # -- stack -------------------------------------------------------------------
 
     def stack_alloc(self, size: int, align: int = 8) -> int:
-        """Push an activation record of *size* bytes; returns its base."""
+        """Push an activation record of *size* bytes; returns its base.
+
+        Materialization is deferred to the first access (usually the
+        caller's ``zero``): a frame in never-touched stack space then
+        costs one window growth and no wipe, while a reused region —
+        already inside the window — still gets explicitly zeroed."""
         new_sp = (self.sp - size) & ~(align - 1)
         if new_sp < self.stack_seg.base:
             raise MemoryFault("simulated stack overflow")
         self.sp = new_sp
-        self.stack_seg.ensure(new_sp, size)
         return new_sp
 
     def stack_restore(self, sp: int) -> None:
@@ -288,6 +367,47 @@ class Memory:
             self._heap_brk = end
         self.heap_allocs[addr] = size
         return addr
+
+    def heap_alloc_bulk(self, size: int, n: int) -> tuple[int, int] | None:
+        """``n`` identical ``malloc(size)`` calls carved contiguously off
+        the brk in one step; returns ``(base, stride)``.
+
+        Returns ``None`` when the size-class free list is non-empty: the
+        per-allocation path would recycle those addresses first, and the
+        graph plan must produce *exactly* the addresses the reference
+        path would (address parity is what keeps re-collection after a
+        restore byte-identical), so it declines instead of guessing.
+        """
+        stride = _align_up(max(size, 1), _HEAP_ALIGN)
+        if n <= 0:
+            raise ValueError(f"bulk allocation count must be positive, got {n}")
+        if self._free.get(stride):
+            return None
+        base = self._heap_brk
+        end = base + stride * n
+        if end > self.heap_seg.limit:
+            raise MemoryFault("simulated heap exhausted")
+        # materialization is deferred to the first write: the bulk
+        # restore that follows builds the window straight from its data
+        # (Segment.write), so an eager ensure here would memset bytes
+        # that are about to be overwritten wholesale
+        self._heap_brk = end
+        allocs = self.heap_allocs
+        for k in range(n):
+            allocs[base + k * stride] = stride
+        return base, stride
+
+    def array_view(self, kind: str, addr: int, count: int) -> np.ndarray:
+        """Writable zero-copy ndarray over *count* primitives at *addr*.
+
+        The view pins the segment's backing ``bytearray``: hold it only
+        transiently (create, read/assign, drop) — any segment window
+        growth while a view is alive raises ``BufferError``.
+        """
+        dtype = self._np_dtypes[kind]
+        seg = self.segment_of(addr)
+        off = seg.offset(addr, count * dtype.itemsize)
+        return np.frombuffer(seg.buf, dtype=dtype, count=count, offset=off)
 
     def heap_free(self, addr: int) -> None:
         """``free``: recycle an allocation (NULL is a no-op, as in C)."""

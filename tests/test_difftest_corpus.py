@@ -12,8 +12,54 @@ job; this suite is the fast, always-on floor under it.
 import pytest
 
 from repro.difftest.corpus import DEFAULT_CORPUS_DIR, load_corpus
+from repro.difftest.harness import arch_by_name
+from repro.migration.engine import MigrationEngine, collect_state
+from repro.vm.process import Process
+from repro.vm.program import compile_program
 
 ENTRIES = load_corpus()
+
+#: plan-identity chain: endianness flip then word-size change, so the
+#: graph plans cross both wire-representation boundaries
+PLAN_CHAIN = ("dec5000", "sparc20", "alpha")
+
+
+def _chain_run(program, plan_enabled: bool):
+    """Migrate through PLAN_CHAIN at successive polls with graph plans
+    forced on/off on every hop's TI; returns (stdout, per-hop payloads).
+
+    Short programs that exit before a hop's poll simply make shorter
+    chains — both modes truncate identically, so the comparison stays
+    hop-for-hop."""
+    arches = [arch_by_name(n) for n in PLAN_CHAIN]
+    # TypeInfo tables are shared per (program, arch): toggling through a
+    # throwaway Process reaches every process of this program below
+    for arch in arches:
+        Process(program, arch).ti.graphplan_enabled = plan_enabled
+    try:
+        proc = Process(program, arches[0])
+        proc.start()
+        payloads = []
+        result = None
+        for dest_arch in arches[1:]:
+            proc.migration_pending = True
+            proc.migrate_after_polls = 1
+            result = proc.run()
+            if result.status != "poll":
+                break
+            # record this hop's wire bytes (collection is re-runnable and
+            # deterministic, so this is exactly what the hop transmits)
+            payload, _info = collect_state(proc)
+            payloads.append(bytes(payload))
+            proc, _stats = MigrationEngine().migrate(proc, dest_arch)
+        else:
+            proc.migration_pending = False
+            result = proc.run()
+        assert result.status == "exit", result.status
+        return proc.stdout, payloads
+    finally:
+        for arch in arches:
+            Process(program, arch).ti.graphplan_enabled = True
 
 
 def test_corpus_is_populated():
@@ -28,6 +74,21 @@ def test_corpus_is_populated():
 def test_corpus_entry_replays_clean(entry):
     mismatches = entry.replay()
     assert not mismatches, "\n".join(str(m) for m in mismatches)
+
+
+@pytest.mark.parametrize("entry", ENTRIES, ids=lambda e: e.name)
+def test_corpus_entry_plan_identity(entry):
+    """Graph plans must be invisible on the wire: replaying every corpus
+    program plan-on vs plan-off produces bit-identical stdout AND
+    byte-identical payloads on every migration hop (DESIGN §12's
+    byte-identity invariant, exercised over the whole corpus)."""
+    program = compile_program(entry.source, poll_strategy="user")
+    stdout_off, payloads_off = _chain_run(program, plan_enabled=False)
+    stdout_on, payloads_on = _chain_run(program, plan_enabled=True)
+    assert stdout_on == stdout_off
+    assert len(payloads_on) == len(payloads_off)
+    for hop, (off, on) in enumerate(zip(payloads_off, payloads_on)):
+        assert on == off, f"hop {hop}: plan-on payload differs from plan-off"
 
 
 def test_every_generated_feature_is_covered():
