@@ -1,0 +1,197 @@
+"""Benchmark: stop-and-copy downtime under iterative pre-copy (PR 9).
+
+For each workload, three migrations of the same program over the
+paper's 10 Mb/s Ethernet (modeled link time + measured codec time):
+
+- **monolithic** — the classic pause: collect + tx + restore with the
+  source frozen throughout; downtime is the whole response time.
+- **streaming** — the PR 4 chunk pipeline: the source is still frozen,
+  but collect/tx/restore overlap; downtime is the pipeline makespan.
+- **precopy** — iterative pre-copy: snapshot + delta rounds ship while
+  the source executes poll-point slices, then a stop-and-copy of only
+  the residual dirty set; downtime is just that final phase.
+
+Rows feed ``BENCH_PR9.json`` (``precopy`` section) with per-mode
+downtime, the pre-copy round count, per-round byte attribution, and the
+total-wire-bytes overhead the delta rounds cost.
+
+Usage::
+
+    python benchmarks/bench_precopy.py --smoke     # small sizes, CI mode
+    python benchmarks/bench_precopy.py             # full sizes
+
+Exits 1 if pre-copy downtime exceeds ``--gate-ratio`` (default 0.5) of
+the monolithic pause on the ``structgrid`` acceptance workload — the
+bounded-downtime claim this PR exists to hold.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+_ROOT = Path(__file__).resolve().parent.parent
+for entry in (str(_ROOT / "src"), str(_ROOT)):
+    if entry not in sys.path:
+        sys.path.insert(0, entry)
+
+from repro.arch import SPARC20, ULTRA5  # noqa: E402
+from repro.migration.engine import MigrationEngine  # noqa: E402
+from repro.migration.precopy import PrecopyPolicy  # noqa: E402
+from repro.migration.transport import Channel, ETHERNET_10M  # noqa: E402
+from repro.vm.process import Process  # noqa: E402
+from repro.vm.program import compile_program  # noqa: E402
+from repro.workloads import linpack_source, structgrid_source  # noqa: E402
+
+from benchmarks.results import update_bench_json  # noqa: E402
+
+BENCH_PR9 = _ROOT / "BENCH_PR9.json"
+
+#: (workload, full size, smoke size) — structgrid is the acceptance case
+SIZES = {
+    "structgrid": ((4096, 256), (512, 64)),
+    "linpack": (256, 96),
+}
+
+#: acceptance gate: pre-copy downtime vs the monolithic pause
+GATE_WORKLOAD = "structgrid"
+
+
+def _program(workload: str, size):
+    if workload == "structgrid":
+        cells, _probes = size
+        return compile_program(
+            structgrid_source(cells, _probes), poll_strategy="user"
+        )
+    return compile_program(linpack_source(size), poll_strategy="user")
+
+
+def _stopped(prog) -> Process:
+    # stop at the FIRST poll so the remaining poll-points give the
+    # pre-copy loop its execution slices; the plain baselines stop at
+    # the same point so all three modes collect comparable state
+    proc = Process(prog, ULTRA5)
+    proc.start()
+    proc.migration_pending = True
+    proc.migrate_after_polls = 1
+    result = proc.run()
+    assert result.status == "poll", "workload never reached its poll-point"
+    return proc
+
+
+def _migrate(prog, repeats: int, **kw):
+    """Best-of-*repeats* migration (fresh source each time: pre-copy
+    slices consume the program, so a source is single-use)."""
+    best = None
+    for _ in range(repeats):
+        _dest, stats = MigrationEngine().migrate(
+            _stopped(prog), SPARC20, channel=Channel(ETHERNET_10M), **kw
+        )
+        if best is None or stats.response_time < best.response_time:
+            best = stats
+    return best
+
+
+def bench_workload(workload: str, size, repeats: int,
+                   policy: PrecopyPolicy) -> dict:
+    prog = _program(workload, size)
+
+    mono = _migrate(prog, repeats)
+    stream = _migrate(prog, repeats, streaming=True, chunk_size=16 * 1024)
+    pre = _migrate(prog, repeats, streaming=True, chunk_size=16 * 1024,
+                   precopy=True, precopy_policy=policy)
+    assert pre.precopy and not pre.precopy_degraded, (
+        f"{workload}: pre-copy degraded to stop-and-copy; no downtime to report"
+    )
+
+    pause_mono = mono.response_time
+    pause_stream = stream.response_time
+    downtime = pre.precopy_downtime_s
+    total_wire = pre.precopy_bytes + pre.payload_bytes
+    return {
+        "workload": workload,
+        "size": size,
+        "payload_bytes": mono.payload_bytes,
+        "pause_monolithic_s": pause_mono,
+        "pause_streaming_s": pause_stream,
+        "downtime_precopy_s": downtime,
+        "downtime_speedup": pause_mono / downtime if downtime > 0 else 1.0,
+        "precopy_rounds": pre.precopy_rounds,
+        "precopy_round_bytes": list(pre.precopy_round_bytes),
+        "precopy_bytes": pre.precopy_bytes,
+        "final_bytes": pre.payload_bytes,
+        "wire_overhead": total_wire / mono.payload_bytes
+        if mono.payload_bytes
+        else 1.0,
+    }
+
+
+def run(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small sizes, fewer repeats (CI mode)")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="migrations per mode (best-of)")
+    parser.add_argument("--max-rounds", type=int, default=4,
+                        help="pre-copy delta-round cap (default 4)")
+    parser.add_argument("--gate-ratio", type=float, default=0.5,
+                        help="max allowed downtime/pause on the acceptance "
+                             "workload (default 0.5)")
+    parser.add_argument("--out", default=None,
+                        help="bench JSON path (default: BENCH_PR9.json)")
+    args = parser.parse_args(argv)
+
+    idx = 1 if args.smoke else 0
+    repeats = args.repeats or (2 if args.smoke else 5)
+    out = args.out or BENCH_PR9
+    # stop_dirty_blocks=0 forces the loop to its round cap so the bench
+    # actually exercises (and attributes bytes to) the delta rounds; the
+    # engine default (4) would converge right after the snapshot here
+    policy = PrecopyPolicy(max_rounds=args.max_rounds, stop_dirty_blocks=0)
+
+    rows = []
+    for workload in ("structgrid", "linpack"):
+        row = bench_workload(workload, SIZES[workload][idx], repeats, policy)
+        rows.append(row)
+        print(
+            f"{workload:10s} {str(row['size']):>12s} "
+            f"{row['payload_bytes']:>9d} B | pause "
+            f"mono {row['pause_monolithic_s'] * 1e3:8.2f} ms, "
+            f"stream {row['pause_streaming_s'] * 1e3:8.2f} ms | "
+            f"precopy downtime {row['downtime_precopy_s'] * 1e3:8.2f} ms "
+            f"({row['downtime_speedup']:5.1f}x vs mono, "
+            f"{row['precopy_rounds']} rounds, "
+            f"wire {row['wire_overhead']:.2f}x)"
+        )
+
+    mode = "smoke" if args.smoke else "full"
+    path = update_bench_json(
+        "precopy",
+        {"mode": mode, "repeats": repeats, "link": ETHERNET_10M.name,
+         "max_rounds": args.max_rounds, "gate_ratio": args.gate_ratio,
+         "rows": rows},
+        out,
+    )
+    print(f"(results merged into {path})")
+
+    failed = 0
+    for row in rows:
+        if row["workload"] != GATE_WORKLOAD:
+            continue
+        bound = row["pause_monolithic_s"] * args.gate_ratio
+        if row["downtime_precopy_s"] > bound:
+            print(
+                f"WARNING: pre-copy downtime "
+                f"{row['downtime_precopy_s'] * 1e3:.2f} ms exceeds "
+                f"{args.gate_ratio:.0%} of the monolithic pause "
+                f"({row['pause_monolithic_s'] * 1e3:.2f} ms) on "
+                f"{row['workload']}{row['size']}",
+                file=sys.stderr,
+            )
+            failed = 1
+    return failed
+
+
+if __name__ == "__main__":
+    raise SystemExit(run())

@@ -5,9 +5,11 @@ committed baselines.
         --baseline BENCH_PR3.json --graphplan-baseline BENCH_PR8.json \
         [--threshold 0.20] [--floor-ms 5]
 
-Compares the ``codec`` section against ``--baseline`` and the
-``graphplan`` section against ``--graphplan-baseline``, row-by-row
-(keyed on workload + size): a row regresses when its measured
+Compares the ``codec`` section against ``--baseline``, the
+``graphplan`` section against ``--graphplan-baseline``, and the
+``precopy`` section (stop-and-copy downtime) against
+``--precopy-baseline``, row-by-row (keyed on workload + size): a row
+regresses when its measured
 collect+restore time exceeds the baseline by more than ``--threshold``
 (relative) AND ``--floor-ms`` (absolute — sub-floor deltas on
 millisecond-scale smoke rows are timer noise, not regressions).
@@ -43,10 +45,11 @@ def _size_key(size) -> str:
     return json.dumps(size)  # sizes are ints or [rows, cols] lists
 
 
-#: gated sections: (candidate/baseline key, (collect field, restore field))
+#: gated sections: candidate/baseline key -> timing fields summed per row
 SECTIONS = {
     "codec": ("collect_codec_s", "restore_codec_s"),
     "graphplan": ("collect_plan_s", "restore_plan_s"),
+    "precopy": ("downtime_precopy_s",),
 }
 
 
@@ -61,14 +64,11 @@ def _section_rows(data: dict, section: str) -> dict[tuple, dict]:
     return out
 
 
-def _total_s(row: dict, fields: tuple[str, str]) -> float | None:
-    collect = row.get(fields[0])
-    restore = row.get(fields[1])
-    if not isinstance(collect, (int, float)) or not isinstance(
-        restore, (int, float)
-    ):
+def _total_s(row: dict, fields: tuple[str, ...]) -> float | None:
+    values = [row.get(f) for f in fields]
+    if not all(isinstance(v, (int, float)) for v in values):
         return None
-    return float(collect) + float(restore)
+    return float(sum(values))
 
 
 def check(candidate: dict, baseline: dict, threshold: float,
@@ -112,8 +112,9 @@ def check(candidate: dict, baseline: dict, threshold: float,
             continue
         ratio = cand_t / base_t
         delta = cand_t - base_t
+        label = "downtime" if section == "precopy" else "collect+restore"
         line = (
-            f"{workload:10s} {size:>12s}  collect+restore "
+            f"{workload:10s} {size:>12s}  {label} "
             f"{base_t * 1e3:8.2f} -> {cand_t * 1e3:8.2f} ms "
             f"({ratio:5.2f}x)"
         )
@@ -150,6 +151,9 @@ def main(argv=None) -> int:
     parser.add_argument("--graphplan-baseline", default=None,
                         help="committed graphplan baseline bench JSON "
                              "(BENCH_PR8.json); omit to skip that gate")
+    parser.add_argument("--precopy-baseline", default=None,
+                        help="committed pre-copy downtime baseline bench "
+                             "JSON (BENCH_PR9.json); omit to skip that gate")
     parser.add_argument("--threshold", type=float, default=0.20,
                         help="relative regression threshold (default 0.20)")
     parser.add_argument("--floor-ms", type=float, default=5.0,
@@ -172,6 +176,15 @@ def main(argv=None) -> int:
         failures += gp_failures
         notes += gp_notes
         baselines.append(args.graphplan_baseline)
+    if args.precopy_baseline is not None:
+        pc_failures, pc_notes = check(
+            candidate, _load(args.precopy_baseline),
+            threshold=args.threshold, floor_s=args.floor_ms / 1e3,
+            section="precopy",
+        )
+        failures += pc_failures
+        notes += pc_notes
+        baselines.append(args.precopy_baseline)
     failures += check_payload_identity(candidate)
 
     for note in notes:

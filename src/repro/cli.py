@@ -183,6 +183,12 @@ def cmd_migrate(args) -> int:
     attribution = bool(getattr(args, "attribution", False) or
                        getattr(args, "trace", None))
 
+    precopy_policy = None
+    if getattr(args, "precopy", False):
+        from repro.migration.precopy import PrecopyPolicy
+
+        precopy_policy = PrecopyPolicy(max_rounds=args.max_rounds)
+
     try:
         dest, stats = engine.migrate(
             proc,
@@ -193,6 +199,8 @@ def cmd_migrate(args) -> int:
             compress=args.compress,
             retry=retry,
             attribution=attribution,
+            precopy=precopy_policy is not None,
+            precopy_policy=precopy_policy,
         )
     except MigrationError as exc:
         print(f"[migration failed: {exc}]", file=sys.stderr)
@@ -234,6 +242,15 @@ def cmd_migrate(args) -> int:
             f"vs {stats.migration_time * 1e3:.2f} ms serial]",
             file=sys.stderr,
         )
+    if stats.precopy:
+        print(
+            f"[pre-copy: {stats.precopy_rounds} rounds, "
+            f"{stats.precopy_bytes} round bytes, stop-and-copy downtime "
+            f"{stats.precopy_downtime_s * 1e3:.2f} ms]",
+            file=sys.stderr,
+        )
+    elif stats.precopy_degraded:
+        print("[pre-copy degraded to plain stop-and-copy]", file=sys.stderr)
     ok = dest.stdout == baseline.stdout and result.exit_code == baseline.exit_code
     print(
         f"[output {'identical to' if ok else 'DIFFERS from'} an unmigrated run]",
@@ -492,6 +509,13 @@ def build_parser() -> argparse.ArgumentParser:
                         "'bitflip@1:3,drop@2' or 'seed=42:count=2' "
                         "(kinds: drop, truncate, bitflip, stall, "
                         "disconnect; '!' suffix = persistent)")
+    p.add_argument("--precopy", action="store_true",
+                   help="iterative pre-copy live migration: snapshot + "
+                        "dirty-block delta rounds while the source keeps "
+                        "running, then a bounded stop-and-copy")
+    p.add_argument("--max-rounds", type=int, default=8,
+                   help="pre-copy delta round cap before forcing "
+                        "stop-and-copy (default 8)")
     p.set_defaults(fn=cmd_migrate)
 
     p = sub.add_parser(

@@ -30,6 +30,7 @@ import threading
 import time
 import zlib
 from dataclasses import dataclass
+from functools import partial
 from typing import Callable, Iterable, Iterator, Optional
 
 from repro import obs
@@ -141,13 +142,15 @@ class RetryPolicy:
         return max(delay, 0.0)
 
 
-def _collect_records(process: Process, buf: WriteBuffer):
+def _collect_records(process: Process, buf: WriteBuffer, collector_factory=Collector):
     """Write the full migration payload into *buf*, yielding after every
     variable (a safe drain point for the streaming pipeline).
 
     Returns (via ``StopIteration.value``) the :class:`CollectInfo`.  Both
     the monolithic and the chunked collectors drive this one generator,
-    which is what keeps their payload bytes identical.
+    which is what keeps their payload bytes identical.  *collector_factory*
+    swaps the record writer (the pre-copy final pass uses one that elides
+    already-delivered blocks); the stream structure is unchanged.
     """
     if not process.frames:
         raise MigrationError("process has no frames (not running?)")
@@ -163,7 +166,7 @@ def _collect_records(process: Process, buf: WriteBuffer):
     )
     write_header(buf, header)
 
-    collector = Collector(process, buf)
+    collector = collector_factory(process, buf)
 
     # frame live data: innermost first (paper §3.2: foo's, then main's)
     for depth in range(len(frames) - 1, -1, -1):
@@ -193,11 +196,13 @@ def _collect_records(process: Process, buf: WriteBuffer):
     return CollectInfo(stats=stats, header=header)
 
 
-def collect_state(process: Process) -> tuple[bytes, "CollectInfo"]:
+def collect_state(
+    process: Process, collector_factory=Collector
+) -> tuple[bytes, "CollectInfo"]:
     """Collect the execution + memory state of a process stopped at a
     poll-point.  Returns the machine-independent payload."""
     buf = WriteBuffer()
-    gen = _collect_records(process, buf)
+    gen = _collect_records(process, buf, collector_factory)
     while True:
         try:
             next(gen)
@@ -209,6 +214,7 @@ def collect_state_chunks(
     process: Process,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
     info_slot: Optional[list] = None,
+    collector_factory=Collector,
 ) -> Iterator[bytes]:
     """Collect *process* incrementally, yielding payload chunks of
     *chunk_size* bytes (the final chunk may be shorter).
@@ -221,7 +227,7 @@ def collect_state_chunks(
     if chunk_size <= 0:
         raise MigrationError(f"chunk_size must be positive, got {chunk_size}")
     buf = WriteBuffer()
-    gen = _collect_records(process, buf)
+    gen = _collect_records(process, buf, collector_factory)
     while True:
         try:
             next(gen)
@@ -243,7 +249,7 @@ class CollectInfo:
         self.header = header
 
 
-def _restore_from(program, rbuf, dest: Process) -> "RestoreInfo":
+def _restore_from(program, rbuf, dest: Process, restorer_factory=Restorer) -> "RestoreInfo":
     """Rebuild execution + memory state from any reader with the
     :class:`ReadBuffer` interface (contiguous payload or chunk stream)."""
     if dest.frames:
@@ -262,7 +268,7 @@ def _restore_from(program, rbuf, dest: Process) -> "RestoreInfo":
         dest.create_restored_frame(func_idx, resume_pc)
     dest.register_stack_blocks()
 
-    restorer = Restorer(dest, rbuf)
+    restorer = restorer_factory(dest, rbuf)
     n_frames = len(header.frames)
     for depth in range(n_frames - 1, -1, -1):
         n_live = rbuf.read_u16()
@@ -284,22 +290,24 @@ def _restore_from(program, rbuf, dest: Process) -> "RestoreInfo":
     return RestoreInfo(stats=restorer.stats, header=header)
 
 
-def restore_state(program, payload: bytes, dest: Process) -> "RestoreInfo":
+def restore_state(
+    program, payload: bytes, dest: Process, restorer_factory=Restorer
+) -> "RestoreInfo":
     """Rebuild execution + memory state inside a fresh destination process.
 
     *program* must be the very program object *dest* was invoked from;
     the mismatch is rejected before any destination memory is written.
     """
-    return _restore_from(program, ReadBuffer(payload), dest)
+    return _restore_from(program, ReadBuffer(payload), dest, restorer_factory)
 
 
 def restore_state_stream(
-    program, chunks: Iterable[bytes], dest: Process
+    program, chunks: Iterable[bytes], dest: Process, restorer_factory=Restorer
 ) -> "RestoreInfo":
     """Like :func:`restore_state`, but consuming an iterator of payload
     chunks (e.g. a channel's ``iter_chunks()``) as they arrive — the
     incremental-restore half of the streaming pipeline."""
-    return _restore_from(program, StreamReadBuffer(chunks), dest)
+    return _restore_from(program, StreamReadBuffer(chunks), dest, restorer_factory)
 
 
 class RestoreInfo:
@@ -368,6 +376,8 @@ class MigrationEngine:
         attribution: bool = False,
         event_capacity: int = DEFAULT_EVENT_CAPACITY,
         adopt_trace=None,
+        precopy: bool = False,
+        precopy_policy=None,
     ) -> tuple[Process, MigrationStats]:
         """Migrate *process* (stopped at a poll-point) to *dest_arch*.
 
@@ -411,6 +421,18 @@ class MigrationEngine:
         error.  *checkpoint_path* snapshots the source to disk before
         the first attempt, so even a host crash mid-migration can
         resume from the checkpoint.
+
+        With ``precopy=True`` the engine runs the iterative pre-copy
+        protocol first (:mod:`repro.migration.precopy`): a full snapshot
+        ships while the source keeps executing poll-point slices, then
+        delta rounds of only-dirty blocks, until the dirty set converges
+        (*precopy_policy*, a :class:`~repro.migration.precopy.PrecopyPolicy`).
+        The stop-and-copy then elides clean already-delivered blocks, so
+        the source's final pause — ``stats.precopy_downtime_s`` — covers
+        only the working set.  A retryable failure during pre-copy
+        degrades to the plain path (``stats.precopy_degraded``); the
+        restored state and the resumed execution are identical either
+        way, except that the source has executed a few more poll slices.
         """
         if waiting is not None:
             if waiting.frames or waiting.exited:
@@ -473,7 +495,57 @@ class MigrationEngine:
                 dest_arch=stats.dest_arch,
                 streaming=bool(streaming),
                 compress=bool(compress),
+                precopy=bool(precopy),
             )
+
+            pre_state = None
+            if precopy:
+                from repro.migration.precopy import (
+                    PrecopyPolicy,
+                    PrecopySourceExitedError,
+                    run_precopy,
+                )
+
+                pp = precopy_policy or PrecopyPolicy()
+                ch0 = channel_factory() if channel_factory is not None else channel
+                if policy.attempt_timeout_s is not None and hasattr(
+                    ch0, "set_deadline"
+                ):
+                    ch0.set_deadline(policy.attempt_timeout_s)
+                pre_scratch = Process(
+                    process.program, dest_arch, name=dest.name
+                )
+                if id(pre_scratch.ti) not in ti_tables:
+                    ti_tables[id(pre_scratch.ti)] = pre_scratch.ti
+                    ti0[id(pre_scratch.ti)] = (pre_scratch.ti.n_info_hits,
+                                               pre_scratch.ti.n_info_misses)
+                try:
+                    with obs_.tracer.span("precopy"):
+                        pre_state = run_precopy(
+                            process, pre_scratch, ch0, pp, stats, chunk_size
+                        )
+                except PrecopySourceExitedError:
+                    # the source finished on its own; there is no process
+                    # left to migrate and no plain path to degrade to
+                    self._finish_observation(
+                        obs_, stats, process, ti_tables, msrlt0, ti0,
+                        scratch=None,
+                    )
+                    raise
+                except RETRYABLE_ERRORS as exc:
+                    # degrade: forget the half-built scratch and run the
+                    # ordinary stop-and-copy from the source's current
+                    # poll-point (the slices it executed are real progress)
+                    stats.precopy_degraded = True
+                    pre_state = None
+                    process.msrlt.drop_stack_blocks()
+                    obs.inc("engine.precopy_degraded")
+                    obs.event(
+                        "precopy_degraded",
+                        error_type=type(exc).__name__,
+                        error=str(exc),
+                    )
+
             for attempt in range(policy.max_attempts):
                 ch = channel_factory() if channel_factory is not None else channel
                 if attempt > 0 and channel_factory is None and hasattr(ch, "reset"):
@@ -482,14 +554,32 @@ class MigrationEngine:
                     ch.set_deadline(policy.attempt_timeout_s)
                 sent_before = self._channel_bytes(ch)
                 # transactional restore: build the new process off to the side
-                # and only graft it onto *dest* once everything validated
-                scratch = Process(process.program, dest_arch, name=dest.name)
+                # and only graft it onto *dest* once everything validated.
+                # A surviving pre-copy hands over its pre-warmed scratch and
+                # the cached set the final collector elides.
+                use_pre = pre_state is not None
+                if use_pre:
+                    from repro.msr.delta import (
+                        PrecopyFinalCollector,
+                        PrecopyFinalRestorer,
+                    )
+
+                    scratch = pre_state.scratch
+                    coll_f = partial(
+                        PrecopyFinalCollector, cached=pre_state.cached
+                    )
+                    rest_f = PrecopyFinalRestorer
+                else:
+                    scratch = Process(process.program, dest_arch, name=dest.name)
+                    coll_f = Collector
+                    rest_f = Restorer
                 if id(scratch.ti) not in ti_tables:
                     ti_tables[id(scratch.ti)] = scratch.ti
                     ti0[id(scratch.ti)] = (scratch.ti.n_info_hits,
                                            scratch.ti.n_info_misses)
                 obs.event(
-                    "attempt_begin", attempt=attempt + 1, streaming=use_streaming
+                    "attempt_begin", attempt=attempt + 1,
+                    streaming=use_streaming, precopy_final=use_pre,
                 )
                 try:
                     with obs_.tracer.span("attempt", n=attempt + 1):
@@ -499,11 +589,12 @@ class MigrationEngine:
                         if use_streaming:
                             self._migrate_streaming(
                                 process, scratch, ch, chunk_size, stats,
-                                compress, ctx,
+                                compress, ctx, coll_f, rest_f,
                             )
                         else:
                             self._migrate_monolithic(
-                                process, scratch, ch, stats, compress, ctx
+                                process, scratch, ch, stats, compress, ctx,
+                                coll_f, rest_f,
                             )
                 except RETRYABLE_ERRORS as exc:
                     stats.attempts = attempt + 1
@@ -521,6 +612,18 @@ class MigrationEngine:
                     # drop them so the source stays cleanly runnable and the
                     # next attempt re-registers from scratch
                     process.msrlt.drop_stack_blocks()
+                    if use_pre:
+                        # the pre-warmed scratch is half-mutated by the failed
+                        # final pass; discard it and retry with a plain full
+                        # stop-and-copy
+                        stats.precopy_degraded = True
+                        pre_state = None
+                        obs.inc("engine.precopy_degraded")
+                        obs.event(
+                            "precopy_degraded",
+                            error_type=type(exc).__name__,
+                            error=str(exc),
+                        )
                     if use_streaming:
                         failed_streaming += 1
                         if (
@@ -563,6 +666,16 @@ class MigrationEngine:
                 # span tree — the per-attempt channel-ledger delta used to
                 # lose an aborted attempt's codec time to the reset() fold
                 stats.codec_time = obs_.tracer.total_prefix("codec.")
+            if pre_state is not None:
+                # the successful final pass rode on the pre-copy: what the
+                # user experienced as downtime is only that final phase
+                stats.precopy = True
+                stats.precopy_downtime_s = stats.response_time
+                obs.record(
+                    "precopy.downtime_seconds",
+                    stats.precopy_downtime_s,
+                    derived=True,
+                )
             obs.event(
                 "migration_end",
                 collect_s=round(stats.collect_time, 9),
@@ -575,6 +688,11 @@ class MigrationEngine:
             )
 
         self._adopt(dest, scratch)
+        if precopy:
+            # pre-copy slices ran the source past output it had not yet
+            # produced when migrate() was called; carry that output over so
+            # the destination's stream is the complete program output
+            dest._stdout[:0] = list(process._stdout)
         # the migrating process terminates after successful transmission
         process.frames.clear()
         process.exited = True
@@ -647,10 +765,11 @@ class MigrationEngine:
     # -- the paper's serial discipline -------------------------------------
 
     def _migrate_monolithic(
-        self, process, dest, channel, stats, compress=False, ctx=None
+        self, process, dest, channel, stats, compress=False, ctx=None,
+        collector_factory=Collector, restorer_factory=Restorer,
     ) -> None:
         with obs.span("collect") as timed:
-            payload, cinfo = collect_state(process)
+            payload, cinfo = collect_state(process, collector_factory)
         stats.collect_time = timed.seconds
         self._absorb_collect(stats, cinfo, len(payload))
 
@@ -700,18 +819,18 @@ class MigrationEngine:
         with propagate.restore_site(rctx):
             with obs.span("restore") as timed:
                 rinfo = self._validated_restore(
-                    process.program, ReadBuffer(received), dest
+                    process.program, ReadBuffer(received), dest, restorer_factory
                 )
         stats.restore_time = timed.seconds
         stats.restore = rinfo.stats
 
     @staticmethod
-    def _validated_restore(program, rbuf, scratch) -> "RestoreInfo":
+    def _validated_restore(program, rbuf, scratch, restorer_factory=Restorer) -> "RestoreInfo":
         """Restore into the scratch process, converting any damage-induced
         failure into a typed, retryable :class:`RestoreError` (channel and
         frame errors already are typed — they pass through)."""
         try:
-            return _restore_from(program, rbuf, scratch)
+            return _restore_from(program, rbuf, scratch, restorer_factory)
         except RETRYABLE_ERRORS:
             raise
         except Exception as exc:
@@ -722,11 +841,13 @@ class MigrationEngine:
     # -- the overlapped discipline -----------------------------------------
 
     def _migrate_streaming(
-        self, process, dest, channel, chunk_size, stats, compress=False, ctx=None
+        self, process, dest, channel, chunk_size, stats, compress=False, ctx=None,
+        collector_factory=Collector, restorer_factory=Restorer,
     ) -> None:
         info_slot: list = []
         collect_iter = _TimedIter(
-            collect_state_chunks(process, chunk_size, info_slot), "collect"
+            collect_state_chunks(process, chunk_size, info_slot, collector_factory),
+            "collect",
         )
         if hasattr(channel, "compress_stream"):
             channel.compress_stream = compress
@@ -755,7 +876,8 @@ class MigrationEngine:
         with propagate.restore_site(rctx), obs.span("pipeline") as pipeline:
             try:
                 rinfo = self._validated_restore(
-                    process.program, StreamReadBuffer(feed_timer), dest
+                    process.program, StreamReadBuffer(feed_timer), dest,
+                    restorer_factory,
                 )
             finally:
                 if producer is not None:

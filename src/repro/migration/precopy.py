@@ -1,0 +1,319 @@
+"""Iterative pre-copy live migration (the VM live-migration discipline).
+
+The classic transfer pauses the source for the whole Collect + Tx +
+Restore of its memory, so downtime is O(memory).  Pre-copy instead:
+
+1. ships a **full snapshot** (round 0) while the source keeps running —
+   here, the interpreter executes *poll-point slices* between rounds;
+2. installs write barriers (:class:`~repro.vm.dirty.DirtyTracker` on the
+   :class:`~repro.vm.memory.Memory` store paths) that record which bytes
+   each slice mutates, resolves them to MSRLT blocks, and ships **delta
+   rounds** of only-dirty blocks (``MDLT`` frames,
+   :mod:`repro.msr.delta`);
+3. once the dirty set converges below a threshold (or a round cap hits),
+   **stops** the source for good and ships only the small remainder —
+   the stop-and-copy stream is the ordinary full collection with clean
+   already-delivered blocks elided as ``TAG_CACHED`` stubs — cutting
+   downtime to O(working set).
+
+The tracker is installed *only while the interpreter runs a slice*:
+collection passes read through the same Memory entry points (and the
+bulk paths take writable views), so leaving the barrier armed during a
+collect would mark everything it read.  Since the interpreter and the
+engine share one thread, no write can slip between slice and drain.
+
+Failure semantics: a retryable transport/restore failure during
+pre-copy degrades the migration to the plain stop-and-copy path (the
+half-built scratch is discarded, never reused); the source *exiting*
+during a slice is not degradable — there is no longer a process to
+migrate — and surfaces as :class:`PrecopySourceExitedError`.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from repro import obs
+# engine does NOT import this module at load time (migrate() imports it
+# lazily), so importing the engine names directly here is acyclic
+from repro.migration.engine import (
+    RETRYABLE_ERRORS,
+    MigrationError,
+    RestoreError,
+    collect_state,
+    restore_state,
+)
+from repro.msr.delta import apply_round, build_round
+from repro.msr.msrlt import BlockKind
+from repro.msr.wire import CHUNK_HEADER_SIZE
+from repro.vm.dirty import DirtyTracker
+
+__all__ = [
+    "PrecopyPolicy",
+    "PrecopyState",
+    "PrecopySourceExitedError",
+    "run_precopy",
+]
+
+
+@dataclass(frozen=True)
+class PrecopyPolicy:
+    """Convergence policy for the iterative pre-copy loop."""
+
+    #: delta rounds after the snapshot before giving up and stopping
+    max_rounds: int = 8
+    #: stop-and-copy once a slice dirties at most this many blocks
+    stop_dirty_blocks: int = 4
+    #: poll-points the source executes between rounds
+    slice_polls: int = 1
+
+    def __post_init__(self) -> None:
+        if self.max_rounds < 0:
+            raise ValueError("max_rounds must be >= 0")
+        if self.slice_polls < 1:
+            raise ValueError("slice_polls must be >= 1")
+
+
+class PrecopyState:
+    """What a completed pre-copy phase hands the stop-and-copy attempt."""
+
+    __slots__ = ("scratch", "cached", "rounds")
+
+    def __init__(self, scratch, cached: frozenset, rounds: int) -> None:
+        #: the pre-warmed destination process (frames cleared, stack
+        #: pointer reset — ready for the ordinary restore path)
+        self.scratch = scratch
+        #: logical ids whose destination contents are byte-fresh; the
+        #: final collector elides them as TAG_CACHED stubs
+        self.cached = cached
+        #: delta rounds shipped (snapshot round included)
+        self.rounds = rounds
+
+
+class PrecopySourceExitedError(MigrationError):
+    """The source process ran to completion during a pre-copy slice:
+    there is nothing left to migrate (not retryable, not degradable)."""
+
+
+def _ship_round(channel, payload, chunk_size: int) -> tuple[bytes, int]:
+    """Send *payload* as a train of MDLT frames and receive it back on
+    the far side; returns ``(received_payload, n_frames)``.
+
+    On channels whose frame writes block until drained (the socket), the
+    send side runs in a short-lived producer thread while this thread
+    consumes — the same discipline as the streaming chunk pipeline.
+    """
+    mv = memoryview(payload)
+    n_frames = max((len(mv) + chunk_size - 1) // chunk_size, 1)
+
+    def send_all() -> None:
+        for start in range(0, len(mv), chunk_size):
+            channel.send_delta(mv[start : start + chunk_size])
+        channel.end_delta_round()
+
+    producer = None
+    error: list = []
+    if getattr(channel, "concurrent_stream", False):
+        def produce() -> None:
+            try:
+                send_all()
+            except BaseException as exc:  # noqa: BLE001 - repropagated below
+                error.append(exc)
+                channel.abort_stream()
+
+        producer = threading.Thread(target=produce, name="precopy-round")
+        producer.start()
+    else:
+        send_all()
+    try:
+        received = b"".join(channel.iter_delta_round())
+    finally:
+        if producer is not None:
+            producer.join()
+    if error:
+        raise error[0]
+    return received, n_frames
+
+
+def run_precopy(
+    process,
+    scratch,
+    channel,
+    policy: PrecopyPolicy,
+    stats,
+    chunk_size: int,
+) -> PrecopyState:
+    """Drive the pre-copy phase: snapshot, slices, delta rounds.
+
+    On return the source is stopped at its latest poll-point, *scratch*
+    holds every shipped block, and the returned state's ``cached`` set
+    names the blocks the stop-and-copy stream may elide.  Raises the
+    engine's retryable error family on transport/restore failures (the
+    caller degrades to plain stop-and-copy) and
+    :class:`PrecopySourceExitedError` when the source finishes first.
+    """
+    memory = process.memory
+    if memory.dirty is not None:
+        raise MigrationError("pre-copy is already active on this process")
+    link = channel.link
+
+    def account(payload_len: int, n_frames: int, round_no: int,
+                n_dirty: int, n_deferred: int, n_freed: int) -> None:
+        framed = payload_len + (n_frames + 1) * CHUNK_HEADER_SIZE
+        tx = link.pipelined_transfer_time(framed, n_frames)
+        stats.precopy_tx_time += tx
+        stats.precopy_bytes += payload_len
+        stats.precopy_round_bytes.append(payload_len)
+        obs.record("precopy.tx", tx, modeled=True)
+        obs.inc("precopy.bytes", payload_len)
+        obs.event(
+            "precopy_round",
+            round=round_no,
+            bytes=payload_len,
+            dirty_blocks=n_dirty,
+            deferred=n_deferred,
+            freed=n_freed,
+        )
+
+    obs.event(
+        "precopy_begin",
+        max_rounds=policy.max_rounds,
+        stop_dirty_blocks=policy.stop_dirty_blocks,
+        slice_polls=policy.slice_polls,
+    )
+
+    # -- round 0: the full snapshot ----------------------------------------
+    with obs.span("precopy.round", n=0):
+        with obs.lap("precopy.collect") as timed:
+            payload, cinfo = collect_state(process)
+        stats.precopy_codec_time += timed.seconds
+        received, n_frames = _ship_round(channel, payload, chunk_size)
+        with obs.lap("precopy.restore") as timed:
+            try:
+                restore_state(process.program, received, scratch)
+            except RETRYABLE_ERRORS:
+                raise
+            except Exception as exc:
+                raise RestoreError(
+                    f"pre-copy snapshot restore failed ({exc})"
+                ) from exc
+        stats.precopy_codec_time += timed.seconds
+        account(len(payload), n_frames, 0, cinfo.stats.n_blocks, 0, 0)
+
+    # the scratch's MSRLT is the ledger of what the destination holds
+    # (stack registrations were already dropped by the restore)
+    shipped = {b.logical for b in scratch.msrlt.blocks()}
+    fresh = set(shipped)
+
+    tracker = DirtyTracker(memory.stack_seg.base, memory.stack_seg.limit)
+    rounds = 0
+    saved_at_poll = process.migrate_at_poll
+    process.migrate_at_poll = None  # slices stop at *any* poll-point
+    try:
+        while True:
+            # -- one execution slice at the source -------------------------
+            memory.dirty = tracker
+            process.migration_pending = True
+            process.migrate_after_polls = policy.slice_polls
+            try:
+                result = process.run()
+            finally:
+                memory.dirty = None
+            if result.status == "exit":
+                raise PrecopySourceExitedError(
+                    f"source exited (code {result.exit_code}) during a "
+                    f"pre-copy slice; nothing left to migrate"
+                )
+
+            # -- resolve the slice's writes to blocks ----------------------
+            dirty: dict = {}
+            for lo, hi in tracker.take():
+                for b in process.msrlt.blocks_overlapping(lo, hi):
+                    dirty[b.logical] = b
+            live = {b.logical: b for b in process.msrlt.blocks()}
+            freed = sorted(
+                l for l in shipped
+                if l not in live and l[0] == BlockKind.HEAP
+            )
+            new = [b for l, b in live.items() if l not in shipped]
+            for b in new:
+                dirty.setdefault(b.logical, b)
+            fresh.difference_update(dirty)
+            fresh.difference_update(freed)
+
+            if rounds >= policy.max_rounds or len(dirty) <= policy.stop_dirty_blocks:
+                # converged (or round cap): the remaining dirty/new blocks
+                # travel in the stop-and-copy stream.  Frees from the last
+                # slice still ship, in a freed-only stop round, so the
+                # destination does not keep blocks the source let go.
+                if freed:
+                    rounds += 1
+                    rr = build_round(process, rounds, freed, [], [])
+                    received, n_frames = _ship_round(channel, rr.payload, chunk_size)
+                    _apply(scratch, received, rounds)
+                    shipped.difference_update(freed)
+                    account(len(rr.payload), n_frames, rounds, 0, 0, len(freed))
+                break
+
+            # -- ship one delta round --------------------------------------
+            rounds += 1
+            known = (shipped - set(freed)) | {b.logical for b in new}
+            with obs.span("precopy.round", n=rounds):
+                with obs.lap("precopy.collect") as timed:
+                    rr = build_round(
+                        process, rounds, freed, new, list(dirty.values()),
+                        known=known,
+                    )
+                stats.precopy_codec_time += timed.seconds
+                received, n_frames = _ship_round(channel, rr.payload, chunk_size)
+                with obs.lap("precopy.restore") as timed:
+                    _apply(scratch, received, rounds)
+                stats.precopy_codec_time += timed.seconds
+                account(
+                    len(rr.payload), n_frames, rounds,
+                    len(dirty), len(rr.deferred), len(freed),
+                )
+            shipped.difference_update(freed)
+            shipped.update(b.logical for b in new)
+            fresh.update(rr.shipped)
+            stats.precopy_dirty_blocks += len(dirty)
+    finally:
+        memory.dirty = None
+        process.migrate_at_poll = saved_at_poll
+
+    # -- prepare the scratch for the ordinary stop-and-copy restore --------
+    # the snapshot restore built activation records for the *old* frame
+    # state; the final stream rebuilds them from scratch, and resetting
+    # the stack pointer makes the rebuilt frames land at exactly the
+    # addresses a fresh (non-precopy) restore would produce
+    scratch.frames.clear()
+    scratch.memory.sp = scratch.memory.stack_seg.limit
+
+    live_now = {b.logical for b in process.msrlt.blocks()}
+    cached = frozenset(fresh & live_now)
+    stats.precopy_rounds = rounds + 1  # the snapshot round counts
+    obs.inc("precopy.rounds", rounds + 1)
+    obs.inc("precopy.dirty_blocks", stats.precopy_dirty_blocks)
+    obs.inc("precopy.cached_blocks", len(cached))
+    obs.event(
+        "precopy_end",
+        rounds=rounds + 1,
+        dirty_blocks=stats.precopy_dirty_blocks,
+        cached_blocks=len(cached),
+        bytes=stats.precopy_bytes,
+    )
+    return PrecopyState(scratch=scratch, cached=cached, rounds=rounds + 1)
+
+
+def _apply(scratch, payload: bytes, round_no: int) -> None:
+    """Apply one received round, mapping failures into the engine's
+    retryable error family (mirrors ``_validated_restore``)."""
+    try:
+        apply_round(scratch, payload, round_no)
+    except RETRYABLE_ERRORS:
+        raise
+    except Exception as exc:
+        raise RestoreError(
+            f"delta round {round_no} failed ({exc}); pre-copy abandoned"
+        ) from exc

@@ -116,6 +116,27 @@ class MigrationStats:
     #: clock (socket pipeline only; the same-thread generator pipeline
     #: interleaves but cannot overlap wall-clock, so it reports 0.0)
     pipeline_occupancy: float = 0.0
+    #: whether this migration ran the iterative pre-copy protocol
+    precopy: bool = False
+    #: delta rounds shipped before stop-and-copy (snapshot round included)
+    precopy_rounds: int = 0
+    #: dirty blocks shipped across all delta rounds
+    precopy_dirty_blocks: int = 0
+    #: payload bytes shipped during pre-copy (snapshot + delta rounds)
+    precopy_bytes: int = 0
+    #: per-round payload byte attribution: [snapshot, round 1, round 2, …]
+    precopy_round_bytes: list = field(default_factory=list)
+    #: modeled wire seconds of the pre-copy phase (rounds, not the final)
+    precopy_tx_time: float = 0.0
+    #: codec/collect seconds of the pre-copy phase (rounds, not the final)
+    precopy_codec_time: float = 0.0
+    #: the stop-and-copy downtime: collect + tx + restore of the *final*
+    #: delta once the source has genuinely paused — the number pre-copy
+    #: exists to shrink (the non-precopy downtime is migration_time)
+    precopy_downtime_s: float = 0.0
+    #: pre-copy hit a retryable failure and fell back to plain
+    #: stop-and-copy (the pre-copied scratch is discarded, never reused)
+    precopy_degraded: bool = False
     #: the migration's observation (span tree + metrics + event log);
     #: set by the engine, ``None`` for hand-built stats
     obs: Optional[object] = field(default=None, repr=False, compare=False)
@@ -140,8 +161,13 @@ class MigrationStats:
         serial work on a compressed stream, and the model does not
         pipeline it away, so excluding it from the denominator (while
         the numerator's pipeline model never saw it either) overstated
-        the overlap on every compressed migration.  The ratio is clamped
-        to ``[0, 1)``: overlap can hide work, not create negative time.
+        the overlap on every compressed migration.  Pre-copy delta-round
+        tx/codec seconds fold in the same way, on *both* sides: the
+        rounds are genuinely serial work the single streaming pass never
+        overlapped, and counting them only in the denominator would let
+        a 3-round pre-copy report an overlap its pipeline never achieved
+        (the pre-PR bug this fixes).  The ratio is clamped to ``[0, 1)``:
+        overlap can hide work, not create negative time.
         """
         self.pipeline_time = pipelined_response_time(
             self.collect_time,
@@ -150,11 +176,12 @@ class MigrationStats:
             self.n_chunks,
             latency_s=latency_s,
         )
-        serial = self.migration_time + self.codec_time
+        extra = self.codec_time + self.precopy_tx_time + self.precopy_codec_time
+        serial = self.migration_time + extra
         if serial <= 0:
             self.overlap_ratio = 0.0
             return
-        pipelined = self.pipeline_time + self.codec_time
+        pipelined = self.pipeline_time + extra
         ratio = 1.0 - pipelined / serial
         # a real pipelined transfer always has pipelined > 0, so the
         # mathematical ratio is < 1; the clamp guards degenerate inputs
@@ -206,6 +233,12 @@ class MigrationStats:
         # post-degradation attempt succeeded without further retries
         if self.degraded:
             out["Degraded"] = True
+        if self.precopy:
+            out["PrecopyRounds"] = self.precopy_rounds
+            out["PrecopyBytes"] = self.precopy_bytes
+            out["Downtime"] = self.precopy_downtime_s
+        if self.precopy_degraded:
+            out["PrecopyDegraded"] = True
         return out
 
     def __str__(self) -> str:
@@ -238,4 +271,13 @@ class MigrationStats:
             )
         elif self.degraded:
             base += " [degraded to monolithic]"
+        if self.precopy:
+            base += (
+                f" [precopy: {self.precopy_rounds} rounds, "
+                f"{self.precopy_dirty_blocks} dirty blocks, "
+                f"{self.precopy_bytes} round bytes, "
+                f"downtime {self.precopy_downtime_s * 1e3:.2f} ms]"
+            )
+        elif self.precopy_degraded:
+            base += " [precopy degraded to stop-and-copy]"
         return base

@@ -52,9 +52,12 @@ from repro.msr.wire import (
     CHUNK_HEADER_SIZE,
     CONTEXT_MAGIC_BYTES,
     ChunkDecoder,
+    DeltaDecoder,
     decode_context_frame,
     encode_chunk_parts,
     encode_context_frame,
+    encode_delta_end,
+    encode_delta_parts,
     encode_end_of_stream,
     TruncatedFrameError,
 )
@@ -166,6 +169,11 @@ class _ChunkStreamMixin:
         self.received_context: bytes | None = None
         # one frame read ahead of the chunk stream by recv_context()
         self._pending_frame: bytes | None = None
+        # pre-copy delta rounds: per-round sequence space (MDLT frames)
+        self._delta_seq = 0
+        self._delta_decoder = DeltaDecoder()
+        self.delta_frames_sent = 0
+        self.delta_bytes_sent = 0
 
     def _reset_stream_protocol(self) -> None:
         """Abandon any half-spoken stream (sequence numbers, decoder);
@@ -183,6 +191,8 @@ class _ChunkStreamMixin:
         self._decoder = ChunkDecoder()
         self.received_context = None
         self._pending_frame = None
+        self._delta_seq = 0
+        self._delta_decoder = DeltaDecoder()
 
     @property
     def total_codec_seconds(self) -> float:
@@ -277,6 +287,54 @@ class _ChunkStreamMixin:
         if frame is None:
             frame = self._recv_frame()
         return frame
+
+    # -- pre-copy delta rounds (MDLT frames) -------------------------------
+
+    def send_delta(self, payload: bytes | bytearray | memoryview) -> float:
+        """Frame and transmit one delta-round chunk (raw, CRC over the
+        raw bytes, per-round sequence space — see :mod:`repro.msr.wire`)."""
+        header, body = encode_delta_parts(self._delta_seq, payload)
+        frame_len = len(header) + len(body)
+        self._delta_seq += 1
+        self.delta_frames_sent += 1
+        self.delta_bytes_sent += frame_len
+        self.framed_bytes_sent += frame_len
+        obs.inc("wire.delta_frames_sent")
+        obs.inc("wire.framed_bytes_sent", frame_len)
+        return self._send_delta_frame(b"".join((header, body)))
+
+    def end_delta_round(self) -> float:
+        """Transmit the round terminator and rewind the per-round
+        sequence so the next round starts at 0 again."""
+        frame = encode_delta_end(self._delta_seq)
+        self._delta_seq = 0
+        self.delta_bytes_sent += len(frame)
+        self.framed_bytes_sent += len(frame)
+        return self._send_delta_frame(frame)
+
+    def recv_delta(self) -> bytes | None:
+        """Receive, validate, and unwrap the next delta chunk payload;
+        ``None`` at end-of-round (receiver state resets for the next
+        round)."""
+        payload = self._delta_decoder.decode(self._next_frame())
+        if payload is None:
+            self._delta_decoder = DeltaDecoder()
+        return payload
+
+    def iter_delta_round(self):
+        """Yield the delta chunk payloads of one round until its end."""
+        while True:
+            payload = self.recv_delta()
+            if payload is None:
+                return
+            yield payload
+
+    def _send_delta_frame(self, frame: bytes) -> float:
+        """Transmit a delta frame.  Defaults to the data path; the fault
+        layer overrides this to route delta frames *around* its send
+        counter, like trace-context control frames (see
+        :meth:`FaultyChannel._send_delta_frame`)."""
+        return self._send_frame(frame)
 
     def recv_chunk(self) -> bytes | None:
         """Receive, validate, and unwrap the next chunk payload.
@@ -566,12 +624,13 @@ class SocketChannel(_ChunkStreamMixin):
             CHUNK_MAGIC,
             CHUNK_MAGIC_Z,
             CONTEXT_MAGIC,
+            DELTA_MAGIC,
             FrameCorruptError,
         )
 
         header = self._read_exact(CHUNK_HEADER_SIZE, "frame header")
         (magic,) = _RECORD_LEN.unpack_from(header, 0)
-        if magic not in (CHUNK_MAGIC, CHUNK_MAGIC_Z, CONTEXT_MAGIC):
+        if magic not in (CHUNK_MAGIC, CHUNK_MAGIC_Z, CONTEXT_MAGIC, DELTA_MAGIC):
             # a desynced stream must fail here, before a garbage length
             # field makes us block waiting for bytes that never come
             raise FrameCorruptError(f"bad chunk frame magic {magic:#010x}")
@@ -856,6 +915,17 @@ class FaultyChannel(_ChunkStreamMixin):
         if self._closed:
             raise ChannelClosedError("send on a disconnected channel")
         return self.inner._send_control(frame)
+
+    def _send_delta_frame(self, frame: bytes) -> float:
+        """Delta frames follow the MCTX precedent: they bypass the fault
+        plan's send counter, so a seeded fault spec fires on exactly the
+        same data send with pre-copy on or off (the round *count* varies
+        with convergence, and letting it shift the counter would make
+        ``--fault seed=N`` unreproducible across the two modes).  A
+        disconnected channel still refuses them."""
+        if self._closed:
+            raise ChannelClosedError("send on a disconnected channel")
+        return self.inner._send_delta_frame(frame)
 
     def _recv_frame(self) -> bytes:
         self._pre_recv()

@@ -43,12 +43,22 @@ class CollectStats:
     #: blocks saved through a whole-graph plan (flat/ptr-array bulk;
     #: chain batches count into n_blocks directly, not here)
     n_plan_blocks: int = 0
+    #: blocks elided as pre-copy cached stubs (TAG_CACHED records)
+    n_cached_blocks: int = 0
     data_bytes: int = 0  # Σ Dᵢ over saved blocks (source-arch bytes)
     wire_bytes: int = 0
 
 
 class Collector:
     """One data-collection pass over a process's live state."""
+
+    #: whether the ptr_array/chain whole-graph plans may emit BLOCK
+    #: records in bulk.  The pre-copy delta/final collectors override
+    #: per-record tag decisions (REF-only, cached stubs), which the bulk
+    #: emitters would bypass — they subclass with this set to False.
+    #: Flat plans and codecs stay enabled: they route every pointer cell
+    #: through the overridable save_pointer, or carry no pointers at all.
+    pointer_plans = True
 
     def __init__(self, process, buf: WriteBuffer) -> None:
         self.process = process
@@ -168,10 +178,19 @@ class Collector:
             codec.save(self, block, info)
             self.stats.n_codec_blocks += 1
             return "codec"
-        if plan is not None and plan.KIND == "ptr_array" and plan.save(self, block, info):
+        if (
+            plan is not None
+            and self.pointer_plans
+            and plan.KIND == "ptr_array"
+            and plan.save(self, block, info)
+        ):
             self.stats.n_plan_blocks += 1
             return "plan"
-        chain = plan if plan is not None and plan.KIND == "chain" else None
+        chain = (
+            plan
+            if plan is not None and self.pointer_plans and plan.KIND == "chain"
+            else None
+        )
         memory = self.memory
         buf = self.buf
         addr = block.addr

@@ -377,6 +377,28 @@ class MSRLT:
                 self.profiler.msrlt_lookup(depth, False)
         return idx, offs
 
+    def blocks_overlapping(self, lo: int, hi: int) -> list[MemoryBlock]:
+        """All registered blocks intersecting the byte range ``[lo, hi)``.
+
+        Used by pre-copy dirty resolution: the write-barrier interval log
+        is address-based, and this bisect maps each merged interval back
+        to the blocks it touched.  Intervals over unregistered memory
+        (e.g. a block freed after the write) simply yield nothing.
+        """
+        if lo >= hi:
+            return []
+        out: list[MemoryBlock] = []
+        i = bisect_right(self._starts, lo) - 1
+        if i >= 0 and self._blocks[i].end <= lo:
+            i += 1
+        elif i < 0:
+            i = 0
+        n = len(self._blocks)
+        while i < n and self._starts[i] < hi:
+            out.append(self._blocks[i])
+            i += 1
+        return out
+
     def lookup_logical(self, logical: LogicalId) -> MemoryBlock:
         """Map a machine-independent id back to its block (restoration)."""
         if type(logical) is not tuple:

@@ -44,11 +44,18 @@ class RestoreStats:
     n_refs: int = 0
     n_nulls: int = 0
     n_heap_allocs: int = 0
+    #: pre-copy cached stubs consumed (TAG_CACHED records)
+    n_cached_blocks: int = 0
     data_bytes: int = 0  # destination-arch bytes written
 
 
 class Restorer:
     """One data-restoration pass into a destination process."""
+
+    #: mirror of Collector.pointer_plans — the pre-copy restorers read
+    #: per-record tags the bulk ptr_array/chain restore paths cannot see,
+    #: so their subclasses disable those two plan kinds symmetrically.
+    pointer_plans = True
 
     def __init__(self, process, buf: ReadBuffer) -> None:
         self.process = process
@@ -221,9 +228,18 @@ class Restorer:
             codec.restore(self, block, info)
             return "codec"
 
-        if plan is not None and plan.KIND == "ptr_array" and plan.restore(self, block, info):
+        if (
+            plan is not None
+            and self.pointer_plans
+            and plan.KIND == "ptr_array"
+            and plan.restore(self, block, info)
+        ):
             return "plan"
-        chain = plan if plan is not None and plan.KIND == "chain" else None
+        chain = (
+            plan
+            if plan is not None and self.pointer_plans and plan.KIND == "chain"
+            else None
+        )
         memory = self.memory
         buf = self.buf
         cells = info.cells

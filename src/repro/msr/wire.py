@@ -102,6 +102,7 @@ __all__ = [
     "TAG_NULL",
     "TAG_REF",
     "TAG_BLOCK",
+    "TAG_CACHED",
     "FLAG_FLAT",
     "WireHeader",
     "write_header",
@@ -112,6 +113,8 @@ __all__ = [
     "CHUNK_MAGIC_Z",
     "CONTEXT_MAGIC",
     "CONTEXT_MAGIC_BYTES",
+    "DELTA_MAGIC",
+    "DELTA_MAGIC_BYTES",
     "CHUNK_HEADER_SIZE",
     "encode_context_frame",
     "decode_context_frame",
@@ -126,6 +129,10 @@ __all__ = [
     "encode_end_of_stream",
     "decode_chunk",
     "ChunkDecoder",
+    "encode_delta_parts",
+    "encode_delta_end",
+    "decode_delta_chunk",
+    "DeltaDecoder",
     "PAYLOAD_MAGIC_Z",
     "compress_payload",
     "expand_payload",
@@ -137,6 +144,11 @@ VERSION = 1
 TAG_NULL = 0
 TAG_REF = 1
 TAG_BLOCK = 2
+#: pre-copy stop-and-copy only: the block's contents already live on the
+#: destination (shipped by a delta round and clean since); the record
+#: carries the logical id + ordinal and then one record per pointer cell
+#: (so the DFS still reaches blocks behind it), but no scalar contents
+TAG_CACHED = 3
 
 FLAG_FLAT = 1
 
@@ -409,6 +421,100 @@ def peel_context_frame(data: bytes) -> tuple[bytes | None, bytes]:
             f"{len(data) - CHUNK_HEADER_SIZE}"
         )
     return decode_context_frame(data[:end]), data[end:]
+
+
+# -- pre-copy delta chunk frames ----------------------------------------------
+
+DELTA_MAGIC = 0x4D444C54  # 'MDLT' — pre-copy delta round chunk
+DELTA_MAGIC_BYTES = b"MDLT"
+
+
+def encode_delta_parts(
+    seq: int, payload: bytes | bytearray | memoryview
+) -> tuple[bytes, bytes | bytearray | memoryview]:
+    """Frame one non-empty delta-round chunk as ``(header, body)``.
+
+    Same header layout as a data chunk frame (magic, seq, payload_len,
+    CRC-32 over the raw bytes) under the fresh ``'MDLT'`` magic, so the
+    socket reader reuses its fixed-size header read.  The sequence space
+    is *per round*: every round starts at 0 and is closed by
+    :func:`encode_delta_end`.  Delta frames are deliberately raw-only —
+    rounds are small (only-dirty blocks) and the adaptive-compression
+    negotiation would buy little while doubling the magic matrix.
+    """
+    if not payload:
+        raise ValueError("empty delta payload is reserved for end-of-round")
+    return _CHUNK_HEADER.pack(DELTA_MAGIC, seq, len(payload), zlib.crc32(payload)), payload
+
+
+def encode_delta_end(seq: int) -> bytes:
+    """The round terminator frame: ``payload_len == 0``, no payload."""
+    return _CHUNK_HEADER.pack(DELTA_MAGIC, seq, 0, 0)
+
+
+def decode_delta_chunk(
+    frame: bytes | bytearray | memoryview,
+) -> tuple[int, bytes | memoryview]:
+    """Validate and unwrap one delta frame; ``(seq, b"")`` at end-of-round.
+
+    The payload is a zero-copy ``memoryview`` into *frame* (the caller
+    owns the frame bytes).  Raises the same typed error family as
+    :func:`decode_chunk`.
+    """
+    frame = memoryview(frame)
+    if len(frame) < CHUNK_HEADER_SIZE:
+        raise TruncatedFrameError(
+            f"delta frame header truncated: {len(frame)} of "
+            f"{CHUNK_HEADER_SIZE} bytes"
+        )
+    magic, seq, length, crc = _CHUNK_HEADER.unpack_from(frame, 0)
+    if magic != DELTA_MAGIC:
+        raise FrameCorruptError(f"bad delta frame magic {magic:#010x}")
+    body = frame[CHUNK_HEADER_SIZE:]
+    if len(body) != length:
+        raise TruncatedFrameError(
+            f"delta chunk {seq} claims {length} payload bytes, "
+            f"frame carries {len(body)}"
+        )
+    if length == 0:
+        if crc != 0:
+            raise FrameCorruptError(f"end-of-round frame {seq} has nonzero CRC")
+        return seq, b""
+    actual = zlib.crc32(body)
+    if actual != crc:
+        raise FrameCorruptError(
+            f"delta chunk {seq} CRC mismatch: header {crc:#010x}, "
+            f"payload {actual:#010x}"
+        )
+    return seq, body
+
+
+class DeltaDecoder:
+    """Receive-side delta frame validation for one pre-copy round.
+
+    Mirrors :class:`ChunkDecoder`'s strict consecutive-sequence rule,
+    but over the per-round sequence space: the transport replaces the
+    decoder at every end-of-round, so each round independently starts
+    at sequence 0.
+    """
+
+    def __init__(self) -> None:
+        self.expected_seq = 0
+        self.finished = False
+
+    def decode(self, frame: bytes | bytearray | memoryview) -> bytes | None:
+        if self.finished:
+            raise FrameOrderError("delta frame arrived after end-of-round")
+        seq, payload = decode_delta_chunk(frame)
+        if seq != self.expected_seq:
+            raise FrameOrderError(
+                f"delta sequence break: expected {self.expected_seq}, got {seq}"
+            )
+        self.expected_seq += 1
+        if not payload:
+            self.finished = True
+            return None
+        return payload
 
 
 # -- monolithic payload compression -------------------------------------------

@@ -1,0 +1,66 @@
+"""Write-barrier dirty tracking for iterative pre-copy migration.
+
+The tracker is a pure interval log: every mutating :class:`~repro.vm.memory.Memory`
+entry point calls :meth:`DirtyTracker.mark` with the written byte range, and
+the migration layer periodically drains the log with :meth:`take` and resolves
+the merged intervals to MSRLT blocks (``MSRLT.blocks_overlapping``).  Keeping
+the tracker block-agnostic means the barrier costs one attribute check plus an
+``append`` on the hot store path and never touches the MSRLT — blocks may be
+registered, freed, or re-registered between marks without invalidating the log.
+
+Stack writes are filtered out at mark time via the ``(skip_lo, skip_hi)``
+range: pre-copy delta rounds never ship stack blocks (the stack travels only
+in the final stop-and-copy stream, after the source has genuinely paused), so
+tracking the interpreter's per-instruction stack traffic would only bloat the
+log.
+"""
+
+from __future__ import annotations
+
+__all__ = ["DirtyTracker"]
+
+#: coalesce the interval log once it grows past this many entries
+_COALESCE_THRESHOLD = 4096
+
+
+class DirtyTracker:
+    """Accumulates written byte intervals ``[lo, hi)`` between drains."""
+
+    __slots__ = ("_intervals", "_skip_lo", "_skip_hi")
+
+    def __init__(self, skip_lo: int = 0, skip_hi: int = 0) -> None:
+        self._intervals: list[tuple[int, int]] = []
+        self._skip_lo = skip_lo
+        self._skip_hi = skip_hi
+
+    def mark(self, addr: int, n: int) -> None:
+        """Record a write of *n* bytes at *addr* (no-op for stack range)."""
+        if n <= 0 or self._skip_lo <= addr < self._skip_hi:
+            return
+        self._intervals.append((addr, addr + n))
+        if len(self._intervals) > _COALESCE_THRESHOLD:
+            self._intervals = _merge(self._intervals)
+
+    def take(self) -> list[tuple[int, int]]:
+        """Drain the log: return merged, sorted intervals and clear."""
+        merged = _merge(self._intervals)
+        self._intervals = []
+        return merged
+
+    def __bool__(self) -> bool:
+        return bool(self._intervals)
+
+
+def _merge(intervals: list[tuple[int, int]]) -> list[tuple[int, int]]:
+    if len(intervals) <= 1:
+        return list(intervals)
+    intervals = sorted(intervals)
+    out = [intervals[0]]
+    for lo, hi in intervals[1:]:
+        plo, phi = out[-1]
+        if lo <= phi:
+            if hi > phi:
+                out[-1] = (plo, hi)
+        else:
+            out.append((lo, hi))
+    return out

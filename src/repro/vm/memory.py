@@ -208,6 +208,11 @@ class Memory:
             kind: np.dtype(order + code) for kind, code in np_codes.items()
         }
 
+        #: pre-copy write barrier: when a DirtyTracker is installed here,
+        #: every mutating entry point reports its written byte range.
+        #: None (the default) keeps the store paths barrier-free.
+        self.dirty = None
+
     # -- address translation -------------------------------------------------
 
     def segment_of(self, addr: int) -> Segment:
@@ -237,6 +242,8 @@ class Memory:
         packer = self._packers[kind]
         seg = self.segment_of(addr)
         off = seg.offset(addr, packer.size)
+        if self.dirty is not None:
+            self.dirty.mark(addr, packer.size)
         if kind not in ("float", "double"):
             bits = packer.size * 8
             iv = int(value) & ((1 << bits) - 1)
@@ -261,6 +268,8 @@ class Memory:
     def write_bytes(self, addr: int, data: bytes | bytearray | memoryview) -> None:
         """Write raw bytes at *addr* (materializes from the data itself
         when the span is fresh — see :meth:`Segment.write`)."""
+        if self.dirty is not None:
+            self.dirty.mark(addr, len(data))
         self.segment_of(addr).write(addr, data)
 
     def view(self, addr: int, n: int) -> memoryview:
@@ -276,6 +285,8 @@ class Memory:
         intermediate buffer (same validity rule as :meth:`view`)."""
         seg = self.segment_of(addr)
         off = seg.offset(addr, n)
+        if self.dirty is not None:
+            self.dirty.mark(addr, n)
         return memoryview(seg.buf)[off : off + n]
 
     def read_array(self, kind: str, addr: int, count: int) -> np.ndarray:
@@ -307,6 +318,11 @@ class Memory:
         grows over it."""
         if n <= 0:
             return
+        if self.dirty is not None:
+            # zeroing is a semantic write even when it leaves the range
+            # unmaterialized (the bytes change from "whatever was live"
+            # to zero as far as any later reader is concerned)
+            self.dirty.mark(addr, n)
         seg = self.segment_of(addr)
         end = addr + n
         if end > seg.limit:
@@ -406,7 +422,12 @@ class Memory:
         """
         dtype = self._np_dtypes[kind]
         seg = self.segment_of(addr)
-        off = seg.offset(addr, count * dtype.itemsize)
+        nbytes = count * dtype.itemsize
+        off = seg.offset(addr, nbytes)
+        if self.dirty is not None:
+            # the view is writable, so conservatively treat the whole
+            # span as dirtied (read-only callers over-mark a little)
+            self.dirty.mark(addr, nbytes)
         return np.frombuffer(seg.buf, dtype=dtype, count=count, offset=off)
 
     def heap_free(self, addr: int) -> None:

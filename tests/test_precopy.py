@@ -1,0 +1,574 @@
+"""Iterative pre-copy live migration (PR 9).
+
+Covers the whole stack: the MDLT wire frames, the dirty-interval
+tracker and its MSRLT resolution, the write barriers on every Memory
+store entry point (ground-truthed against a byte diff), delta round
+build/apply, fault-plan determinism across pre-copy on/off, the
+overlap-ratio fold of round time, corpus replay through pre-copy on
+four representative architecture pairs, and the default-path guarantee
+that pre-copy machinery is inert when not requested.
+"""
+
+import pytest
+
+from repro.arch import ALPHA, DEC5000, SPARC20, ULTRA5, X86_64
+from repro.difftest.corpus import load_corpus
+from repro.difftest.harness import run_baseline, _stop_at_poll
+from repro.difftest.oracle import fingerprint_diff, heap_fingerprint
+from repro.migration.engine import (
+    MigrationEngine,
+    RetryPolicy,
+    collect_state,
+)
+from repro.migration.precopy import (
+    PrecopyPolicy,
+    PrecopySourceExitedError,
+    run_precopy,
+)
+from repro.migration.stats import MigrationStats
+from repro.migration.transport import (
+    LOOPBACK,
+    Channel,
+    ChannelClosedError,
+    ChannelError,
+    FaultPlan,
+    FaultyChannel,
+    SocketChannel,
+)
+from repro.msr.delta import PrecopyFinalCollector
+from repro.msr.msrlt import BlockKind
+from repro.msr.wire import (
+    CHUNK_HEADER_SIZE,
+    DeltaDecoder,
+    FrameCorruptError,
+    FrameOrderError,
+    decode_delta_chunk,
+    encode_delta_end,
+    encode_delta_parts,
+)
+from repro.vm.dirty import DirtyTracker
+from repro.vm.process import Process
+from repro.vm.program import compile_program
+
+
+ENGINE = MigrationEngine()
+
+
+def _compile(src: str):
+    return compile_program(src, poll_strategy="user")
+
+
+def _stopped(program, arch, polls: int = 1) -> Process:
+    proc = Process(program, arch)
+    proc.start()
+    proc.migration_pending = True
+    proc.migrate_after_polls = polls
+    result = proc.run()
+    assert result.status == "poll", result
+    return proc
+
+
+# a workload with a long poll-point loop, heap churn through every
+# mutation path, and output only at the end — the pre-copy happy case
+MUTATOR_SRC = """
+int grid[32];
+int *slots[8];
+char tag[16];
+int acc;
+
+int main() {
+    int i; int r; int *p;
+    for (i = 0; i < 8; i++) {
+        slots[i] = (int *) malloc(2 * sizeof(int));
+        slots[i][0] = i; slots[i][1] = i * 3;
+    }
+    strcpy(tag, "precopy");
+    for (r = 0; r < 24; r++) {
+        migrate_here();
+        grid[r % 32] = r * 7;                 /* scalar stores */
+        slots[r % 8][0] = slots[r % 8][0] + r;
+        if (r % 5 == 0) {
+            free(slots[(r + 3) % 8]);         /* churn: free + realloc */
+            slots[(r + 3) % 8] = (int *) malloc(2 * sizeof(int));
+            slots[(r + 3) % 8][0] = r; slots[(r + 3) % 8][1] = r;
+        }
+        if (r == 10) {
+            p = (int *) realloc(slots[1], 6 * sizeof(int));   /* grow */
+            slots[1] = p;
+            slots[1][4] = 44; slots[1][5] = 55;
+        }
+        if (r == 12) memset(tag, 90, 4);      /* bulk write_bytes */
+    }
+    migrate_here();
+    for (i = 0; i < 8; i++) acc = (acc * 13 + slots[i][0]) % 100003;
+    for (i = 0; i < 32; i++) acc = (acc + grid[i]) % 100003;
+    printf("acc=%d t=%s\\n", acc, tag);
+    return 0;
+}
+"""
+
+
+# -- wire frames ---------------------------------------------------------
+
+
+class TestDeltaWire:
+    def test_roundtrip(self):
+        header, body = encode_delta_parts(0, b"hello world")
+        assert len(header) == CHUNK_HEADER_SIZE
+        seq, payload = decode_delta_chunk(header + body)
+        assert (seq, bytes(payload)) == (0, b"hello world")
+
+    def test_end_of_round_frame(self):
+        seq, payload = decode_delta_chunk(encode_delta_end(3))
+        assert seq == 3 and payload == b""
+
+    def test_crc_damage_detected(self):
+        header, body = encode_delta_parts(0, b"abcdef")
+        frame = bytearray(header + body)
+        frame[-1] ^= 0xFF
+        with pytest.raises(FrameCorruptError):
+            decode_delta_chunk(bytes(frame))
+
+    def test_empty_payload_rejected(self):
+        with pytest.raises(ValueError):
+            encode_delta_parts(0, b"")
+
+    def test_decoder_orders_frames(self):
+        dec = DeltaDecoder()
+        h0, b0 = encode_delta_parts(0, b"one")
+        assert bytes(dec.decode(h0 + b0)) == b"one"
+        # a sequence gap is a typed protocol error
+        h2, b2 = encode_delta_parts(2, b"three")
+        with pytest.raises(FrameOrderError):
+            dec.decode(h2 + b2)
+
+    def test_decoder_finishes_on_terminator(self):
+        dec = DeltaDecoder()
+        h0, b0 = encode_delta_parts(0, b"x")
+        dec.decode(h0 + b0)
+        assert dec.decode(encode_delta_end(1)) is None
+        assert dec.finished
+        h, b = encode_delta_parts(0, b"y")
+        with pytest.raises(FrameOrderError):
+            dec.decode(h + b)
+
+
+# -- dirty tracking ------------------------------------------------------
+
+
+class TestDirtyTracker:
+    def test_merges_intervals(self):
+        t = DirtyTracker(0, 0)
+        t.mark(10, 4)
+        t.mark(12, 6)
+        t.mark(30, 2)
+        assert t.take() == [(10, 18), (30, 32)]
+        assert not t  # take() clears
+
+    def test_filters_stack_range(self):
+        t = DirtyTracker(100, 200)
+        t.mark(150, 8)   # inside the stack: ignored
+        t.mark(50, 4)
+        assert t.take() == [(50, 54)]
+
+    def test_zero_length_ignored(self):
+        t = DirtyTracker(0, 0)
+        t.mark(10, 0)
+        assert not t
+
+
+class TestBlocksOverlapping:
+    def test_resolution(self):
+        prog = _compile(MUTATOR_SRC)
+        proc = _stopped(prog, ULTRA5)
+        blocks = proc.msrlt.blocks()
+        assert blocks
+        b = blocks[len(blocks) // 2]
+        hits = proc.msrlt.blocks_overlapping(b.addr, b.addr + 1)
+        assert [h.logical for h in hits] == [b.logical]
+        # a range spanning everything returns everything, in order
+        lo = blocks[0].addr
+        hi = blocks[-1].end
+        all_hits = proc.msrlt.blocks_overlapping(lo, hi)
+        assert [h.logical for h in all_hits] == [blk.logical for blk in blocks]
+        assert proc.msrlt.blocks_overlapping(lo, lo) == []
+
+
+# -- satellite 1: barriers on every store entry point --------------------
+
+
+def _block_bytes(proc):
+    """logical -> current contents of every registered non-stack block."""
+    out = {}
+    for b in proc.msrlt.blocks():
+        if b.logical[0] == BlockKind.STACK:
+            continue
+        out[b.logical] = bytes(proc.memory.read_bytes(b.addr, b.size))
+    return out
+
+
+def test_barriers_cover_every_store_entry_point():
+    """Run pre-copy slices and ground-truth the dirty set against the
+    byte diff of every registered block: every block whose bytes changed
+    across a slice MUST be in the resolved dirty set (conservative
+    over-marking is allowed; a miss means a write slipped the barrier).
+
+    The workload exercises all mutation paths between rounds: scalar
+    ``store``, builtin ``memset``/``strcpy`` (write_bytes), ``free`` +
+    ``malloc`` churn, and ``realloc``'s malloc-copy-free grow path.
+    """
+    prog = _compile(MUTATOR_SRC)
+    proc = _stopped(prog, ULTRA5)
+    memory = proc.memory
+    tracker = DirtyTracker(memory.stack_seg.base, memory.stack_seg.limit)
+
+    slices_with_changes = 0
+    for _slice in range(14):
+        before = _block_bytes(proc)
+        memory.dirty = tracker
+        proc.migration_pending = True
+        proc.migrate_after_polls = 1
+        result = proc.run()
+        memory.dirty = None
+        assert result.status == "poll"
+
+        dirty = set()
+        for lo, hi in tracker.take():
+            for b in proc.msrlt.blocks_overlapping(lo, hi):
+                dirty.add(b.logical)
+        after = _block_bytes(proc)
+        changed = {
+            logical
+            for logical, data in after.items()
+            if logical in before and before[logical] != data
+        }
+        new = set(after) - set(before)
+        missed = changed - dirty
+        assert not missed, f"writes slipped the barrier on blocks {missed}"
+        # every new block's initializing writes must also have been seen
+        # (its logical resolves from the same dirty intervals)
+        init_missed = {l for l in new if after[l].strip(b"\x00")} - dirty
+        assert not init_missed, f"new-block init writes missed: {init_missed}"
+        if changed or new:
+            slices_with_changes += 1
+    assert slices_with_changes >= 10  # the workload really was mutating
+
+
+def test_realloc_grow_fires_barrier():
+    src = """
+    int main() {
+        int *p; int i;
+        p = (int *) malloc(2 * sizeof(int));
+        p[0] = 7; p[1] = 9;
+        migrate_here();
+        p = (int *) realloc(p, 8 * sizeof(int));
+        for (i = 2; i < 8; i++) p[i] = i;
+        migrate_here();
+        printf("%d\\n", p[0] + p[7]);
+        return 0;
+    }
+    """
+    prog = _compile(src)
+    proc = _stopped(prog, ULTRA5)
+    memory = proc.memory
+    tracker = DirtyTracker(memory.stack_seg.base, memory.stack_seg.limit)
+    memory.dirty = tracker
+    proc.migration_pending = True
+    proc.migrate_after_polls = 1
+    assert proc.run().status == "poll"
+    memory.dirty = None
+    dirty = set()
+    for lo, hi in tracker.take():
+        for b in proc.msrlt.blocks_overlapping(lo, hi):
+            dirty.add(b.logical)
+    # the grown block is a NEW heap block (fresh serial) whose copied +
+    # appended contents were written through barriered paths
+    heap_blocks = [b for b in proc.msrlt.blocks()
+                   if b.logical[0] == BlockKind.HEAP]
+    assert len(heap_blocks) == 1
+    assert heap_blocks[0].logical in dirty
+
+
+# -- delta rounds through the engine -------------------------------------
+
+
+def _precopy_migrate(prog, src_arch, dst_arch, policy=None, **kw):
+    proc = _stopped(prog, src_arch)
+    dest, stats = ENGINE.migrate(
+        proc, dst_arch, precopy=True,
+        precopy_policy=policy or PrecopyPolicy(max_rounds=4, stop_dirty_blocks=0),
+        **kw,
+    )
+    return dest, stats
+
+
+class TestPrecopyEngine:
+    def test_end_to_end_matches_unmigrated_run(self):
+        prog = _compile(MUTATOR_SRC)
+        baseline = run_baseline(prog, ULTRA5)
+        dest, stats = _precopy_migrate(prog, ULTRA5, SPARC20)
+        code = dest.run_to_completion()
+        assert code == baseline.exit_code
+        assert dest.stdout == baseline.stdout
+        assert fingerprint_diff(heap_fingerprint(dest), baseline.fingerprint) is None
+        assert stats.precopy and not stats.precopy_degraded
+        assert stats.precopy_rounds >= 2  # snapshot + forced delta rounds
+
+    def test_round_byte_attribution_is_exact(self):
+        prog = _compile(MUTATOR_SRC)
+        _dest, stats = _precopy_migrate(prog, ULTRA5, ALPHA)
+        assert stats.precopy_round_bytes, "no per-round attribution"
+        assert sum(stats.precopy_round_bytes) == stats.precopy_bytes
+        assert len(stats.precopy_round_bytes) == stats.precopy_rounds
+        # the snapshot dominates; every delta round is strictly smaller
+        assert all(r < stats.precopy_round_bytes[0]
+                   for r in stats.precopy_round_bytes[1:])
+
+    def test_final_stream_elides_cached_blocks(self):
+        prog = _compile(MUTATOR_SRC)
+        plain = _stopped(prog, ULTRA5)
+        payload_plain, _ = collect_state(plain)
+        _dest, stats = _precopy_migrate(prog, ULTRA5, SPARC20)
+        # the stop-and-copy payload must be smaller than a full
+        # collection (clean blocks ship as TAG_CACHED stubs)
+        assert stats.payload_bytes < len(payload_plain)
+        assert stats.restore is not None
+        assert stats.restore.n_cached_blocks > 0
+
+    def test_streaming_final(self):
+        prog = _compile(MUTATOR_SRC)
+        baseline = run_baseline(prog, ULTRA5)
+        dest, stats = _precopy_migrate(
+            prog, ULTRA5, DEC5000, streaming=True, chunk_size=128,
+        )
+        assert dest.run_to_completion() == baseline.exit_code
+        assert dest.stdout == baseline.stdout
+        assert stats.streamed and stats.precopy
+        assert stats.precopy_downtime_s == stats.pipeline_time
+
+    def test_socket_channel_rounds(self):
+        prog = _compile(MUTATOR_SRC)
+        baseline = run_baseline(prog, ULTRA5)
+        ch = SocketChannel()
+        try:
+            dest, stats = ENGINE.migrate(
+                _stopped(prog, ULTRA5), SPARC20, channel=ch,
+                precopy=True, streaming=True, chunk_size=256,
+                precopy_policy=PrecopyPolicy(max_rounds=3, stop_dirty_blocks=0),
+            )
+        finally:
+            ch.close()
+        assert dest.run_to_completion() == baseline.exit_code
+        assert dest.stdout == baseline.stdout
+        assert stats.precopy_rounds >= 2
+
+    def test_source_exit_during_slice_raises(self):
+        src = """
+        int g;
+        int main() {
+            g = 1; migrate_here();
+            g = 2; migrate_here();
+            printf("%d\\n", g);
+            return 0;
+        }
+        """
+        prog = _compile(src)
+        proc = _stopped(prog, ULTRA5)
+        with pytest.raises(PrecopySourceExitedError):
+            ENGINE.migrate(
+                proc, SPARC20, precopy=True,
+                precopy_policy=PrecopyPolicy(max_rounds=8, stop_dirty_blocks=0),
+            )
+        # the source genuinely finished; its output is intact
+        assert proc.exited and proc.stdout == "2\n"
+
+    def test_degrades_to_stop_and_copy_on_round_failure(self):
+        class BrokenDeltaChannel(Channel):
+            def __init__(self, link):
+                super().__init__(link)
+                self.delta_sends = 0
+
+            def _send_delta_frame(self, frame):
+                self.delta_sends += 1
+                raise ChannelError("delta path down")
+
+        prog = _compile(MUTATOR_SRC)
+        baseline = run_baseline(prog, ULTRA5)
+        ch = BrokenDeltaChannel(LOOPBACK)
+        proc = _stopped(prog, ULTRA5)
+        dest, stats = ENGINE.migrate(
+            proc, SPARC20, channel=ch, precopy=True,
+            precopy_policy=PrecopyPolicy(max_rounds=4, stop_dirty_blocks=0),
+        )
+        assert ch.delta_sends > 0
+        assert stats.precopy_degraded and not stats.precopy
+        assert stats.precopy_downtime_s == 0.0
+        assert dest.run_to_completion() == baseline.exit_code
+        assert dest.stdout == baseline.stdout
+
+    def test_default_path_does_not_touch_precopy_machinery(self):
+        prog = _compile(MUTATOR_SRC)
+        ch = Channel(LOOPBACK)
+        proc = _stopped(prog, ULTRA5)
+        payload_expected, _ = collect_state(proc)
+        dest, stats = ENGINE.migrate(proc, SPARC20, channel=ch)
+        assert not stats.precopy and not stats.precopy_degraded
+        assert stats.precopy_rounds == 0 and stats.precopy_bytes == 0
+        assert ch.delta_frames_sent == 0
+        # wire bytes identical to a plain collection (PR 8 invariant)
+        assert stats.payload_bytes == len(payload_expected)
+        assert dest.run_to_completion() == 0
+
+
+def test_final_collector_with_empty_cache_is_byte_identical():
+    """PrecopyFinalCollector(cached=∅) must produce exactly the plain
+    collector's stream — TAG_CACHED elision is inert until earned."""
+    prog = _compile(MUTATOR_SRC)
+    proc = _stopped(prog, ULTRA5)
+    plain, _ = collect_state(proc)
+    finalized, _ = collect_state(
+        proc, lambda p, b: PrecopyFinalCollector(p, b, cached=())
+    )
+    assert plain == finalized
+
+
+# -- satellite 2: fault-plan determinism ---------------------------------
+
+
+class TestFaultDeterminism:
+    def test_delta_frames_do_not_advance_send_index(self):
+        ch = FaultyChannel(Channel(LOOPBACK), FaultPlan())
+        ch.send_delta(b"payload")
+        ch.end_delta_round()
+        assert ch._send_index == 0
+        ch.send_chunk(b"data")
+        assert ch._send_index == 1
+
+    def test_closed_channel_refuses_delta_frames(self):
+        plan = FaultPlan.parse("disconnect@0")
+        ch = FaultyChannel(Channel(LOOPBACK), plan)
+        with pytest.raises(ChannelError):
+            ch.send_chunk(b"x")  # fires the disconnect
+        with pytest.raises(ChannelClosedError):
+            ch.send_delta(b"y")
+
+    def test_seeded_faults_fire_identically_precopy_on_and_off(self):
+        """The same seeded fault plan must hit the same *data* send with
+        pre-copy on or off: delta frames bypass the counter, so the
+        fault lands on the final stream's chunk in both modes."""
+        prog = _compile(MUTATOR_SRC)
+
+        def attempt_count(precopy: bool) -> tuple[int, int]:
+            plan = FaultPlan.parse("bitflip@1:3")
+            proc = _stopped(prog, ULTRA5)
+            dest, stats = ENGINE.migrate(
+                proc, SPARC20,
+                channel_factory=lambda: FaultyChannel(Channel(LOOPBACK), plan),
+                streaming=True, chunk_size=256,
+                retry=RetryPolicy(max_attempts=3, sleep=lambda _s: None),
+                precopy=precopy,
+                precopy_policy=(
+                    PrecopyPolicy(max_rounds=2, stop_dirty_blocks=0)
+                    if precopy else None
+                ),
+            )
+            assert dest.run_to_completion() == 0
+            return stats.attempts, plan.pending
+
+        attempts_off, pending_off = attempt_count(False)
+        attempts_on, pending_on = attempt_count(True)
+        assert attempts_off == attempts_on == 2  # fault fired, retry cured
+        assert pending_off == pending_on == 0
+
+
+# -- satellite 3: overlap ratio folds round time -------------------------
+
+
+def test_overlap_ratio_folds_precopy_round_time():
+    """A 3-round pre-copy's tx/codec seconds are serial work the final
+    pipeline never overlapped; they must appear on BOTH sides of the
+    overlap ratio.  Pre-PR, the ratio ignored them entirely and a
+    3-round pre-copy reported the bare pipeline's (higher) overlap."""
+    stats = MigrationStats(
+        collect_time=0.010, tx_time=0.010, restore_time=0.010,
+        n_chunks=10, streamed=True,
+        precopy_rounds=3, precopy_tx_time=0.020, precopy_codec_time=0.010,
+    )
+    stats.finish_pipeline()
+    extra = stats.precopy_tx_time + stats.precopy_codec_time
+    serial = stats.migration_time + extra
+    expected = 1.0 - (stats.pipeline_time + extra) / serial
+    assert stats.overlap_ratio == pytest.approx(expected)
+    # and it is strictly below the bare-pipeline ratio it used to report
+    bare = MigrationStats(
+        collect_time=0.010, tx_time=0.010, restore_time=0.010,
+        n_chunks=10, streamed=True,
+    )
+    bare.finish_pipeline()
+    assert stats.overlap_ratio < bare.overlap_ratio
+    assert 0.0 <= stats.overlap_ratio < 1.0
+
+
+# -- satellite 4: corpus replay through pre-copy -------------------------
+
+PRECOPY_PAIRS = (
+    ("dec5000", "alpha"),    # LE/32 -> LE/64
+    ("alpha", "sparc20"),    # LE/64 -> BE/32
+    ("sparc20", "x86_64"),   # BE/32 -> LE/64
+    ("x86_64", "dec5000"),   # LE/64 -> LE/32
+)
+_ARCH = {"dec5000": DEC5000, "alpha": ALPHA, "sparc20": SPARC20,
+         "ultra5": ULTRA5, "x86_64": X86_64}
+
+CORPUS = {e.name: e for e in load_corpus()}
+#: churn (address reuse + realloc) and pastend (boundary pointers) are
+#: the cases most likely to trip delta-round bookkeeping
+PRECOPY_CORPUS = [
+    name for name in (
+        "gen_churn", "gen_pastend", "gen_list_churn", "gen_pastend_churn",
+        "gen_mixed_churn", "gen_interior_pastend_churn",
+    ) if name in CORPUS
+]
+
+
+@pytest.mark.parametrize("entry_name", PRECOPY_CORPUS)
+@pytest.mark.parametrize("pair", PRECOPY_PAIRS, ids=lambda p: f"{p[0]}->{p[1]}")
+def test_corpus_replays_through_precopy(entry_name, pair):
+    entry = CORPUS[entry_name]
+    prog = _compile(entry.source)
+    src_arch, dst_arch = _ARCH[pair[0]], _ARCH[pair[1]]
+    baseline = run_baseline(prog, src_arch)
+    if baseline.total_polls < 4:
+        pytest.skip("program too short for delta rounds")
+    # leave headroom so the pre-copy slices never outrun the program
+    rounds = min(3, baseline.total_polls - 2)
+    proc = _stop_at_poll(prog, src_arch, 1)
+    assert proc is not None
+    dest, stats = ENGINE.migrate(
+        proc, dst_arch, precopy=True,
+        precopy_policy=PrecopyPolicy(max_rounds=rounds, stop_dirty_blocks=0),
+    )
+    code = dest.run_to_completion()
+    assert code == baseline.exit_code
+    assert dest.stdout == baseline.stdout
+    assert fingerprint_diff(heap_fingerprint(dest), baseline.fingerprint) is None
+    assert sum(stats.precopy_round_bytes) == stats.precopy_bytes
+    assert stats.precopy and stats.precopy_rounds >= 2
+
+
+# -- run_precopy unit behavior ------------------------------------------
+
+
+def test_run_precopy_rejects_nested_activation():
+    prog = _compile(MUTATOR_SRC)
+    proc = _stopped(prog, ULTRA5)
+    proc.memory.dirty = DirtyTracker(0, 0)
+    scratch = Process(prog, SPARC20)
+    from repro.migration.engine import MigrationError
+
+    with pytest.raises(MigrationError):
+        run_precopy(
+            proc, scratch, Channel(LOOPBACK), PrecopyPolicy(),
+            MigrationStats(), 4096,
+        )
+    proc.memory.dirty = None
