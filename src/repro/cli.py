@@ -17,6 +17,12 @@ Usage (after ``pip install -e .`` the ``repro`` entry point exists; or use
     repro obs top trace.jsonl --by type
     repro obs diff baseline.jsonl current.jsonl
     repro obs export trace.jsonl --prometheus
+    repro obs critical-path trace.jsonl
+    repro obs histo trace.jsonl
+    repro migrate prog.c --stream --profile out.folded
+    repro obs flame out.folded
+    repro obs serve trace.jsonl --probe
+    repro obs bench-trend
 """
 
 from __future__ import annotations
@@ -189,7 +195,34 @@ def cmd_migrate(args) -> int:
 
         precopy_policy = PrecopyPolicy(max_rounds=args.max_rounds)
 
+    profiler = None
+    if getattr(args, "profile", None):
+        from repro.obs.profiler import DEFAULT_INTERVAL_S, SamplingProfiler
+
+        interval = args.profile_interval
+        profiler = SamplingProfiler(
+            interval_s=DEFAULT_INTERVAL_S if interval is None else interval
+        )
+
+    def finish_profile():
+        if profiler is None:
+            return
+        profiler.stop()
+        profiler.write_folded(args.profile)
+        rollup = profiler.phase_rollup()
+        total = sum(rollup.values()) or 1
+        phases = ", ".join(
+            f"{phase} {n / total:.0%}" for phase, n in list(rollup.items())[:4]
+        )
+        print(
+            f"[profile: {profiler.n_samples} samples -> {args.profile}"
+            f"{' (' + phases + ')' if rollup else ''}]",
+            file=sys.stderr,
+        )
+
     try:
+        if profiler is not None:
+            profiler.start()
         dest, stats = engine.migrate(
             proc,
             dst_arch,
@@ -203,6 +236,7 @@ def cmd_migrate(args) -> int:
             precopy_policy=precopy_policy,
         )
     except MigrationError as exc:
+        finish_profile()
         print(f"[migration failed: {exc}]", file=sys.stderr)
         # all-or-nothing held: the source is still at its poll-point —
         # resume it locally and finish the run there
@@ -220,6 +254,7 @@ def cmd_migrate(args) -> int:
         )
         return 0 if ok else 1
 
+    finish_profile()
     result = dest.run()
     sys.stdout.write(dest.stdout)
     print(f"[{stats}]", file=sys.stderr)
@@ -293,6 +328,7 @@ def cmd_obs(args) -> int:
         export_prometheus,
         load_trace,
         render_diff,
+        render_histograms,
         render_report,
         render_top,
     )
@@ -309,10 +345,120 @@ def cmd_obs(args) -> int:
             # exposition opt-in explicit for when others arrive
             sys.stdout.write(export_prometheus(load_trace(args.trace),
                                                prefix=args.prefix))
+        elif args.obs_command == "critical-path":
+            from repro.obs.critical import (
+                CriticalPathError,
+                analyze_trace_document,
+                render_critical,
+            )
+
+            try:
+                print(render_critical(
+                    analyze_trace_document(load_trace(args.trace))
+                ))
+            except CriticalPathError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+        elif args.obs_command == "histo":
+            print(render_histograms(load_trace(args.trace)))
+        elif args.obs_command == "flame":
+            from repro.obs.profiler import parse_folded, render_flame
+
+            try:
+                samples = parse_folded(Path(args.folded).read_text())
+            except OSError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            except ValueError as exc:
+                print(f"error: {args.folded}: {exc}", file=sys.stderr)
+                return 2
+            print(render_flame(samples, top=args.n))
+        elif args.obs_command == "serve":
+            return _obs_serve(args)
+        elif args.obs_command == "bench-trend":
+            return _obs_bench_trend(args)
     except TraceReadError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     return 0
+
+
+def _obs_serve(args) -> int:
+    """``repro obs serve TRACE``: expose the trace's metrics snapshot as
+    a live OpenMetrics endpoint (``--probe``: scrape yourself through a
+    real HTTP round-trip, strict-parse the body, exit — the CI smoke;
+    ``--textfile PATH``: write the exposition atomically and exit)."""
+    from repro.obs.exporter import (
+        MetricsExporter,
+        parse_openmetrics,
+        write_textfile,
+    )
+    from repro.obs.report import load_trace
+
+    doc = load_trace(args.trace)
+    snapshot = {
+        "counters": doc.metrics.get("counters", {}),
+        "gauges": doc.metrics.get("gauges", {}),
+        "histograms": doc.metrics.get("histograms", {}),
+    }
+    if args.textfile:
+        write_textfile(snapshot, args.textfile, prefix=args.prefix)
+        print(f"[exposition written to {args.textfile}]", file=sys.stderr)
+        return 0
+    with MetricsExporter(snapshot, host=args.host, port=args.port,
+                         prefix=args.prefix) as exporter:
+        if args.probe:
+            import urllib.request
+
+            with urllib.request.urlopen(exporter.url, timeout=10) as resp:
+                body = resp.read().decode("utf-8")
+                ctype = resp.headers.get("Content-Type", "")
+            families = parse_openmetrics(body)
+            n_hist = sum(1 for f in families.values()
+                         if f["type"] == "histogram")
+            print(
+                f"probe ok: {exporter.url} served {len(families)} families "
+                f"({n_hist} histograms) as {ctype.split(';')[0]}"
+            )
+            return 0
+        print(f"serving OpenMetrics at {exporter.url} (ctrl-C to stop)",
+              file=sys.stderr)
+        try:
+            import threading
+
+            threading.Event().wait()
+        except KeyboardInterrupt:
+            print("\n[shutting down]", file=sys.stderr)
+        return 0
+
+
+def _obs_bench_trend(args) -> int:
+    """``repro obs bench-trend``: the cross-PR benchmark trajectory
+    table, delegating to ``benchmarks/results.py`` loaded by path (the
+    benchmarks tree is repo tooling, not part of the installed
+    package)."""
+    import importlib.util
+
+    root = Path(args.dir).resolve() if args.dir else None
+    candidates = [root] if root else [
+        Path.cwd(),
+        Path(__file__).resolve().parents[2],  # src/repro/cli.py -> repo root
+    ]
+    for base in candidates:
+        results_py = base / "benchmarks" / "results.py"
+        if results_py.exists():
+            spec = importlib.util.spec_from_file_location(
+                "_repro_bench_results", results_py
+            )
+            mod = importlib.util.module_from_spec(spec)
+            spec.loader.exec_module(mod)
+            print(mod.render_trend(base))
+            return 0
+    looked = ", ".join(str(b / "benchmarks" / "results.py")
+                       for b in candidates)
+    print(f"error: benchmarks/results.py not found (looked at: {looked})",
+          file=sys.stderr)
+    return 2
 
 
 def cmd_fuzz(args) -> int:
@@ -516,6 +662,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-rounds", type=int, default=8,
                    help="pre-copy delta round cap before forcing "
                         "stop-and-copy (default 8)")
+    p.add_argument("--profile", default=None, metavar="PATH",
+                   help="sample the migration's wall-clock stacks and "
+                        "write folded-stack output to PATH "
+                        "(render with 'repro obs flame PATH')")
+    p.add_argument("--profile-interval", type=float, default=None,
+                   metavar="SECONDS",
+                   help="sampling interval for --profile "
+                        "(default 0.002 s)")
     p.set_defaults(fn=cmd_migrate)
 
     p = sub.add_parser(
@@ -587,6 +741,53 @@ def build_parser() -> argparse.ArgumentParser:
                    help="Prometheus text exposition format")
     q.add_argument("--prefix", default="repro",
                    help="metric name prefix (default: repro)")
+    q.set_defaults(fn=cmd_obs)
+
+    q = obs_sub.add_parser(
+        "critical-path",
+        help="pipeline critical path + stall attribution from a trace",
+    )
+    q.add_argument("trace", help="JSONL trace of a --stream migration")
+    q.set_defaults(fn=cmd_obs)
+
+    q = obs_sub.add_parser(
+        "histo", help="latency histogram quantiles from a trace"
+    )
+    q.add_argument("trace")
+    q.set_defaults(fn=cmd_obs)
+
+    q = obs_sub.add_parser(
+        "flame",
+        help="render folded-stack profiler output (repro migrate --profile)",
+    )
+    q.add_argument("folded", help="folded-stack file")
+    q.add_argument("-n", type=int, default=20, help="stacks to show")
+    q.set_defaults(fn=cmd_obs)
+
+    q = obs_sub.add_parser(
+        "serve", help="serve the trace's metrics as a live OpenMetrics endpoint"
+    )
+    q.add_argument("trace")
+    q.add_argument("--host", default="127.0.0.1")
+    q.add_argument("--port", type=int, default=0,
+                   help="listen port (default 0 = pick a free one)")
+    q.add_argument("--prefix", default="repro",
+                   help="metric name prefix (default: repro)")
+    q.add_argument("--probe", action="store_true",
+                   help="scrape the endpoint once over HTTP, strict-parse "
+                        "the OpenMetrics body, and exit (CI smoke)")
+    q.add_argument("--textfile", default=None, metavar="PATH",
+                   help="write the exposition atomically to PATH and exit "
+                        "(node-exporter textfile collector mode)")
+    q.set_defaults(fn=cmd_obs)
+
+    q = obs_sub.add_parser(
+        "bench-trend",
+        help="aggregate committed BENCH_*.json into one trajectory table",
+    )
+    q.add_argument("--dir", default=None,
+                   help="directory holding BENCH_*.json (default: the "
+                        "current directory, then the repo root)")
     q.set_defaults(fn=cmd_obs)
 
     return parser

@@ -521,9 +521,19 @@ class MigrationEngine:
                                                pre_scratch.ti.n_info_misses)
                 try:
                     with obs_.tracer.span("precopy"):
-                        pre_state = run_precopy(
-                            process, pre_scratch, ch0, pp, stats, chunk_size
-                        )
+                        if obs_.attribution is not None:
+                            # delta-round collect/restore cost must not
+                            # lump into the final attempt's partition
+                            with obs_.attribution.scoped("precopy"):
+                                pre_state = run_precopy(
+                                    process, pre_scratch, ch0, pp, stats,
+                                    chunk_size,
+                                )
+                        else:
+                            pre_state = run_precopy(
+                                process, pre_scratch, ch0, pp, stats,
+                                chunk_size,
+                            )
                 except PrecopySourceExitedError:
                     # the source finished on its own; there is no process
                     # left to migrate and no plain path to degrade to
@@ -737,6 +747,21 @@ class MigrationEngine:
         m.inc("ti.info_misses", info_misses)
         if obs_.events.dropped:
             m.inc("events.dropped", obs_.events.dropped)
+        # latency distributions for the fleet roll-up: one observation
+        # per attempt span, plus whole-migration totals on success —
+        # downtime is the stop-and-copy pause under pre-copy, the whole
+        # response time otherwise (the scheduler merges these snapshots,
+        # which is where p50/p99 across migrations comes from)
+        for _path, sp in obs_.tracer.iter_spans():
+            if sp.name == "attempt":
+                m.observe("engine.attempt_seconds", sp.seconds)
+        if scratch is not None:
+            m.observe("engine.migration_seconds", stats.response_time)
+            m.observe(
+                "engine.downtime_seconds",
+                stats.precopy_downtime_s if stats.precopy
+                else stats.response_time,
+            )
         # an aborted collection skips Collector.finish(); make sure no
         # profiler reference outlives the migration it belonged to
         process.msrlt.profiler = None
@@ -932,6 +957,9 @@ class MigrationEngine:
             wall_s=round(restore_wall, 9),
             n_chunks=stats.n_chunks,
             occupancy=round(occupancy, 9),
+            # the link latency is paid once, by the first frame; the
+            # critical-path analyzer needs it to place the fill bubble
+            latency_s=round(link.latency_s, 9),
         )
 
     @staticmethod

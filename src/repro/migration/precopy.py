@@ -165,12 +165,13 @@ def run_precopy(
         stats.precopy_tx_time += tx
         stats.precopy_bytes += payload_len
         stats.precopy_round_bytes.append(payload_len)
-        obs.record("precopy.tx", tx, modeled=True)
+        obs.record("precopy.tx", tx, modeled=True, round=round_no)
         obs.inc("precopy.bytes", payload_len)
         obs.event(
             "precopy_round",
             round=round_no,
             bytes=payload_len,
+            tx_s=round(tx, 9),
             dirty_blocks=n_dirty,
             deferred=n_deferred,
             freed=n_freed,

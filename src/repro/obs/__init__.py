@@ -121,7 +121,9 @@ class MigrationObservation:
         """The migration's full trace as decoded JSONL lines: header,
         events (with a drop marker if the ring buffer overflowed),
         flattened span tree with propagation ids, the attribution table
-        when profiling was on, and the metrics snapshot."""
+        when profiling was on, one ``histogram`` snapshot line per
+        registry histogram (full mergeable state, schema v3), and the
+        metrics snapshot."""
         self.tracer.finish()
         end_ts = round(self.tracer.root.end_s or 0.0, 9)
         lines: list[dict] = [{
@@ -156,13 +158,23 @@ class MigrationObservation:
             lines.append(entry)
         if self.attribution is not None:
             summary = self.attribution.summary()
-            lines.append({
+            attr_line = {
                 "event": "attribution",
                 "ts": end_ts,
                 "payload_bytes": summary["payload_bytes"],
                 "rows": summary["rows"],
-            })
+            }
+            if "scopes" in summary:
+                attr_line["scopes"] = summary["scopes"]
+            lines.append(attr_line)
         snap = self.metrics.snapshot()
+        for hname, hstate in snap["histograms"].items():
+            lines.append({
+                "event": "histogram",
+                "ts": end_ts,
+                "name": hname,
+                **hstate,
+            })
         lines.append({
             "event": "metrics",
             "ts": end_ts,

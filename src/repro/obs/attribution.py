@@ -20,6 +20,15 @@ is off that is ``None`` and every per-block hook is a single
 ``is not None`` test.  Frames live on per-thread stacks (the socket
 pipeline collects in a producer thread while the consumer restores), and
 rows are folded under one lock only at frame close.
+
+Rows are additionally partitioned by **scope**: the engine brackets the
+iterative pre-copy phase with :meth:`AttributionProfiler.scoped`, so
+delta-round collect/restore cost lands in a ``"precopy"`` scope instead
+of being lumped under the final attempt — without it, the (larger)
+snapshot payload overrode the final elided payload via
+:meth:`note_payload` and broke the exact byte partition.
+:meth:`summary` reports the default ``"final"`` scope in the original
+shape, with other scopes under a ``"scopes"`` key.
 """
 
 from __future__ import annotations
@@ -69,11 +78,15 @@ class _Row:
 class _Frame:
     """One open block visit on a thread's frame stack."""
 
-    __slots__ = ("key", "phase", "t0", "pos0", "child_s", "child_bytes")
+    __slots__ = (
+        "key", "phase", "scope", "t0", "pos0", "child_s", "child_bytes",
+    )
 
-    def __init__(self, key: tuple, phase: str, t0: float, pos0: int) -> None:
+    def __init__(self, key: tuple, phase: str, scope: str, t0: float,
+                 pos0: int) -> None:
         self.key = key
         self.phase = phase
+        self.scope = scope
         self.t0 = t0
         self.pos0 = pos0
         self.child_s = 0.0
@@ -89,14 +102,32 @@ class AttributionProfiler:
     measured without touching the payload itself.
     """
 
+    #: the scope migration cost lands in unless :meth:`scoped` says else
+    DEFAULT_SCOPE = "final"
+
     def __init__(self, clock=time.perf_counter) -> None:
         self._clock = clock
         self._lock = threading.Lock()
-        self._rows: dict[tuple, _Row] = {}
+        #: scope -> (type, class) -> row
+        self._scopes: dict[str, dict[tuple, _Row]] = {
+            self.DEFAULT_SCOPE: {},
+        }
+        self._rows: dict[tuple, _Row] = self._scopes[self.DEFAULT_SCOPE]
         self._local = threading.local()
-        #: total payload bytes, when the collector reported them
-        #: (lets :meth:`summary` emit the exact framing residual)
-        self.payload_bytes = 0
+        self.scope = self.DEFAULT_SCOPE
+        #: per-scope total payload bytes, when the collector reported
+        #: them (lets :meth:`summary` emit the exact framing residual)
+        self._payloads: dict[str, int] = {}
+
+    @property
+    def payload_bytes(self) -> int:
+        """The default scope's payload size (back-compat read-out)."""
+        return self._payloads.get(self.DEFAULT_SCOPE, 0)
+
+    def scoped(self, scope: str):
+        """Context manager routing cost into *scope* (the engine wraps
+        the pre-copy phase in ``scoped("precopy")``)."""
+        return _Scoped(self, scope)
 
     # -- frame stack -------------------------------------------------------
 
@@ -107,10 +138,13 @@ class AttributionProfiler:
             self._local.stack = stack
         return stack
 
-    def _row(self, key: tuple) -> _Row:
-        row = self._rows.get(key)
+    def _row(self, key: tuple, scope: str) -> _Row:
+        rows = self._scopes.get(scope)
+        if rows is None:
+            rows = self._scopes[scope] = {}
+        row = rows.get(key)
         if row is None:
-            row = self._rows[key] = _Row()
+            row = rows[key] = _Row()
         return row
 
     # -- block visits ------------------------------------------------------
@@ -118,9 +152,12 @@ class AttributionProfiler:
     def enter_block(self, phase: str, type_label: str, block_class: str,
                     pos: int) -> None:
         """Open a frame for one block visit (*phase* is ``"collect"`` or
-        ``"restore"``; *pos* the wire offset at entry)."""
+        ``"restore"``; *pos* the wire offset at entry).  The scope is
+        captured at entry so a frame closes into the scope it opened in
+        even if the phase boundary moved meanwhile."""
         self._stack().append(
-            _Frame((type_label, block_class), phase, self._clock(), pos)
+            _Frame((type_label, block_class), phase, self.scope,
+                   self._clock(), pos)
         )
 
     def exit_block(self, pos: int, engagement: str, cells: int = 0) -> None:
@@ -137,7 +174,7 @@ class AttributionProfiler:
             parent.child_s += total_s
             parent.child_bytes += total_b
         with self._lock:
-            row = self._row(frame.key)
+            row = self._row(frame.key, frame.scope)
             if frame.phase == "collect":
                 row.collect_s += self_s
                 row.bytes += self_b
@@ -157,9 +194,12 @@ class AttributionProfiler:
         (0 for a last-hit cache hit).  Attributed to the block being
         visited when the lookup ran, else to the framing row."""
         stack = self._stack()
-        key = stack[-1].key if stack else FRAMING_ROW
+        if stack:
+            key, scope = stack[-1].key, stack[-1].scope
+        else:
+            key, scope = FRAMING_ROW, self.scope
         with self._lock:
-            row = self._row(key)
+            row = self._row(key, scope)
             row.msrlt_searches += 1
             row.msrlt_depth += depth
             if cache_hit:
@@ -169,41 +209,37 @@ class AttributionProfiler:
 
     def note_payload(self, nbytes: int) -> None:
         """Record the collection's total payload size (framing residual
-        = *nbytes* − Σ attributed self bytes)."""
+        = *nbytes* − Σ attributed self bytes).  Scoped: the pre-copy
+        snapshot's (larger) payload no longer overrides the final
+        attempt's elided payload."""
         with self._lock:
-            self.payload_bytes = max(self.payload_bytes, nbytes)
+            scope = self.scope
+            self._payloads[scope] = max(self._payloads.get(scope, 0), nbytes)
 
-    def summary(self) -> dict:
-        """The attribution table as plain data (JSON-ready).
-
-        Rows are sorted by attributed wire bytes, descending; when the
-        collector reported its payload size, a synthetic framing row
-        carries the residual so the ``bytes`` column sums to the payload
-        exactly.
-        """
-        with self._lock:
-            rows = []
-            attributed = 0
-            for (type_label, block_class), r in self._rows.items():
-                attributed += r.bytes
-                rows.append({
-                    "type": type_label,
-                    "class": block_class,
-                    "collect_s": round(r.collect_s, 9),
-                    "restore_s": round(r.restore_s, 9),
-                    "bytes": r.bytes,
-                    "restore_bytes": r.restore_bytes,
-                    "blocks": r.blocks,
-                    "restore_blocks": r.restore_blocks,
-                    "cells": r.cells,
-                    "flat": r.flat,
-                    "codec": r.codec,
-                    "percell": r.percell,
-                    "msrlt_searches": r.msrlt_searches,
-                    "msrlt_depth": r.msrlt_depth,
-                    "msrlt_cache_hits": r.msrlt_cache_hits,
-                })
-            payload = self.payload_bytes
+    @staticmethod
+    def _scope_table(rows_by_key: dict, payload: int) -> dict:
+        """One scope's JSON-ready table, framing residual included."""
+        rows = []
+        attributed = 0
+        for (type_label, block_class), r in rows_by_key.items():
+            attributed += r.bytes
+            rows.append({
+                "type": type_label,
+                "class": block_class,
+                "collect_s": round(r.collect_s, 9),
+                "restore_s": round(r.restore_s, 9),
+                "bytes": r.bytes,
+                "restore_bytes": r.restore_bytes,
+                "blocks": r.blocks,
+                "restore_blocks": r.restore_blocks,
+                "cells": r.cells,
+                "flat": r.flat,
+                "codec": r.codec,
+                "percell": r.percell,
+                "msrlt_searches": r.msrlt_searches,
+                "msrlt_depth": r.msrlt_depth,
+                "msrlt_cache_hits": r.msrlt_cache_hits,
+            })
         if payload and payload > attributed:
             framing = next(
                 (row for row in rows
@@ -223,12 +259,59 @@ class AttributionProfiler:
         rows.sort(key=lambda row: (-row["bytes"], row["type"], row["class"]))
         return {"payload_bytes": payload, "rows": rows}
 
+    def summary(self) -> dict:
+        """The attribution table as plain data (JSON-ready).
+
+        Rows are sorted by attributed wire bytes, descending; when the
+        collector reported its payload size, a synthetic framing row
+        carries the residual so the ``bytes`` column sums to the payload
+        exactly.  The top-level ``payload_bytes``/``rows`` are the
+        default (final-attempt) scope — byte-partition-exact on its own;
+        any other populated scope (``"precopy"``) appears under
+        ``"scopes"`` with the same table shape.
+        """
+        with self._lock:
+            tables = {
+                scope: self._scope_table(
+                    rows, self._payloads.get(scope, 0)
+                )
+                for scope, rows in self._scopes.items()
+                if rows or self._payloads.get(scope, 0)
+            }
+        out = tables.pop(
+            self.DEFAULT_SCOPE, {"payload_bytes": 0, "rows": []}
+        )
+        if tables:
+            out = dict(out)
+            out["scopes"] = tables
+        return out
+
     def __bool__(self) -> bool:  # an empty profiler is still "on"
         return True
 
     def __len__(self) -> int:
         with self._lock:
             return len(self._rows)
+
+
+class _Scoped:
+    """Bracket a profiler phase: cost recorded inside lands in *scope*."""
+
+    __slots__ = ("_prof", "_scope", "_prev")
+
+    def __init__(self, prof: AttributionProfiler, scope: str) -> None:
+        self._prof = prof
+        self._scope = scope
+        self._prev = prof.DEFAULT_SCOPE
+
+    def __enter__(self) -> AttributionProfiler:
+        self._prev = self._prof.scope
+        self._prof.scope = self._scope
+        return self._prof
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._prof.scope = self._prev
+        return False
 
 
 def block_class_of(logical: tuple) -> str:

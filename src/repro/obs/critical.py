@@ -1,0 +1,342 @@
+"""Pipeline critical-path analysis: why ``overlap_ratio < 1``.
+
+The streaming engine reports *that* its three stages overlapped
+(``overlap_ratio``, ``pipeline_occupancy``) but not *where* the lost
+time went.  This module reconstructs the per-chunk collect→tx→restore
+timeline from a migration's trace — per-chunk collect busy seconds from
+the ``chunk`` events, stage totals from the ``migration_end`` line, the
+chunk count and link latency from the ``pipeline`` event — replays the
+pipeline's scheduling recurrence over it, and answers two questions
+exactly:
+
+* **the critical path** — the chain of stage executions (and the one
+  latency edge) whose durations sum to the pipeline makespan; and
+* **stall attribution** — a partition of the makespan from the restore
+  lane's point of view: every instant is either restore busy, a stall
+  charged to ``tx`` (the wire was still moving the chunk), a stall
+  charged to ``collect`` (the producer had not finished it), or
+  ``latency`` (nobody was busy; the first frame was in flight).
+  The four terms sum to the makespan *exactly* — by construction, not
+  within a tolerance — which is what makes the attribution trustworthy.
+
+The scheduling recurrence is the same one
+:func:`repro.migration.stats.pipelined_response_time` closes over
+uniform chunks:
+
+    collect runs sequentially:  c_end[i] = c_end[i-1] + c[i]
+    tx:       t_start[i] = max(c_end[i], t_end[i-1]);  + latency at i=0
+    restore:  r_start[i] = max(t_end[i], r_end[i-1])
+
+With uniform per-chunk times it reproduces the model's
+``fill + (n-1)·max(stage)`` closed form exactly (that cross-check is
+pinned in tests); with the *measured* per-chunk collect times it shows
+where the real bubbles sit.  Chunk events evicted by the ring buffer
+degrade gracefully to uniform chunk times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "CriticalPathAnalysis",
+    "CriticalPathError",
+    "analyze_lines",
+    "analyze_trace_document",
+    "analyze_stats",
+    "render_critical",
+]
+
+STAGES = ("collect", "tx", "restore")
+
+
+class CriticalPathError(ValueError):
+    """The trace does not describe an analyzable pipelined migration."""
+
+
+@dataclass
+class ChunkTimeline:
+    """One chunk's reconstructed schedule (seconds since pipeline start)."""
+
+    seq: int
+    collect: tuple[float, float]
+    tx: tuple[float, float]
+    restore: tuple[float, float]
+
+
+@dataclass
+class CriticalPathAnalysis:
+    """The reconstructed pipeline schedule and its exact accounting."""
+
+    n_chunks: int
+    latency_s: float
+    #: per-stage totals the timeline was built from (final attempt)
+    stage_totals: dict = field(default_factory=dict)
+    #: per-chunk schedule, in sequence order
+    chunks: list = field(default_factory=list)
+    #: end of the last restore — the modeled pipeline wall time
+    makespan_s: float = 0.0
+    #: serial sum of the stage totals (the no-overlap baseline)
+    serial_s: float = 0.0
+    #: the same analysis under uniform chunk times — identical to
+    #: ``MigrationStats.pipeline_time`` for the same inputs
+    model_pipeline_s: float = 0.0
+    #: stage with the largest per-chunk steady-state cost
+    bottleneck: str = ""
+    #: ``[(stage, seq), ...]`` from first collect to last restore; the
+    #: durations along it (plus the latency edge if crossed) sum to
+    #: :attr:`makespan_s` exactly
+    critical_path: list = field(default_factory=list)
+    #: seconds on the critical path per stage (+ ``latency``)
+    critical_seconds: dict = field(default_factory=dict)
+    #: the exact partition: restore busy + stalls + latency == makespan
+    partition: dict = field(default_factory=dict)
+    #: True when chunk events were missing/evicted and uniform per-chunk
+    #: collect times were substituted
+    uniform_fallback: bool = False
+
+    def overlap_ratio(self) -> float:
+        """Modeled overlap from the reconstruction (mirrors the stats)."""
+        if self.serial_s <= 0:
+            return 0.0
+        return max(0.0, 1.0 - self.makespan_s / self.serial_s)
+
+
+def _schedule(
+    collect_each: list[float], tx_each: list[float],
+    restore_each: list[float], latency_s: float,
+) -> tuple[list[ChunkTimeline], list[dict]]:
+    """Replay the pipeline recurrence over per-chunk stage times.
+
+    Besides the timeline, records each stage execution's *binding
+    predecessor* — which dependency actually set its start time — so the
+    critical path is read off exact scheduling decisions, never
+    reverse-engineered from float-equal timestamps.
+    """
+    chunks: list[ChunkTimeline] = []
+    binds: list[dict] = []
+    c_end = t_end = r_end = 0.0
+    for i, (c, x, r) in enumerate(zip(collect_each, tx_each, restore_each)):
+        c_start = c_end
+        c_end = c_start + c
+        # tx waits on its chunk's collect or on the wire being free
+        tx_after_collect = c_end >= t_end or i == 0
+        t_start = max(c_end, t_end) + (latency_s if i == 0 else 0.0)
+        t_end = t_start + x
+        # restore waits on its chunk's arrival or on the previous restore
+        restore_after_tx = t_end >= r_end or i == 0
+        r_start = max(t_end, r_end)
+        r_end = r_start + r
+        chunks.append(ChunkTimeline(
+            seq=i, collect=(c_start, c_end),
+            tx=(t_start, t_end), restore=(r_start, r_end),
+        ))
+        binds.append({
+            "tx": ("collect", i) if tx_after_collect else ("tx", i - 1),
+            "restore": ("tx", i) if restore_after_tx else ("restore", i - 1),
+            "collect": ("collect", i - 1) if i > 0 else None,
+        })
+    return chunks, binds
+
+
+def _overlap(lo: float, hi: float, intervals: list[tuple[float, float]]) -> float:
+    """Total seconds of ``[lo, hi)`` covered by *intervals* (sorted,
+    non-overlapping — stage lanes are sequential by construction)."""
+    total = 0.0
+    for a, b in intervals:
+        if b <= lo:
+            continue
+        if a >= hi:
+            break
+        total += min(b, hi) - max(a, lo)
+    return total
+
+
+def _partition(chunks: list[ChunkTimeline], makespan: float) -> dict:
+    """Partition the makespan from the restore lane's point of view.
+
+    Restore-idle gaps are charged to whichever upstream lane was busy
+    during them (``tx`` first: it is the later pipeline stage, so if the
+    wire was moving the awaited chunk the restore was stalled on tx even
+    if the producer was also collecting a future chunk); time no lane
+    was busy is the latency edge.  Busy + stalls + latency == makespan
+    exactly.
+    """
+    tx_busy = [ch.tx for ch in chunks]
+    collect_busy = [ch.collect for ch in chunks]
+    restore_busy = sum(ch.restore[1] - ch.restore[0] for ch in chunks)
+    stall_tx = stall_collect = stall_latency = 0.0
+    cursor = 0.0
+    for ch in chunks:
+        gap_lo, gap_hi = cursor, ch.restore[0]
+        if gap_hi > gap_lo:
+            on_tx = _overlap(gap_lo, gap_hi, tx_busy)
+            # collect time *under* a tx stall is hidden, not stalling
+            on_collect = 0.0
+            pos = gap_lo
+            for a, b in tx_busy:
+                a, b = max(a, gap_lo), min(b, gap_hi)
+                if b <= pos:
+                    continue
+                if a > pos:
+                    on_collect += _overlap(pos, a, collect_busy)
+                pos = max(pos, b)
+            if pos < gap_hi:
+                on_collect += _overlap(pos, gap_hi, collect_busy)
+            gap = gap_hi - gap_lo
+            stall_tx += on_tx
+            stall_collect += min(on_collect, gap - on_tx)
+            stall_latency += max(gap - on_tx - min(on_collect, gap - on_tx),
+                                 0.0)
+        cursor = ch.restore[1]
+    # numerically reconcile: push float dust into the largest stall term
+    total = restore_busy + stall_tx + stall_collect + stall_latency
+    dust = makespan - total
+    stall_latency += dust
+    return {
+        "restore_busy": restore_busy,
+        "stall_tx": stall_tx,
+        "stall_collect": stall_collect,
+        "latency": stall_latency,
+    }
+
+
+def _critical_path(
+    chunks: list[ChunkTimeline], binds: list[dict], latency_s: float,
+) -> tuple[list, dict]:
+    """Backtrack the binding chain from the last restore to t=0."""
+    path: list[tuple[str, int]] = []
+    secs = {"collect": 0.0, "tx": 0.0, "restore": 0.0, "latency": 0.0}
+    node: tuple[str, int] | None = ("restore", len(chunks) - 1)
+    while node is not None:
+        stage, i = node
+        start, end = getattr(chunks[i], stage)
+        path.append(node)
+        secs[stage] += end - start
+        if stage == "tx" and i == 0:
+            secs["latency"] += latency_s
+        node = binds[i][stage]
+    path.reverse()
+    return path, secs
+
+
+def analyze_lines(lines: list[dict]) -> CriticalPathAnalysis:
+    """Analyze decoded trace lines (the ``trace_lines()`` shape)."""
+    pipeline = None
+    migration_end = None
+    last_attempt_line = -1
+    for idx, obj in enumerate(lines):
+        ev = obj.get("event")
+        if ev == "attempt_begin":
+            last_attempt_line = idx
+        elif ev == "pipeline":
+            pipeline = obj
+        elif ev == "migration_end":
+            migration_end = obj
+    if pipeline is None:
+        raise CriticalPathError(
+            "trace has no pipeline event - critical-path analysis needs a "
+            "streaming migration (repro migrate --stream)"
+        )
+    if migration_end is None:
+        raise CriticalPathError("trace has no migration_end event")
+    n = int(pipeline["n_chunks"])
+    if n < 1:
+        raise CriticalPathError("pipeline event reports no chunks")
+    latency_s = float(pipeline.get("latency_s", 0.0))
+    collect_s = float(migration_end["collect_s"])
+    tx_s = float(migration_end["tx_s"])
+    restore_s = float(migration_end["restore_s"])
+
+    # per-chunk collect times: the final attempt's chunk events, scaled
+    # so they sum exactly to the stage total (the events are *busy*
+    # samples; the stage total is the accounting truth)
+    chunk_busy = [
+        float(obj["collect_busy_s"]) for idx, obj in enumerate(lines)
+        if obj.get("event") == "chunk" and idx > last_attempt_line
+    ]
+    uniform_fallback = len(chunk_busy) != n or sum(chunk_busy) <= 0.0
+    if uniform_fallback:
+        collect_each = [collect_s / n] * n
+    else:
+        scale = collect_s / sum(chunk_busy)
+        collect_each = [b * scale for b in chunk_busy]
+    tx_each = [(tx_s - latency_s) / n] * n
+    restore_each = [restore_s / n] * n
+
+    chunks, binds = _schedule(collect_each, tx_each, restore_each, latency_s)
+    makespan = chunks[-1].restore[1]
+    model_chunks, _ = _schedule(
+        [collect_s / n] * n, tx_each, restore_each, latency_s
+    )
+    path, crit_secs = _critical_path(chunks, binds, latency_s)
+    per_chunk = {
+        "collect": collect_s / n,
+        "tx": (tx_s - latency_s) / n,
+        "restore": restore_s / n,
+    }
+    return CriticalPathAnalysis(
+        n_chunks=n,
+        latency_s=latency_s,
+        stage_totals={"collect": collect_s, "tx": tx_s, "restore": restore_s},
+        chunks=chunks,
+        makespan_s=makespan,
+        serial_s=collect_s + tx_s + restore_s,
+        model_pipeline_s=model_chunks[-1].restore[1],
+        bottleneck=max(per_chunk, key=per_chunk.get),
+        critical_path=path,
+        critical_seconds=crit_secs,
+        partition=_partition(chunks, makespan),
+        uniform_fallback=uniform_fallback,
+    )
+
+
+def analyze_trace_document(doc) -> CriticalPathAnalysis:
+    """Analyze a loaded :class:`repro.obs.report.TraceDocument`."""
+    lines = list(doc.events)
+    return analyze_lines(lines)
+
+
+def analyze_stats(stats) -> CriticalPathAnalysis:
+    """Analyze a live ``MigrationStats`` straight off its observation."""
+    if stats.obs is None:
+        raise CriticalPathError("stats carry no observation")
+    return analyze_lines(stats.obs.trace_lines())
+
+
+def render_critical(analysis: CriticalPathAnalysis) -> str:
+    """The ``repro obs critical-path`` text read-out."""
+    a = analysis
+    ms = 1e3
+    out = [
+        f"pipeline: {a.n_chunks} chunks, makespan "
+        f"{a.makespan_s * ms:.3f} ms (serial {a.serial_s * ms:.3f} ms, "
+        f"overlap {a.overlap_ratio():.0%}), bottleneck: {a.bottleneck}",
+    ]
+    if a.uniform_fallback:
+        out.append("note: chunk events missing/evicted - "
+                   "uniform per-chunk collect times substituted")
+    out.append("")
+    out.append("makespan partition (restore lane, sums exactly):")
+    for key, label in (
+        ("restore_busy", "restore busy"),
+        ("stall_tx", "stalled on tx"),
+        ("stall_collect", "stalled on collect"),
+        ("latency", "latency / fill idle"),
+    ):
+        v = a.partition[key]
+        pct = v / a.makespan_s * 100 if a.makespan_s else 0.0
+        out.append(f"  {label:20s} {v * ms:10.3f} ms  {pct:5.1f}%")
+    out.append(f"  {'total':20s} "
+               f"{sum(a.partition.values()) * ms:10.3f} ms  100.0%")
+    out.append("")
+    out.append("critical path seconds by stage:")
+    for stage in ("collect", "tx", "restore", "latency"):
+        v = a.critical_seconds.get(stage, 0.0)
+        if v:
+            out.append(f"  {stage:10s} {v * ms:10.3f} ms")
+    hops = [f"{stage}[{seq}]" for stage, seq in a.critical_path]
+    if len(hops) > 8:
+        hops = hops[:4] + ["..."] + hops[-3:]
+    out.append("  path: " + " -> ".join(hops))
+    return "\n".join(out)

@@ -5,9 +5,9 @@ degradation, backoff, per-chunk pipeline occupancy) to an in-memory
 :class:`EventLog`; ``repro migrate --trace out.jsonl`` exports the log
 plus the span tree and the metrics snapshot as JSON-lines.
 
-Trace file format (one JSON object per line, schema version 2):
+Trace file format (one JSON object per line, schema version 3):
 
-- line 1 is always ``{"event": "trace_header", "schema": 2, ...}`` and
+- line 1 is always ``{"event": "trace_header", "schema": 3, ...}`` and
   carries the migration's ``trace_id`` (16 hex chars);
 - every line has an ``"event"`` string and a non-negative ``"ts"``
   number (seconds since the migration's observation began);
@@ -24,11 +24,20 @@ Trace file format (one JSON object per line, schema version 2):
   buffer overflowed and how many events were lost;
 - the final ``metrics`` line carries the registry snapshot.
 
-Schema-version-2 validation adds *structural* checks on top of the
+Schema version 3 (this PR) adds the iterative pre-copy protocol's
+events (``precopy_begin`` / ``precopy_round`` / ``precopy_end`` /
+``precopy_degraded`` — emitted since the pre-copy PR but, embarrassingly,
+never registered, so every ``--precopy --trace`` run validated INVALID)
+and one ``histogram`` snapshot line per registry histogram, carrying the
+full mergeable state (count/total/min/max plus exact ``values`` or log
+``buckets``, see :mod:`repro.obs.histograms`) so cross-trace roll-ups
+can reconstruct quantiles without access to the live registry.
+
+Schema-version-3 validation adds *structural* checks on top of the
 per-line field checks: span ids must be unique, every ``parent_id``
 must resolve to a span in the document (or be ``-1`` / declared via
-``attrs.remote_parent``), and the document must carry exactly one
-trace header.
+``attrs.remote_parent``), the document must carry exactly one
+trace header, and at most one ``metrics`` line.
 
 Validation (:func:`validate_trace_lines`) is stdlib-only — ``json`` +
 hand-rolled field checks — so the CI tier-1 job can assert schema
@@ -53,7 +62,7 @@ __all__ = [
     "validate_trace_file",
 ]
 
-TRACE_SCHEMA_VERSION = 2
+TRACE_SCHEMA_VERSION = 3
 
 #: default ring-buffer bound of an :class:`EventLog` — generous (a
 #: per-chunk event stream at 64 KiB chunks reaches this around a 2 GiB
@@ -85,6 +94,15 @@ EVENT_REQUIRED_FIELDS: dict[str, tuple[tuple[str, type], ...]] = {
                       ("joined", bool)),
     "attribution": (("payload_bytes", int), ("rows", list)),
     "events_dropped": (("dropped", int), ("capacity", int)),
+    "precopy_begin": (("max_rounds", int), ("stop_dirty_blocks", int),
+                      ("slice_polls", int)),
+    "precopy_round": (("round", int), ("bytes", int), ("dirty_blocks", int),
+                      ("deferred", int), ("freed", int)),
+    "precopy_end": (("rounds", int), ("dirty_blocks", int),
+                    ("cached_blocks", int), ("bytes", int)),
+    "precopy_degraded": (("error_type", str), ("error", str)),
+    "histogram": (("name", str), ("count", int), ("total", (int, float)),
+                  ("min", (int, float)), ("max", (int, float))),
     "metrics": (("counters", dict), ("gauges", dict), ("histograms", dict)),
 }
 
@@ -206,6 +224,7 @@ def validate_trace_lines(text: str) -> list[str]:
     span_ids: dict[int, int] = {}  # span_id -> first lineno
     parents: list[tuple[int, dict]] = []  # (lineno, span obj)
     n_headers = 0
+    n_metrics = 0
     for lineno, line in enumerate(lines, start=1):
         try:
             obj = json.loads(line)
@@ -215,6 +234,8 @@ def validate_trace_lines(text: str) -> list[str]:
         errors.extend(validate_trace_obj(obj, lineno))
         if isinstance(obj, dict) and obj.get("event") == "trace_header":
             n_headers += 1
+        if isinstance(obj, dict) and obj.get("event") == "metrics":
+            n_metrics += 1
         if lineno == 1:
             if not isinstance(obj, dict) or obj.get("event") != "trace_header":
                 errors.append("line 1: first line must be a trace_header event")
@@ -235,6 +256,10 @@ def validate_trace_lines(text: str) -> list[str]:
                 parents.append((lineno, obj))
     if n_headers > 1:
         errors.append(f"document has {n_headers} trace_header lines, expected 1")
+    if n_metrics > 1:
+        errors.append(
+            f"document has {n_metrics} metrics lines, expected at most 1"
+        )
     for lineno, obj in parents:
         pid = obj.get("parent_id")
         if not isinstance(pid, int) or isinstance(pid, bool):

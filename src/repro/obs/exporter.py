@@ -1,0 +1,308 @@
+"""Live OpenMetrics exposition: the daemon's future ``/metrics``.
+
+Three layers, all stdlib:
+
+* :func:`render_openmetrics` — a registry snapshot in the OpenMetrics
+  text format (the strict successor of the Prometheus format): counter
+  samples carry the mandatory ``_total`` suffix, histograms expose real
+  cumulative ``_bucket{le="..."}`` series over the log-bucket boundaries
+  (ending in the mandatory ``le="+Inf"``) plus ``_sum``/``_count``, and
+  the exposition terminates with ``# EOF``.
+* :func:`parse_openmetrics` — a strict parser of that format (TYPE
+  declarations required, bucket cumulativity and ``+Inf`` checked,
+  ``# EOF`` required).  The CI smoke uses it, so "serves parseable
+  OpenMetrics" is a checked claim, not a hope.
+* :class:`MetricsExporter` — a ``ThreadingHTTPServer`` serving live
+  snapshots at ``GET /metrics`` with graceful shutdown, plus
+  :func:`write_textfile` for the node-exporter textfile-collector
+  pattern (atomic rename, never a half-written scrape).
+
+``repro obs serve trace.jsonl --probe`` starts one, scrapes itself
+through a real HTTP round-trip, strict-parses the body, and exits —
+the single-command CI smoke.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from .histograms import cumulative_buckets
+from .metrics import _prom_name
+
+__all__ = [
+    "CONTENT_TYPE",
+    "render_openmetrics",
+    "parse_openmetrics",
+    "OpenMetricsError",
+    "MetricsExporter",
+    "write_textfile",
+]
+
+CONTENT_TYPE = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+
+def _fmt(value: float) -> str:
+    """A float in OpenMetrics sample syntax (no exponent surprises for
+    ints, ``repr`` round-trip fidelity for the rest)."""
+    if isinstance(value, int):
+        return str(value)
+    if value != value:
+        return "NaN"
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    return repr(float(value))
+
+
+def render_openmetrics(snapshot: dict, prefix: str = "repro") -> str:
+    """Render a ``MetricsRegistry.snapshot()`` (or the ``metrics`` line
+    of a trace) as OpenMetrics text exposition."""
+    out: list[str] = []
+    for name, value in sorted(snapshot.get("counters", {}).items()):
+        fam = _prom_name(name, prefix)
+        out.append(f"# TYPE {fam} counter")
+        out.append(f"{fam}_total {_fmt(value)}")
+    for name, value in sorted(snapshot.get("gauges", {}).items()):
+        fam = _prom_name(name, prefix)
+        out.append(f"# TYPE {fam} gauge")
+        out.append(f"{fam} {_fmt(value)}")
+    for name, h in sorted(snapshot.get("histograms", {}).items()):
+        fam = _prom_name(name, prefix)
+        out.append(f"# TYPE {fam} histogram")
+        for upper, cum in cumulative_buckets(h):
+            out.append(f'{fam}_bucket{{le="{_fmt(upper)}"}} {cum}')
+        out.append(f"{fam}_sum {_fmt(float(h.get('total', 0.0)))}")
+        out.append(f"{fam}_count {h.get('count', 0)}")
+    out.append("# EOF")
+    return "\n".join(out) + "\n"
+
+
+class OpenMetricsError(ValueError):
+    """The text is not valid OpenMetrics exposition."""
+
+
+_SUFFIXES = {
+    "counter": ("_total",),
+    "histogram": ("_bucket", "_sum", "_count"),
+    "gauge": ("",),
+}
+
+
+def parse_openmetrics(text: str) -> dict:
+    """Strictly parse OpenMetrics text; returns
+    ``{family: {"type": ..., "samples": [(suffix, labels, value)]}}``.
+
+    Checks: ``# EOF`` terminator present and last; every sample belongs
+    to a declared family and uses a suffix legal for its type; counter
+    samples carry ``_total``; histogram bucket series are cumulative
+    (non-decreasing in ``le`` order) and end with ``le="+Inf"`` whose
+    value equals the family's ``_count``.  Raises
+    :class:`OpenMetricsError` on the first violation.
+    """
+    lines = text.splitlines()
+    if not lines or lines[-1].strip() != "# EOF":
+        raise OpenMetricsError("exposition does not end with '# EOF'")
+    families: dict[str, dict] = {}
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            raise OpenMetricsError(f"line {lineno}: blank lines are not legal")
+        if line == "# EOF":
+            if lineno != len(lines):
+                raise OpenMetricsError(
+                    f"line {lineno}: '# EOF' before end of exposition"
+                )
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4 or parts[3] not in _SUFFIXES:
+                raise OpenMetricsError(f"line {lineno}: malformed TYPE: {line!r}")
+            fam = parts[2]
+            if fam in families:
+                raise OpenMetricsError(f"line {lineno}: duplicate TYPE for {fam}")
+            families[fam] = {"type": parts[3], "samples": []}
+            continue
+        if line.startswith("#"):
+            # HELP/UNIT would be legal OpenMetrics; this exporter never
+            # writes them, so in a *strict* self-check they are noise
+            raise OpenMetricsError(f"line {lineno}: unexpected comment {line!r}")
+        # sample line: name[{labels}] value
+        name_and_labels, _, value_text = line.rpartition(" ")
+        if not name_and_labels:
+            raise OpenMetricsError(f"line {lineno}: malformed sample {line!r}")
+        labels = ""
+        name = name_and_labels
+        if "{" in name:
+            name, _, rest = name.partition("{")
+            if not rest.endswith("}"):
+                raise OpenMetricsError(
+                    f"line {lineno}: malformed labels in {line!r}"
+                )
+            labels = rest[:-1]
+        try:
+            value = float(value_text.replace("+Inf", "inf"))
+        except ValueError:
+            raise OpenMetricsError(
+                f"line {lineno}: non-numeric value {value_text!r}"
+            ) from None
+        fam, suffix = None, ""
+        for candidate, meta in families.items():
+            for sfx in _SUFFIXES[meta["type"]]:
+                if name == candidate + sfx:
+                    fam, suffix = candidate, sfx
+                    break
+            if fam is not None:
+                break
+        if fam is None:
+            raise OpenMetricsError(
+                f"line {lineno}: sample {name!r} matches no declared family "
+                "(missing TYPE, or an illegal suffix for its type)"
+            )
+        families[fam]["samples"].append((suffix, labels, value))
+    # histogram structural checks
+    for fam, meta in families.items():
+        if meta["type"] != "histogram":
+            if not meta["samples"]:
+                raise OpenMetricsError(f"family {fam} declared but empty")
+            continue
+        buckets = [(labels, v) for sfx, labels, v in meta["samples"]
+                   if sfx == "_bucket"]
+        counts = [v for sfx, _, v in meta["samples"] if sfx == "_count"]
+        if not buckets:
+            raise OpenMetricsError(f"histogram {fam} has no _bucket series")
+        les = []
+        for labels, _v in buckets:
+            if not labels.startswith('le="') or not labels.endswith('"'):
+                raise OpenMetricsError(
+                    f"histogram {fam}: bucket without le label: {labels!r}"
+                )
+            les.append(labels[4:-1])
+        if les[-1] != "+Inf":
+            raise OpenMetricsError(
+                f"histogram {fam}: last bucket must be le=\"+Inf\""
+            )
+        values = [v for _, v in buckets]
+        if any(b < a for a, b in zip(values, values[1:])):
+            raise OpenMetricsError(
+                f"histogram {fam}: bucket counts are not cumulative"
+            )
+        if not counts:
+            raise OpenMetricsError(f"histogram {fam} has no _count sample")
+        if counts[0] != values[-1]:
+            raise OpenMetricsError(
+                f"histogram {fam}: _count {counts[0]} != "
+                f"+Inf bucket {values[-1]}"
+            )
+    return families
+
+
+class _Handler(BaseHTTPRequestHandler):
+    exporter: "MetricsExporter" = None  # set per-server subclass
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        if self.path.split("?", 1)[0] != "/metrics":
+            self.send_error(404, "try /metrics")
+            return
+        body = render_openmetrics(
+            self.exporter._snapshot(), prefix=self.exporter.prefix
+        ).encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type", CONTENT_TYPE)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, fmt: str, *args) -> None:
+        return None  # a scrape target must not chat on stderr
+
+
+class MetricsExporter:
+    """Serve live registry snapshots at ``GET /metrics``.
+
+    *source* is a ``MetricsRegistry``, a snapshot ``dict`` (served
+    as-is — the ``repro obs serve TRACE`` case), or a zero-arg callable
+    returning a snapshot per scrape.  ``port=0`` picks a free port
+    (read it back from :attr:`port`).  Use as a context manager or call
+    :meth:`close` — shutdown is graceful: in-flight scrapes finish, the
+    listener thread is joined, the socket released.
+    """
+
+    def __init__(self, source, host: str = "127.0.0.1", port: int = 0,
+                 prefix: str = "repro") -> None:
+        if callable(getattr(source, "snapshot", None)):
+            self._snapshot = source.snapshot
+        elif isinstance(source, dict):
+            self._snapshot = lambda: source
+        elif callable(source):
+            self._snapshot = source
+        else:
+            raise TypeError(
+                "source must be a registry, a snapshot dict, or a callable"
+            )
+        self.prefix = prefix
+        handler = type("_BoundHandler", (_Handler,), {"exporter": self})
+        self._server = ThreadingHTTPServer((host, port), handler)
+        self._server.daemon_threads = True
+        self._thread: threading.Thread | None = None
+
+    @property
+    def host(self) -> str:
+        return self._server.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}/metrics"
+
+    def start(self) -> "MetricsExporter":
+        if self._thread is not None:
+            raise RuntimeError("exporter already started")
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-metrics-exporter", daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def close(self) -> None:
+        thread = self._thread
+        if thread is None:
+            return
+        self._thread = None
+        self._server.shutdown()
+        thread.join()
+        self._server.server_close()
+
+    def __enter__(self) -> "MetricsExporter":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def write_textfile(source, path, prefix: str = "repro") -> None:
+    """The textfile-collector mode: render *source* (registry, snapshot
+    dict, or callable) to *path* atomically (tmp + rename), so a
+    concurrent scrape never reads a torn exposition."""
+    if callable(getattr(source, "snapshot", None)):
+        snapshot = source.snapshot()
+    elif isinstance(source, dict):
+        snapshot = source
+    elif callable(source):
+        snapshot = source()
+    else:
+        raise TypeError(
+            "source must be a registry, a snapshot dict, or a callable"
+        )
+    text = render_openmetrics(snapshot, prefix=prefix)
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w") as fh:
+        fh.write(text)
+    os.replace(tmp, path)

@@ -1,0 +1,268 @@
+"""Deterministic, mergeable latency histograms.
+
+The registry's original histograms were four-stat summaries
+(count/total/min/max) — enough for means, useless for the p50/p99 tail
+read-outs the fleet scheduler needs.  :class:`LogHistogram` upgrades
+them without giving up determinism or mergeability:
+
+* **Exact when small.**  Up to :data:`EXACT_MAX` observations are kept
+  verbatim, so quantiles over a single migration's handful of attempts
+  are exact, not bucket-rounded.
+* **Log-bucketed beyond.**  Past the spill point, observations live in
+  sparse power-law buckets with *fixed, data-independent* boundaries:
+  bucket ``i`` covers ``(LO * GROWTH**(i-1), LO * GROWTH**i]``.  Fixed
+  boundaries are what make two histograms built on different machines
+  (or different processes) mergeable by plain per-bucket addition —
+  there is no re-binning step and no approximation introduced by the
+  merge itself.
+* **Order-invariant merge.**  A value's bucket depends only on the
+  value, and the spill from exact to bucketed replays every retained
+  value through the same bucketing function — so the final state is a
+  function of the observation *multiset*, never of arrival order or of
+  how observations were partitioned across registries before merging.
+  The test suite pins this by merging permutations.
+
+``GROWTH = 2**0.25`` gives four buckets per octave — ~9% relative
+quantile error at worst, constant across twelve decades from
+nanoseconds (``LO = 1e-9``) up.  Sparse storage means an idle histogram
+costs a dict and a list, nothing more.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+__all__ = [
+    "LogHistogram",
+    "Timer",
+    "bucket_index",
+    "bucket_upper",
+    "cumulative_buckets",
+]
+
+#: lower edge of bucket 0 — everything at or below lands in bucket 0
+LO = 1e-9
+#: per-bucket growth factor: four buckets per octave
+GROWTH = 2.0 ** 0.25
+_LOG_GROWTH = math.log(GROWTH)
+#: observations kept verbatim before spilling to buckets
+EXACT_MAX = 64
+
+
+def bucket_upper(index: int) -> float:
+    """Inclusive upper bound of bucket *index*."""
+    return LO * GROWTH ** index
+
+
+def bucket_index(value: float) -> int:
+    """The fixed bucket holding *value* (values ``<= LO`` share bucket 0).
+
+    Boundaries are data-independent, so this is the whole merge
+    contract: equal values always bucket identically, everywhere.
+    """
+    if value <= LO:
+        return 0
+    i = int(math.ceil(math.log(value / LO) / _LOG_GROWTH))
+    # nudge across float error so the (lo, hi] contract holds exactly
+    while bucket_upper(i) < value:
+        i += 1
+    while i > 0 and bucket_upper(i - 1) >= value:
+        i -= 1
+    return i
+
+
+def cumulative_buckets(hist: "LogHistogram | dict") -> list[tuple[float, int]]:
+    """``(upper_bound_seconds, cumulative_count)`` pairs for Prometheus
+    ``le`` exposition, ending with ``(inf, count)``.  Accepts a live
+    histogram or a :meth:`LogHistogram.to_dict` payload."""
+    if isinstance(hist, dict):
+        hist = LogHistogram.from_dict(hist)
+    out: list[tuple[float, int]] = []
+    cum = 0
+    for i, n in sorted(hist.bucket_counts().items()):
+        cum += n
+        out.append((bucket_upper(i), cum))
+    out.append((math.inf, hist.count))
+    return out
+
+
+class LogHistogram:
+    """One mergeable distribution: exact-small, log-bucketed-large."""
+
+    __slots__ = ("count", "total", "min", "max", "_values", "_buckets")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self._values: list[float] | None = []   # None once spilled
+        self._buckets: dict[int, int] = {}
+
+    # -- recording ---------------------------------------------------------
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if self._values is not None:
+            if len(self._values) < EXACT_MAX:
+                self._values.append(value)
+                return
+            self._spill()
+        i = bucket_index(value)
+        self._buckets[i] = self._buckets.get(i, 0) + 1
+
+    def _spill(self) -> None:
+        """Replay retained values into buckets; exactness ends here."""
+        assert self._values is not None
+        for v in self._values:
+            i = bucket_index(v)
+            self._buckets[i] = self._buckets.get(i, 0) + 1
+        self._values = None
+
+    # -- merging -----------------------------------------------------------
+
+    def merge(self, other: "LogHistogram | dict") -> None:
+        """Fold *other* in.  The result depends only on the combined
+        observation multiset — never on merge order — because bucketing
+        is deterministic and spilling replays values through it."""
+        if isinstance(other, dict):
+            other = LogHistogram.from_dict(other)
+        if other.count == 0:
+            return
+        self.count += other.count
+        self.total += other.total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+        if (
+            self._values is not None
+            and other._values is not None
+            and len(self._values) + len(other._values) <= EXACT_MAX
+        ):
+            self._values.extend(other._values)
+            return
+        if self._values is not None:
+            self._spill()
+        if other._values is not None:
+            for v in other._values:
+                i = bucket_index(v)
+                self._buckets[i] = self._buckets.get(i, 0) + 1
+        else:
+            for i, n in other._buckets.items():
+                self._buckets[i] = self._buckets.get(i, 0) + n
+
+    # -- read-out ----------------------------------------------------------
+
+    @property
+    def exact(self) -> bool:
+        """True while every observation is still retained verbatim."""
+        return self._values is not None
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def bucket_counts(self) -> dict[int, int]:
+        """Per-bucket counts (computed from retained values while exact,
+        without spilling)."""
+        if self._values is None:
+            return dict(self._buckets)
+        out: dict[int, int] = {}
+        for v in self._values:
+            i = bucket_index(v)
+            out[i] = out.get(i, 0) + 1
+        return out
+
+    def quantile(self, q: float) -> float:
+        """Nearest-rank quantile: exact over retained values, bucket
+        upper bound (clamped to the observed [min, max]) once spilled.
+        Returns 0.0 on an empty histogram."""
+        if self.count == 0:
+            return 0.0
+        q = min(1.0, max(0.0, q))
+        rank = max(1, math.ceil(q * self.count))
+        if self._values is not None:
+            return sorted(self._values)[rank - 1]
+        cum = 0
+        for i, n in sorted(self._buckets.items()):
+            cum += n
+            if cum >= rank:
+                return min(self.max, max(self.min, bucket_upper(i)))
+        return self.max
+
+    def summary(self) -> dict:
+        """The legacy four-stat view (count/total/min/max)."""
+        if self.count == 0:
+            return {"count": 0, "total": 0.0, "min": 0.0, "max": 0.0}
+        return {
+            "count": self.count, "total": self.total,
+            "min": self.min, "max": self.max,
+        }
+
+    def to_dict(self) -> dict:
+        """Full JSON-safe state: the four stats plus either ``values``
+        (still exact) or ``buckets`` (spilled; JSON forces str keys).
+        ``values`` is sorted — the canonical form makes snapshots of
+        order-invariant merges compare equal, not just quantile-equal."""
+        d = self.summary()
+        if self._values is not None:
+            d["values"] = sorted(self._values)
+        else:
+            d["buckets"] = {
+                str(i): n for i, n in sorted(self._buckets.items())
+            }
+        return d
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "LogHistogram":
+        """Rebuild from :meth:`to_dict` output.  A summary-only dict
+        (legacy four-stat shape, no values/buckets) degrades to one
+        mean-bucket mass — lossy, but keeps old snapshots mergeable."""
+        h = cls()
+        count = int(d.get("count", 0))
+        if count == 0:
+            return h
+        h.count = count
+        h.total = float(d.get("total", 0.0))
+        h.min = float(d.get("min", 0.0))
+        h.max = float(d.get("max", 0.0))
+        if "values" in d:
+            h._values = [float(v) for v in d["values"]]
+        elif "buckets" in d:
+            h._values = None
+            h._buckets = {int(i): int(n) for i, n in d["buckets"].items()}
+        else:
+            h._values = None
+            h._buckets = {bucket_index(h.mean): count}
+        return h
+
+
+class Timer:
+    """Context manager observing elapsed wall seconds into a callback
+    (typically ``metrics.observe`` via ``functools.partial`` or a
+    lambda) or directly into a :class:`LogHistogram`.
+
+        with Timer(lambda s: metrics.observe("rpc.seconds", s)):
+            do_rpc()
+    """
+
+    __slots__ = ("_sink", "_t0", "seconds")
+
+    def __init__(self, sink) -> None:
+        self._sink = sink.observe if isinstance(sink, LogHistogram) else sink
+        self._t0 = 0.0
+        self.seconds = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.seconds = time.perf_counter() - self._t0
+        self._sink(self.seconds)

@@ -1,20 +1,28 @@
 """The metrics registry: counters, gauges, and histograms.
 
-Metric values are deliberately *counts, bytes, and ratios* — never
-wall-clock seconds (those belong to the span tree), which is what makes
-a snapshot deterministic: two migrations driven by the same fault plan
-over the same payload produce byte-identical ``snapshot()`` counter
-sections, a property the test suite pins.
+Counter values are deliberately *counts, bytes, and ratios* — never
+wall-clock seconds — which is what makes a snapshot deterministic: two
+migrations driven by the same fault plan over the same payload produce
+byte-identical ``snapshot()`` counter sections, a property the test
+suite pins.  Histograms are the sanctioned home for seconds: they carry
+latency *distributions* (per-attempt, per-migration, downtime), backed
+by :class:`~repro.obs.histograms.LogHistogram` so quantiles stay
+deterministic functions of the observation multiset and merge is
+order-invariant even though the observed durations themselves vary run
+to run.
 
 A :class:`MetricsRegistry` is per-migration (one lives on each
 ``MigrationObservation``); :meth:`merge` folds one snapshot into
 another, which is how ``Scheduler`` and ``LoadBalancer`` aggregate
-cluster-level totals across every migration they conducted.
+cluster-level totals — and now fleet-level p50/p99 latency surfaces —
+across every migration they conducted.
 """
 
 from __future__ import annotations
 
 import threading
+
+from .histograms import LogHistogram, cumulative_buckets
 
 __all__ = [
     "MetricsRegistry",
@@ -31,7 +39,7 @@ class MetricsRegistry:
         self._lock = threading.Lock()
         self._counters: dict[str, int] = {}
         self._gauges: dict[str, float] = {}
-        self._hists: dict[str, dict] = {}
+        self._hists: dict[str, LogHistogram] = {}
 
     # -- instruments -------------------------------------------------------
 
@@ -46,40 +54,51 @@ class MetricsRegistry:
             self._gauges[name] = value
 
     def observe(self, name: str, value: float) -> None:
-        """Add one observation to histogram *name* (count/total/min/max)."""
+        """Add one observation to histogram *name*."""
         with self._lock:
             h = self._hists.get(name)
             if h is None:
-                self._hists[name] = {
-                    "count": 1, "total": value, "min": value, "max": value,
-                }
-            else:
-                h["count"] += 1
-                h["total"] += value
-                h["min"] = min(h["min"], value)
-                h["max"] = max(h["max"], value)
+                h = self._hists[name] = LogHistogram()
+            h.observe(value)
 
     def counter(self, name: str) -> int:
         """Current value of counter *name* (0 if never incremented)."""
         with self._lock:
             return self._counters.get(name, 0)
 
+    def histogram(self, name: str) -> LogHistogram:
+        """The live histogram *name* (created empty on first access)."""
+        with self._lock:
+            h = self._hists.get(name)
+            if h is None:
+                h = self._hists[name] = LogHistogram()
+            return h
+
+    def quantile(self, name: str, q: float) -> float:
+        """Quantile *q* of histogram *name* (0.0 if absent/empty)."""
+        with self._lock:
+            h = self._hists.get(name)
+            return h.quantile(q) if h is not None else 0.0
+
     # -- read-out / aggregation --------------------------------------------
 
     def snapshot(self) -> dict:
-        """A deterministic, sorted, copy-safe view of every instrument."""
+        """A deterministic, sorted, copy-safe view of every instrument.
+        Histogram entries are full :meth:`LogHistogram.to_dict` payloads
+        (count/total/min/max plus ``values`` or ``buckets``)."""
         with self._lock:
             return {
                 "counters": dict(sorted(self._counters.items())),
                 "gauges": dict(sorted(self._gauges.items())),
                 "histograms": {
-                    k: dict(v) for k, v in sorted(self._hists.items())
+                    k: v.to_dict() for k, v in sorted(self._hists.items())
                 },
             }
 
     def merge(self, snapshot: dict) -> None:
         """Fold a :meth:`snapshot` into this registry (cluster roll-up):
-        counters add, gauges take the incoming value, histograms merge."""
+        counters add, gauges take the incoming value, histograms merge
+        order-invariantly (legacy four-stat dicts degrade gracefully)."""
         with self._lock:
             for name, value in snapshot.get("counters", {}).items():
                 self._counters[name] = self._counters.get(name, 0) + value
@@ -88,24 +107,27 @@ class MetricsRegistry:
             for name, h in snapshot.get("histograms", {}).items():
                 mine = self._hists.get(name)
                 if mine is None:
-                    self._hists[name] = dict(h)
-                else:
-                    mine["count"] += h["count"]
-                    mine["total"] += h["total"]
-                    mine["min"] = min(mine["min"], h["min"])
-                    mine["max"] = max(mine["max"], h["max"])
+                    mine = self._hists[name] = LogHistogram()
+                mine.merge(h)
 
     def iter_flat(self):
         """Yield ``(name, value)`` pairs in sorted order — the
         ``repro migrate --metrics`` report format.  Histograms expand to
-        ``name.count`` / ``name.total`` / ``name.min`` / ``name.max``."""
-        snap = self.snapshot()
+        ``name.count`` / ``name.total`` / ``name.min`` / ``name.max`` /
+        ``name.p50`` / ``name.p99``."""
+        with self._lock:
+            hists = {k: (v.summary(), v.quantile(0.5), v.quantile(0.99))
+                     for k, v in self._hists.items()}
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
         flat: dict[str, float] = {}
-        flat.update(snap["counters"])
-        flat.update(snap["gauges"])
-        for name, h in snap["histograms"].items():
+        flat.update(counters)
+        flat.update(gauges)
+        for name, (summ, p50, p99) in hists.items():
             for stat in ("count", "total", "min", "max"):
-                flat[f"{name}.{stat}"] = h[stat]
+                flat[f"{name}.{stat}"] = summ[stat]
+            flat[f"{name}.p50"] = p50
+            flat[f"{name}.p99"] = p99
         yield from sorted(flat.items())
 
     def to_prometheus(self, prefix: str = "repro") -> str:
@@ -130,9 +152,12 @@ def snapshot_to_prometheus(snapshot: dict, prefix: str = "repro") -> str:
     line of a JSONL trace) in the Prometheus text exposition format.
 
     Counters become ``counter`` samples, gauges ``gauge`` samples, and
-    each histogram expands to ``_count`` / ``_total`` / ``_min`` /
-    ``_max`` gauges — the registry keeps aggregates, not buckets, so an
-    honest exposition does not fake ``_bucket`` series.
+    histograms expand to real ``histogram`` families: cumulative
+    ``_bucket{le="..."}`` series over the log-bucket boundaries (always
+    ending in ``le="+Inf"``) plus ``_sum`` and ``_count``.  Legacy
+    four-stat dicts degrade to a single mean-mass bucket rather than
+    being dropped.  For the stricter OpenMetrics flavor (suffix rules,
+    ``# EOF``), see :mod:`repro.obs.exporter`.
     """
     out: list[str] = []
     for name, value in sorted(snapshot.get("counters", {}).items()):
@@ -144,10 +169,14 @@ def snapshot_to_prometheus(snapshot: dict, prefix: str = "repro") -> str:
         out.append(f"# TYPE {prom} gauge")
         out.append(f"{prom} {value}")
     for name, h in sorted(snapshot.get("histograms", {}).items()):
-        for stat in ("count", "total", "min", "max"):
-            prom = _prom_name(f"{name}_{stat}", prefix)
-            out.append(f"# TYPE {prom} gauge")
-            out.append(f"{prom} {h[stat]}")
+        prom = _prom_name(name, prefix)
+        out.append(f"# TYPE {prom} histogram")
+        for upper, cum in cumulative_buckets(h):
+            le = "+Inf" if upper != upper or upper == float("inf") \
+                else repr(upper)
+            out.append(f'{prom}_bucket{{le="{le}"}} {cum}')
+        out.append(f"{prom}_sum {h.get('total', 0.0)}")
+        out.append(f"{prom}_count {h.get('count', 0)}")
     return "\n".join(out) + ("\n" if out else "")
 
 
@@ -165,6 +194,12 @@ class NullMetrics:
 
     def counter(self, name: str) -> int:
         return 0
+
+    def histogram(self, name: str) -> LogHistogram:
+        return LogHistogram()
+
+    def quantile(self, name: str, q: float) -> float:
+        return 0.0
 
     def snapshot(self) -> dict:
         return {"counters": {}, "gauges": {}, "histograms": {}}

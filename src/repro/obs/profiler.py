@@ -1,0 +1,209 @@
+"""Opt-in wall-clock sampling profiler — where the interpreter's time
+actually goes, stdlib-only.
+
+The span tree and the attribution profiler are *instrumented* views:
+they see what the engine chose to bracket.  The sampling profiler is the
+uninstrumented complement: a daemon thread wakes every ``interval_s``
+seconds, snapshots every live thread's Python stack via
+``sys._current_frames()``, and counts identical stacks.  Wall-clock
+sampling (not CPU sampling) is deliberate — a migration stalled on a
+socket or a lock *should* show up, that is exactly the stall the
+critical-path analyzer wants corroborated.
+
+Output is the folded-stack format flamegraph tooling eats directly
+(``root;caller;...;leaf count`` per line, one line per distinct stack),
+written by ``repro migrate --profile out.folded`` and rendered by
+``repro obs flame out.folded``.  :func:`phase_of` collapses a stack into
+the same phase vocabulary the attribution table uses (collect, restore,
+codec, wire, precopy, vm, ...) so the two views reconcile.
+
+Overhead is bounded by construction: sampling cost is paid by the
+sampler thread, not the sampled ones (the GIL makes ``_current_frames``
+a consistent snapshot), and the default 2 ms interval keeps it under
+the ≤5 % budget ``bench_obs.py`` gates in CI.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+from collections import Counter
+
+__all__ = [
+    "SamplingProfiler",
+    "phase_of",
+    "phase_rollup",
+    "parse_folded",
+    "render_flame",
+]
+
+#: default sampling interval (seconds)
+DEFAULT_INTERVAL_S = 0.002
+
+#: leaf-to-root module-prefix rules mapping a sampled frame to the
+#: attribution phase vocabulary; first match (nearest the leaf) wins
+_PHASE_RULES = (
+    ("repro.msr.delta", "precopy"),
+    ("repro.migration.precopy", "precopy"),
+    ("repro.msr.collect", "collect"),
+    ("repro.msr.restore", "restore"),
+    ("repro.msr.graphplan", "graphplan"),
+    ("repro.msr.wire", "wire"),
+    ("repro.migration.transport", "wire"),
+    ("repro.msr.msrlt", "msrlt"),
+    ("zlib", "codec"),
+    ("repro.vm", "vm"),
+    ("repro.migration", "engine"),
+    ("repro.obs", "obs"),
+)
+
+
+class SamplingProfiler:
+    """Periodic whole-process stack sampler with folded-stack output.
+
+    Use as a context manager around the work to profile::
+
+        with SamplingProfiler() as prof:
+            engine.migrate(...)
+        Path("out.folded").write_text(prof.folded())
+    """
+
+    def __init__(self, interval_s: float = DEFAULT_INTERVAL_S) -> None:
+        if interval_s <= 0:
+            raise ValueError(f"interval_s must be > 0, got {interval_s}")
+        self.interval_s = interval_s
+        #: folded stack tuple (root..leaf) -> sample count
+        self.samples: Counter = Counter()
+        self.n_samples = 0
+        self.duration_s = 0.0
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._t0 = 0.0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "SamplingProfiler":
+        if self._thread is not None:
+            raise RuntimeError("profiler already started")
+        self._stop.clear()
+        self._t0 = time.perf_counter()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-sampler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> "SamplingProfiler":
+        thread = self._thread
+        if thread is None:
+            return self
+        self._stop.set()
+        thread.join()
+        self._thread = None
+        self.duration_s = time.perf_counter() - self._t0
+        return self
+
+    def __enter__(self) -> "SamplingProfiler":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- the sampler thread ------------------------------------------------
+
+    def _run(self) -> None:
+        me = threading.get_ident()
+        while not self._stop.wait(self.interval_s):
+            for tid, frame in sys._current_frames().items():
+                if tid == me:
+                    continue
+                stack = []
+                while frame is not None:
+                    code = frame.f_code
+                    mod = frame.f_globals.get("__name__", "?")
+                    stack.append(f"{mod}:{code.co_name}")
+                    frame = frame.f_back
+                if stack:
+                    self.samples[tuple(reversed(stack))] += 1
+                    self.n_samples += 1
+
+    # -- read-out ----------------------------------------------------------
+
+    def folded(self) -> str:
+        """The samples in folded-stack format, deterministically sorted
+        (count descending, then stack text) — flamegraph.pl input."""
+        lines = [
+            (";".join(stack), n) for stack, n in self.samples.items()
+        ]
+        lines.sort(key=lambda kv: (-kv[1], kv[0]))
+        return "".join(f"{text} {n}\n" for text, n in lines)
+
+    def write_folded(self, path) -> None:
+        from pathlib import Path
+
+        Path(path).write_text(self.folded())
+
+    def phase_rollup(self) -> dict[str, int]:
+        """Sample counts collapsed into attribution phases."""
+        return phase_rollup(self.samples)
+
+
+def phase_of(stack: tuple[str, ...]) -> str:
+    """The attribution phase of one folded stack: nearest-the-leaf
+    frame whose module matches a rule, else ``"other"``."""
+    for entry in reversed(stack):
+        mod = entry.rsplit(":", 1)[0]
+        for prefix, phase in _PHASE_RULES:
+            if mod == prefix or mod.startswith(prefix + "."):
+                return phase
+    return "other"
+
+
+def phase_rollup(samples: dict) -> dict[str, int]:
+    """Collapse ``{stack tuple: count}`` into ``{phase: count}``."""
+    out: dict[str, int] = {}
+    for stack, n in samples.items():
+        phase = phase_of(tuple(stack))
+        out[phase] = out.get(phase, 0) + n
+    return dict(sorted(out.items(), key=lambda kv: (-kv[1], kv[0])))
+
+
+def parse_folded(text: str) -> Counter:
+    """Parse folded-stack text back into ``{stack tuple: count}``."""
+    samples: Counter = Counter()
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        stack_text, _, count_text = line.rpartition(" ")
+        if not stack_text or not count_text.isdigit():
+            raise ValueError(
+                f"line {lineno}: not folded-stack format "
+                f"('stack;frames count'): {line[:80]!r}"
+            )
+        samples[tuple(stack_text.split(";"))] += int(count_text)
+    return samples
+
+
+def render_flame(samples: dict, top: int = 20) -> str:
+    """The ``repro obs flame`` text read-out: phase roll-up plus the
+    heaviest distinct stacks (leaf-trimmed for width)."""
+    total = sum(samples.values())
+    if not total:
+        return "no samples (migration too short for the sampling interval?)"
+    out = [f"{total} samples across {len(samples)} distinct stacks", ""]
+    out.append("phase roll-up:")
+    for phase, n in phase_rollup(samples).items():
+        out.append(f"  {phase:10s} {n:8d}  {n / total * 100:5.1f}%")
+    out.append("")
+    out.append(f"top {top} stacks:")
+    ranked = sorted(samples.items(), key=lambda kv: (-kv[1], kv[0]))[:top]
+    for stack, n in ranked:
+        stack = tuple(stack)
+        leaf = stack[-1]
+        caller = stack[-2] if len(stack) > 1 else ""
+        pct = n / total * 100
+        where = f"{leaf}  <-  {caller}" if caller else leaf
+        out.append(f"  {n:8d}  {pct:5.1f}%  {where}")
+    return "\n".join(out)

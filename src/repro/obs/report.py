@@ -24,6 +24,7 @@ import json
 from pathlib import Path
 
 from repro.obs.events import TRACE_SCHEMA_VERSION
+from repro.obs.histograms import LogHistogram
 from repro.obs.metrics import snapshot_to_prometheus
 
 __all__ = [
@@ -33,6 +34,7 @@ __all__ = [
     "render_report",
     "render_top",
     "render_diff",
+    "render_histograms",
     "export_prometheus",
 ]
 
@@ -184,6 +186,11 @@ def render_report(doc: TraceDocument) -> str:
         for name, seconds in sorted(phases.items(), key=lambda kv: -kv[1]):
             out.append(f"  {name:10s}{_fmt_s(seconds)}")
 
+    precopy = _render_precopy(doc)
+    if precopy:
+        out.append("")
+        out.extend(precopy)
+
     counters = doc.metrics.get("counters", {})
     wire_keys = [
         "engine.payload_bytes", "engine.blocks", "engine.attempts",
@@ -230,6 +237,87 @@ def render_report(doc: TraceDocument) -> str:
         out.append("attribution: not recorded "
                    "(run with --attribution / migrate(attribution=True))")
     return "\n".join(out)
+
+
+def _render_precopy(doc: TraceDocument) -> list[str]:
+    """The iterative pre-copy read-out: per-round delta bytes and
+    modeled tx seconds, the convergence outcome, and the stop-and-copy
+    downtime span (empty list when the migration did not pre-copy)."""
+    rounds = doc.events_of("precopy_round")
+    begin = doc.events_of("precopy_begin")
+    if not rounds and not begin:
+        return []
+    out: list[str] = ["pre-copy rounds:"]
+    if rounds:
+        out.append(_table(
+            ["round", "bytes", "tx_ms", "dirty", "deferred", "freed"],
+            [[
+                "snapshot" if r.get("round") == 0 else str(r.get("round")),
+                str(r.get("bytes", 0)),
+                f"{r.get('tx_s', 0.0) * 1e3:.3f}",
+                str(r.get("dirty_blocks", 0)),
+                str(r.get("deferred", 0)),
+                str(r.get("freed", 0)),
+            ] for r in rounds],
+        ))
+    for end in doc.events_of("precopy_end"):
+        out.append(
+            f"converged after {end.get('rounds')} round(s): "
+            f"{end.get('bytes')} round bytes, "
+            f"{end.get('dirty_blocks')} residual dirty block(s), "
+            f"{end.get('cached_blocks')} block(s) elided as cached"
+        )
+    for deg in doc.events_of("precopy_degraded"):
+        out.append(
+            f"DEGRADED to plain stop-and-copy: "
+            f"{deg.get('error_type')}: {deg.get('error')}"
+        )
+    downtime = [
+        sp for sp in doc.spans
+        if sp.get("name") == "precopy.downtime_seconds"
+    ]
+    if downtime:
+        out.append(
+            "stop-and-copy downtime: "
+            + _fmt_s(sum(sp.get("seconds", 0.0) for sp in downtime)).strip()
+        )
+    return out
+
+
+def render_histograms(doc: TraceDocument) -> str:
+    """The ``repro obs histo`` read-out: every histogram snapshot line
+    with its deterministic quantiles (see
+    :mod:`repro.obs.histograms`)."""
+    hists = doc.events_of("histogram")
+    if not hists:
+        # pre-snapshot-line traces: fall back to the metrics section
+        hists = [
+            {"name": name, **state}
+            for name, state in sorted(
+                doc.metrics.get("histograms", {}).items()
+            )
+        ]
+    if not hists:
+        return "no histograms in trace"
+    rows = []
+    for h in hists:
+        lh = LogHistogram.from_dict(h)
+        rows.append([
+            str(h.get("name", "?")),
+            str(lh.count),
+            f"{lh.mean * 1e3:.3f}",
+            f"{lh.quantile(0.5) * 1e3:.3f}",
+            f"{lh.quantile(0.9) * 1e3:.3f}",
+            f"{lh.quantile(0.99) * 1e3:.3f}",
+            f"{(lh.min if lh.count else 0.0) * 1e3:.3f}",
+            f"{(lh.max if lh.count else 0.0) * 1e3:.3f}",
+            "exact" if lh.exact else "bucketed",
+        ])
+    return _table(
+        ["histogram", "count", "mean_ms", "p50_ms", "p90_ms", "p99_ms",
+         "min_ms", "max_ms", "basis"],
+        rows,
+    )
 
 
 def render_top(doc: TraceDocument, by: str = "type", n: int = 10) -> str:

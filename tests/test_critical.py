@@ -1,0 +1,183 @@
+"""Tests for the pipeline critical-path analyzer (PR 10).
+
+The acceptance claim under test: the stall attribution PARTITIONS the
+pipelined wall time exactly — per-stage busy time plus bubbles sums to
+the pipeline makespan within 1 % (here: to float exactness for the
+partition itself, and within 1 % against the engine's reported
+pipeline time) — across the paper's workloads in both architecture
+directions, and survives fault-driven retries (the analyzer must slice
+the final attempt's chunks, not the aborted ones').
+"""
+
+import pytest
+
+from repro.arch import DEC5000, SPARC20
+from repro.migration.engine import MigrationEngine, RetryPolicy
+from repro.migration.transport import (
+    Channel,
+    ETHERNET_10M,
+    Fault,
+    FaultPlan,
+    FaultyChannel,
+)
+from repro.obs.critical import (
+    CriticalPathError,
+    STAGES,
+    analyze_lines,
+    analyze_stats,
+    render_critical,
+)
+from repro.vm.process import Process
+from repro.vm.program import compile_program
+from repro.workloads import (
+    bitonic_source,
+    linpack_source,
+    structgrid_source,
+)
+from repro.workloads import test_pointer_source as pointer_source
+
+WORKLOADS = {
+    "linpack": lambda: linpack_source(n=24),
+    "bitonic": lambda: bitonic_source(n=48, seed=3),
+    "test_pointer": lambda: pointer_source(),
+    "structgrid": lambda: structgrid_source(n_cells=24, n_probes=6, seed=3),
+}
+
+_progs = {}
+
+
+def workload_prog(name):
+    if name not in _progs:
+        _progs[name] = compile_program(WORKLOADS[name](),
+                                       poll_strategy="user")
+    return _progs[name]
+
+
+def stopped(prog, arch):
+    proc = Process(prog, arch)
+    proc.start()
+    proc.migration_pending = True
+    assert proc.run().status == "poll"
+    return proc
+
+
+def streamed_stats(name, src, dst, chunk_size=512, **kw):
+    proc = stopped(workload_prog(name), src)
+    _dest, stats = MigrationEngine().migrate(
+        proc, dst, channel=Channel(ETHERNET_10M),
+        streaming=True, chunk_size=chunk_size, **kw
+    )
+    return stats
+
+
+def assert_model_reconciles(analysis, stats):
+    """The analyzer's uniform-chunk schedule vs the engine's closed form
+    (``pipelined_response_time``).  They agree exactly except for one
+    modeled asymmetry: the closed form charges the link latency to the
+    fill term unconditionally, while the true schedule absorbs it when
+    collect is the bottleneck (per-chunk collect > per-chunk tx +
+    latency — which CI load can cause by inflating measured collect).
+    So the model is bounded by the closed form from above and by the
+    closed form minus one latency from below."""
+    model, resp = analysis.model_pipeline_s, stats.response_time
+    # 1e-8 abs: trace lines round seconds to 9 decimals, so the model
+    # is computed on values up to 0.5 ns coarser than the stats'
+    assert model <= resp * (1 + 1e-9) + 1e-8
+    assert resp <= model + analysis.latency_s + resp * 0.01 + 1e-8
+
+
+def assert_partition_exact(analysis):
+    """The load-bearing acceptance property: stages + bubbles == wall."""
+    part = analysis.partition
+    assert set(part) == {"restore_busy", "stall_tx", "stall_collect",
+                         "latency"}
+    assert all(v >= 0.0 for v in part.values()), part
+    assert sum(part.values()) == pytest.approx(analysis.makespan_s,
+                                               rel=1e-9, abs=1e-15)
+    # the critical path itself also reconstructs the makespan exactly
+    assert sum(analysis.critical_seconds.values()) == pytest.approx(
+        analysis.makespan_s, rel=1e-9, abs=1e-15)
+
+
+@pytest.mark.parametrize("src,dst", [(DEC5000, SPARC20), (SPARC20, DEC5000)],
+                         ids=["dec-to-sparc", "sparc-to-dec"])
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+class TestPartitionAcrossWorkloads:
+    def test_partition_and_model_reconcile(self, name, src, dst):
+        stats = streamed_stats(name, src, dst)
+        analysis = analyze_stats(stats)
+
+        assert_partition_exact(analysis)
+
+        # per-stage busy totals reconcile with the span tree within 1%
+        totals = stats.span_totals()
+        for stage in ("collect", "tx", "restore"):
+            assert analysis.stage_totals[stage] == pytest.approx(
+                totals[stage], rel=0.01), stage
+
+        # the uniform-chunk scheduling model reproduces the engine's
+        # pipelined response time (exactly, modulo the fill-latency
+        # asymmetry - see assert_model_reconciles)
+        assert_model_reconciles(analysis, stats)
+        # the measured-chunk makespan differs from the uniform closed
+        # form only through chunk non-uniformity: it stays bracketed by
+        # the slowest stage (below) and the serial sum (above)
+        slowest = max(analysis.stage_totals.values())
+        assert slowest <= analysis.makespan_s * (1 + 1e-9)
+        assert analysis.makespan_s <= analysis.serial_s * (1 + 1e-9)
+
+        assert analysis.n_chunks >= 1
+        assert analysis.bottleneck in STAGES
+        # every chunk interval is within the makespan
+        for ch in analysis.chunks:
+            for stage in STAGES:
+                lo, hi = getattr(ch, stage)
+                assert 0.0 <= lo <= hi
+                assert hi <= analysis.makespan_s * (1 + 1e-9)
+
+
+class TestRetries:
+    def test_final_attempt_only(self):
+        """With fault-driven retries the trace carries chunk events from
+        aborted attempts too; the analyzer must reconstruct the FINAL
+        attempt and still partition exactly."""
+        prog = workload_prog("linpack")
+        proc = stopped(prog, DEC5000)
+        plan = FaultPlan([Fault("drop", 2)])
+        _dest, stats = MigrationEngine().migrate(
+            proc, SPARC20,
+            channel_factory=lambda: FaultyChannel(Channel(ETHERNET_10M),
+                                                  plan),
+            streaming=True, chunk_size=512,
+            retry=RetryPolicy(max_attempts=3, sleep=lambda _s: None),
+        )
+        assert stats.attempts == 2
+        analysis = analyze_stats(stats)
+        assert_partition_exact(analysis)
+        assert_model_reconciles(analysis, stats)
+
+
+class TestAnalyzerInputs:
+    def test_requires_a_streaming_trace(self):
+        proc = stopped(workload_prog("test_pointer"), DEC5000)
+        _dest, stats = MigrationEngine().migrate(
+            proc, SPARC20, channel=Channel(ETHERNET_10M))
+        with pytest.raises(CriticalPathError):
+            analyze_stats(stats)
+
+    def test_rejects_empty_lines(self):
+        with pytest.raises(CriticalPathError):
+            analyze_lines([])
+
+    def test_render_mentions_every_partition_term(self):
+        stats = streamed_stats("linpack", DEC5000, SPARC20)
+        text = render_critical(analyze_stats(stats))
+        for needle in ("makespan partition", "restore busy", "stalled on tx",
+                       "stalled on collect", "latency", "critical path",
+                       "bottleneck"):
+            assert needle in text, needle
+
+    def test_overlap_ratio_bounds(self):
+        stats = streamed_stats("structgrid", DEC5000, SPARC20)
+        analysis = analyze_stats(stats)
+        assert 0.0 <= analysis.overlap_ratio() <= 1.0

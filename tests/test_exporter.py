@@ -1,0 +1,208 @@
+"""Tests for the OpenMetrics exporter (PR 10).
+
+Covers the renderer (counter ``_total`` suffix, cumulative histogram
+buckets ending in ``+Inf``, ``# EOF`` terminator), the strict parser's
+rejection cases, a real HTTP round-trip against a live
+:class:`MetricsExporter` with graceful shutdown, the atomic textfile
+mode, and the ``repro obs serve --probe`` CLI smoke.
+"""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.cli import main
+from repro.obs.exporter import (
+    CONTENT_TYPE,
+    MetricsExporter,
+    OpenMetricsError,
+    parse_openmetrics,
+    render_openmetrics,
+    write_textfile,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+def registry_with_everything():
+    m = MetricsRegistry()
+    m.inc("wire.chunks_sent", 5)
+    m.set_gauge("pipeline.occupancy", 0.75)
+    for v in (0.001, 0.002, 0.004, 0.2):
+        m.observe("engine.attempt_seconds", v)
+    return m
+
+
+class TestRender:
+    def test_counters_histograms_and_eof(self):
+        text = render_openmetrics(registry_with_everything().snapshot())
+        lines = text.splitlines()
+        assert lines[-1] == "# EOF"
+        assert "# TYPE repro_wire_chunks_sent counter" in lines
+        assert "repro_wire_chunks_sent_total 5" in lines
+        assert "repro_pipeline_occupancy 0.75" in lines
+        assert "# TYPE repro_engine_attempt_seconds histogram" in lines
+        assert 'repro_engine_attempt_seconds_bucket{le="+Inf"} 4' in lines
+        assert "repro_engine_attempt_seconds_count 4" in lines
+
+    def test_render_parse_round_trip(self):
+        text = render_openmetrics(registry_with_everything().snapshot())
+        families = parse_openmetrics(text)
+        assert families["repro_wire_chunks_sent"]["type"] == "counter"
+        hist = families["repro_engine_attempt_seconds"]
+        assert hist["type"] == "histogram"
+        les = [labels for sfx, labels, _ in hist["samples"]
+               if sfx == "_bucket"]
+        assert les[-1] == 'le="+Inf"'
+
+
+class TestStrictParser:
+    def test_missing_eof(self):
+        with pytest.raises(OpenMetricsError, match="EOF"):
+            parse_openmetrics("# TYPE a counter\na_total 1\n")
+
+    def test_counter_without_total_suffix(self):
+        with pytest.raises(OpenMetricsError, match="no declared family"):
+            parse_openmetrics("# TYPE a counter\na 1\n# EOF\n")
+
+    def test_sample_without_type(self):
+        with pytest.raises(OpenMetricsError, match="no declared family"):
+            parse_openmetrics("b_total 1\n# EOF\n")
+
+    def test_duplicate_type(self):
+        with pytest.raises(OpenMetricsError, match="duplicate"):
+            parse_openmetrics(
+                "# TYPE a counter\n# TYPE a counter\na_total 1\n# EOF\n"
+            )
+
+    def test_non_cumulative_histogram(self):
+        bad = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="0.1"} 5\n'
+            'h_bucket{le="+Inf"} 3\n'
+            "h_sum 1.0\nh_count 3\n# EOF\n"
+        )
+        with pytest.raises(OpenMetricsError, match="cumulative"):
+            parse_openmetrics(bad)
+
+    def test_histogram_count_mismatch(self):
+        bad = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="+Inf"} 3\n'
+            "h_sum 1.0\nh_count 4\n# EOF\n"
+        )
+        with pytest.raises(OpenMetricsError, match="_count"):
+            parse_openmetrics(bad)
+
+    def test_histogram_last_bucket_must_be_inf(self):
+        bad = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="0.1"} 3\n'
+            "h_sum 1.0\nh_count 3\n# EOF\n"
+        )
+        with pytest.raises(OpenMetricsError, match="Inf"):
+            parse_openmetrics(bad)
+
+
+class TestHttpExporter:
+    def test_live_round_trip_and_shutdown(self):
+        registry = registry_with_everything()
+        with MetricsExporter(registry) as exporter:
+            url = exporter.url
+            with urllib.request.urlopen(url, timeout=10) as resp:
+                assert resp.status == 200
+                assert resp.headers["Content-Type"] == CONTENT_TYPE
+                body = resp.read().decode("utf-8")
+            families = parse_openmetrics(body)
+            assert "repro_engine_attempt_seconds" in families
+            # live: a second scrape sees new observations
+            registry.inc("wire.chunks_sent", 10)
+            with urllib.request.urlopen(url, timeout=10) as resp:
+                body2 = resp.read().decode("utf-8")
+            assert "repro_wire_chunks_sent_total 15" in body2
+        # after close the port no longer accepts scrapes
+        with pytest.raises(urllib.error.URLError):
+            urllib.request.urlopen(url, timeout=1)
+
+    def test_404_off_path(self):
+        with MetricsExporter(registry_with_everything()) as exporter:
+            bad = exporter.url.replace("/metrics", "/other")
+            with pytest.raises(urllib.error.HTTPError) as exc_info:
+                urllib.request.urlopen(bad, timeout=10)
+            assert exc_info.value.code == 404
+
+    def test_concurrent_scrapes(self):
+        with MetricsExporter(registry_with_everything()) as exporter:
+            bodies = [None] * 8
+            def scrape(i):
+                with urllib.request.urlopen(exporter.url, timeout=10) as r:
+                    bodies[i] = r.read().decode("utf-8")
+            threads = [threading.Thread(target=scrape, args=(i,))
+                       for i in range(8)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        assert all(b == bodies[0] for b in bodies)
+        parse_openmetrics(bodies[0])
+
+    def test_source_kinds(self):
+        snap = registry_with_everything().snapshot()
+        for source in (snap, lambda: snap):
+            with MetricsExporter(source) as exporter:
+                with urllib.request.urlopen(exporter.url, timeout=10) as r:
+                    parse_openmetrics(r.read().decode("utf-8"))
+        with pytest.raises(TypeError):
+            MetricsExporter(42)
+
+
+class TestTextfile:
+    def test_atomic_write_and_parse(self, tmp_path):
+        out = tmp_path / "repro.prom"
+        write_textfile(registry_with_everything(), out)
+        families = parse_openmetrics(out.read_text())
+        assert "repro_wire_chunks_sent" in families
+        assert not list(tmp_path.glob("*.tmp.*"))
+
+
+class TestCliServe:
+    @pytest.fixture()
+    def trace_file(self, tmp_path):
+        from repro.workloads import test_pointer_source
+
+        src = tmp_path / "tp.c"
+        src.write_text(test_pointer_source())
+        trace = tmp_path / "trace.jsonl"
+        rc = main(["migrate", str(src), "--stream", "--trace", str(trace)])
+        assert rc == 0
+        return trace
+
+    def test_probe(self, trace_file, capsys):
+        rc = main(["obs", "serve", str(trace_file), "--probe"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "probe ok" in out
+        assert "histograms" in out
+
+    def test_textfile_mode(self, trace_file, tmp_path):
+        out = tmp_path / "m.prom"
+        rc = main(["obs", "serve", str(trace_file), "--textfile", str(out)])
+        assert rc == 0
+        families = parse_openmetrics(out.read_text())
+        # the trace's histogram snapshot lines made it into the
+        # exposition as real bucket series
+        hists = [f for f in families.values() if f["type"] == "histogram"]
+        assert hists
+
+    def test_trace_histogram_lines_match_metrics_section(self, trace_file):
+        lines = [json.loads(l) for l in trace_file.read_text().splitlines()]
+        hist_events = {l["name"]: l for l in lines
+                       if l["event"] == "histogram"}
+        metrics = next(l for l in lines if l["event"] == "metrics")
+        assert set(hist_events) == set(metrics["histograms"])
+        for name, state in metrics["histograms"].items():
+            ev = {k: v for k, v in hist_events[name].items()
+                  if k not in ("event", "ts", "name")}
+            assert ev == state

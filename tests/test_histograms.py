@@ -1,0 +1,274 @@
+"""Tests for the mergeable log-bucketed latency histograms (PR 10).
+
+The fleet contract under test: histograms merged across migrations (and
+across schedulers) must give the SAME quantiles regardless of merge
+order or grouping, quantile error is bounded by the bucket growth
+factor once a histogram spills past its exact window, and the engine
+actually feeds per-migration latency histograms the scheduler rolls up.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.arch import DEC5000, SPARC20
+from repro.migration import Cluster, Scheduler
+from repro.migration.engine import MigrationEngine, RetryPolicy
+from repro.migration.transport import (
+    Channel,
+    Fault,
+    FaultPlan,
+    FaultyChannel,
+    LOOPBACK,
+)
+from repro.obs.histograms import (
+    EXACT_MAX,
+    GROWTH,
+    LogHistogram,
+    Timer,
+    bucket_index,
+    bucket_upper,
+    cumulative_buckets,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.vm.process import Process
+from repro.vm.program import compile_program
+from repro.workloads import test_pointer_source as pointer_source
+
+
+# -- bucket geometry ----------------------------------------------------------
+
+
+class TestBucketGeometry:
+    def test_buckets_partition_the_positive_axis(self):
+        for v in (1e-9, 3.7e-6, 0.001, 0.3, 7.0, 12345.6):
+            i = bucket_index(v)
+            assert bucket_upper(i) >= v
+            if i > 0:
+                assert bucket_upper(i - 1) < v
+
+    def test_growth_bounds_quantile_error(self):
+        # adjacent boundaries differ by the growth factor: any value
+        # reported from its bucket upper bound is at most GROWTH-1 high
+        assert GROWTH == pytest.approx(2.0 ** 0.25)
+        for i in (0, 10, 100, 200):
+            assert bucket_upper(i + 1) / bucket_upper(i) == pytest.approx(
+                GROWTH
+            )
+
+    def test_bucketing_is_deterministic_across_paths(self):
+        # the same value must land in the same bucket whether observed
+        # directly or replayed through a merge — this is what makes
+        # merge order-invariant
+        for v in (1e-8, 0.00125, 0.9999, 2.0, 1e4):
+            a = LogHistogram()
+            a.observe(v)
+            b = LogHistogram()
+            for _ in range(EXACT_MAX + 1):
+                b.observe(v)
+            assert bucket_index(v) in b.bucket_counts()
+
+
+# -- exact window and spill ---------------------------------------------------
+
+
+class TestExactWindow:
+    def test_small_histograms_are_exact(self):
+        h = LogHistogram()
+        for v in (0.004, 0.001, 0.002, 0.003):
+            h.observe(v)
+        assert h.exact
+        assert h.quantile(0.5) == 0.002
+        assert h.quantile(1.0) == 0.004
+        assert h.quantile(0.0) == 0.001
+        assert h.min == 0.001 and h.max == 0.004
+        assert h.mean == pytest.approx(0.0025)
+
+    def test_spill_at_boundary(self):
+        h = LogHistogram()
+        for i in range(EXACT_MAX):
+            h.observe(0.001 * (i + 1))
+        assert h.exact
+        h.observe(0.5)
+        assert not h.exact
+        assert h.count == EXACT_MAX + 1
+        assert sum(h.bucket_counts().values()) == h.count
+
+    def test_bucketed_quantile_error_is_bounded(self):
+        rng = random.Random(7)
+        values = [rng.uniform(1e-4, 10.0) for _ in range(1000)]
+        h = LogHistogram()
+        for v in values:
+            h.observe(v)
+        values.sort()
+        for q in (0.1, 0.5, 0.9, 0.99):
+            exact = values[max(0, math.ceil(q * len(values)) - 1)]
+            got = h.quantile(q)
+            # nearest-rank over buckets: at most one growth step high
+            assert exact / GROWTH <= got <= exact * GROWTH
+
+    def test_quantiles_clamped_to_observed_range(self):
+        h = LogHistogram()
+        for i in range(200):
+            h.observe(0.01 + (i % 10) * 1e-5)
+        assert h.quantile(0.0) >= h.min
+        assert h.quantile(1.0) <= h.max
+
+
+# -- merge: the fleet property ------------------------------------------------
+
+
+class TestMerge:
+    def _random_values(self, seed, n=500):
+        rng = random.Random(seed)
+        return [rng.lognormvariate(-5.0, 2.0) for _ in range(n)]
+
+    def test_merge_is_order_invariant(self):
+        values = self._random_values(42)
+        reference = LogHistogram()
+        for v in values:
+            reference.observe(v)
+
+        rng = random.Random(43)
+        for _trial in range(5):
+            shuffled = values[:]
+            rng.shuffle(shuffled)
+            # split into uneven shards, observe, merge in shuffled order
+            shards = []
+            i = 0
+            while i < len(shuffled):
+                k = rng.randint(1, 120)
+                shard = LogHistogram()
+                for v in shuffled[i:i + k]:
+                    shard.observe(v)
+                shards.append(shard)
+                i += k
+            rng.shuffle(shards)
+            merged = LogHistogram()
+            for shard in shards:
+                merged.merge(shard)
+            got, want = merged.to_dict(), reference.to_dict()
+            # float addition is the one thing that can't be bit-exact
+            # across orders: `total` gets a last-ulp tolerance, the
+            # structural state (count/min/max/buckets) must be identical
+            assert got.pop("total") == pytest.approx(want.pop("total"),
+                                                     rel=1e-12)
+            assert got == want
+            for q in (0.5, 0.9, 0.99):
+                assert merged.quantile(q) == reference.quantile(q)
+
+    def test_merge_of_exact_histograms_stays_exact_when_small(self):
+        a, b = LogHistogram(), LogHistogram()
+        for v in (0.001, 0.002):
+            a.observe(v)
+        for v in (0.003, 0.004):
+            b.observe(v)
+        a.merge(b)
+        assert a.exact and a.count == 4
+        assert a.quantile(0.5) == 0.002
+
+    def test_merge_accepts_snapshot_dicts(self):
+        a = LogHistogram()
+        for i in range(EXACT_MAX * 2):
+            a.observe(0.001 * (1 + i % 50))
+        restored = LogHistogram.from_dict(a.to_dict())
+        assert restored.to_dict() == a.to_dict()
+        assert restored.quantile(0.99) == a.quantile(0.99)
+
+    def test_from_dict_degrades_legacy_summaries(self):
+        # pre-v3 snapshots carried only {count,total,min,max}: the
+        # fallback keeps count/total/min/max and parks the mass at the
+        # mean's bucket rather than refusing to merge
+        legacy = {"count": 10, "total": 0.5, "min": 0.01, "max": 0.09}
+        h = LogHistogram.from_dict(legacy)
+        assert h.count == 10
+        assert h.mean == pytest.approx(0.05)
+        assert sum(h.bucket_counts().values()) == 10
+
+    def test_cumulative_buckets_end_in_inf(self):
+        h = LogHistogram()
+        for i in range(EXACT_MAX + 10):
+            h.observe(0.001 * (i + 1))
+        series = cumulative_buckets(h.to_dict())
+        uppers = [u for u, _ in series]
+        cums = [c for _, c in series]
+        assert uppers[-1] == math.inf
+        assert cums[-1] == h.count
+        assert all(b >= a for a, b in zip(cums, cums[1:]))
+
+
+# -- registry + timer ---------------------------------------------------------
+
+
+class TestRegistryHistograms:
+    def test_observe_quantile_and_flat(self):
+        m = MetricsRegistry()
+        for v in (0.010, 0.020, 0.030):
+            m.observe("t", v)
+        assert m.quantile("t", 0.5) == 0.020
+        flat = dict(m.iter_flat())
+        assert flat["t.count"] == 3
+        assert flat["t.p99"] == 0.030
+
+    def test_registry_merge_under_fault_driven_retries(self):
+        """Deterministic quantiles even when fault-driven retries skew
+        attempt counts: the merged cluster histogram equals observing
+        every attempt in one registry, whatever the merge grouping."""
+        prog = compile_program(pointer_source(), poll_strategy="user")
+
+        def migrate_with_faults(n_faults):
+            proc = Process(prog, DEC5000)
+            proc.start()
+            proc.migration_pending = True
+            assert proc.run().status == "poll"
+            plan = FaultPlan([Fault("drop", 0) for _ in range(n_faults)])
+            outcome = MigrationEngine().migrate(
+                proc, SPARC20,
+                channel_factory=lambda: FaultyChannel(Channel(LOOPBACK),
+                                                      plan),
+                retry=RetryPolicy(max_attempts=n_faults + 1,
+                                  sleep=lambda _s: None),
+            )
+            return outcome[1]
+
+        stats_list = [migrate_with_faults(n) for n in (0, 2, 1)]
+        # merge A<-B<-C and C<-B<-A: same attempt-latency histogram
+        ab = MetricsRegistry()
+        for s in stats_list:
+            ab.merge(s.obs.metrics.snapshot())
+        ba = MetricsRegistry()
+        for s in reversed(stats_list):
+            ba.merge(s.obs.metrics.snapshot())
+        assert ab.snapshot()["histograms"]["engine.attempt_seconds"] == \
+            ba.snapshot()["histograms"]["engine.attempt_seconds"]
+        # attempts = 1 + 3 + 2 (each drop costs one failed attempt)
+        assert ab.histogram("engine.attempt_seconds").count == 6
+
+    def test_timer_context_manager(self):
+        m = MetricsRegistry()
+        with Timer(m.histogram("op")) as t:
+            pass
+        assert t.seconds >= 0.0
+        assert m.histogram("op").count == 1
+
+
+class TestEngineFeedsHistograms:
+    def test_migration_histograms_roll_up_to_scheduler(self):
+        prog = compile_program(pointer_source(), poll_strategy="user")
+        cluster = Cluster()
+        a = cluster.add_host("a", DEC5000)
+        b = cluster.add_host("b", SPARC20)
+        cluster.connect(a, b, LOOPBACK)
+        sched = Scheduler(cluster)
+        proc = sched.spawn(prog, a)
+        sched.request_migration(proc, b)
+        sched.run(proc)
+        snap = sched.metrics.snapshot()
+        for name in ("engine.migration_seconds", "engine.downtime_seconds",
+                     "engine.attempt_seconds", "scheduler.migration_seconds",
+                     "scheduler.downtime_seconds"):
+            assert name in snap["histograms"], name
+            assert snap["histograms"][name]["count"] >= 1
+        p99 = sched.metrics.quantile("scheduler.migration_seconds", 0.99)
+        assert p99 > 0.0

@@ -210,7 +210,11 @@ class TestMetricsRegistry:
         for v in (2.0, 1.0, 4.0):
             m.observe("h", v)
         h = m.snapshot()["histograms"]["h"]
-        assert h == {"count": 3, "total": 7.0, "min": 1.0, "max": 4.0}
+        # small histograms stay exact: the snapshot carries the raw values
+        assert h == {"count": 3, "total": 7.0, "min": 1.0, "max": 4.0,
+                     "values": [1.0, 2.0, 4.0]}
+        assert m.quantile("h", 0.5) == 2.0
+        assert m.quantile("h", 0.99) == 4.0
 
     def test_merge_adds_counters_and_merges_histograms(self):
         a, b = MetricsRegistry(), MetricsRegistry()
@@ -231,6 +235,7 @@ class TestMetricsRegistry:
         flat = dict(m.iter_flat())
         assert flat["c"] == 7
         assert flat["h.count"] == 1 and flat["h.total"] == 2.0
+        assert flat["h.p50"] == 2.0 and flat["h.p99"] == 2.0
         assert list(flat) == sorted(flat)
 
 
@@ -612,3 +617,53 @@ class TestCli:
         bad.write_text('{"event": "mystery", "ts": 0.0}\n')
         assert validate_main([str(bad)]) == 1
         assert validate_main([]) == 2
+
+
+# -- ring-buffer eviction under concurrent writers (PR 10) --------------------
+
+
+class TestEventLogConcurrency:
+    def test_dropped_count_is_exact_under_threads(self):
+        """N threads hammering one bounded log: the retained tail plus
+        the dropped count must account for every emit exactly, and no
+        retained entry may be torn (interleaved fields)."""
+        capacity = 64
+        log = EventLog(capacity=capacity)
+        n_threads, per_thread = 8, 500
+        barrier = threading.Barrier(n_threads)
+
+        def feeder(tid):
+            barrier.wait()
+            for i in range(per_thread):
+                log.emit("feed", tid=tid, i=i, payload=tid * 1_000_000 + i)
+
+        threads = [threading.Thread(target=feeder, args=(t,))
+                   for t in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        total = n_threads * per_thread
+        assert len(log.events) == capacity
+        assert log.dropped == total - capacity
+        # no interleaving corruption: every retained event is internally
+        # consistent and attributable to exactly one (tid, i) emission
+        seen = set()
+        for e in log.events:
+            assert e["event"] == "feed"
+            assert e["payload"] == e["tid"] * 1_000_000 + e["i"]
+            key = (e["tid"], e["i"])
+            assert key not in seen
+            seen.add(key)
+        # timestamps are monotone non-decreasing in retention order
+        ts = [e["ts"] for e in log.events]
+        assert ts == sorted(ts)
+
+    def test_capacity_one_keeps_only_the_last(self):
+        log = EventLog(capacity=1)
+        for i in range(10):
+            log.emit("e", i=i)
+        assert len(log.events) == 1
+        assert log.events[0]["i"] == 9
+        assert log.dropped == 9

@@ -24,6 +24,7 @@ from repro.migration.transport import (
     SocketChannel,
 )
 from repro.obs import MigrationObservation, validate_trace_lines
+from repro.obs.events import TRACE_SCHEMA_VERSION
 from repro.obs.propagate import (
     TraceContext,
     adopted_tracer,
@@ -249,7 +250,8 @@ class TestAdoptedTracer:
             pass
         dst.finish()
         lines = [{
-            "event": "trace_header", "ts": 0.0, "schema": 2,
+            "event": "trace_header", "ts": 0.0,
+            "schema": TRACE_SCHEMA_VERSION,
             "tool": "repro", "trace_id": dst.trace_id,
         }]
         for path, sp in dst.iter_spans():
